@@ -1,0 +1,73 @@
+"""Ablation: exact Quine-McCluskey vs espresso-lite two-level synthesis.
+
+DESIGN.md substitutes espresso-lite for the authors' espresso; this
+bench quantifies the quality/runtime trade on functions small enough for
+the exact minimizer (the heuristic's product counts stay within a few
+percent, which is why the substitution preserves the paper's shape).
+"""
+
+import pytest
+
+from repro.boolfunc.isf import ISF
+from repro.bdd.manager import BDD
+from repro.boolfunc.convert import truthtable_to_function
+from repro.boolfunc.truthtable import TruthTable
+from repro.twolevel.espresso import espresso_minimize
+from repro.twolevel.quine_mccluskey import minimize_exact
+from repro.utils.rng import make_rng
+
+from benchmarks.conftest import write_output
+
+N_FUNCTIONS = 12
+N_VARS = 6
+
+
+def _random_functions():
+    rng = make_rng("ablation-minimizer")
+    mgr = BDD([f"x{i}" for i in range(N_VARS)])
+    functions = []
+    for _ in range(N_FUNCTIONS):
+        table = TruthTable.random(N_VARS, rng, density=0.35)
+        functions.append(
+            ISF.completely_specified(truthtable_to_function(mgr, table))
+        )
+    return functions
+
+
+FUNCTIONS = _random_functions()
+
+
+def test_exact_qm(benchmark):
+    def run():
+        return [
+            minimize_exact(N_VARS, list(f.on.minterms())) for f in FUNCTIONS
+        ]
+
+    covers = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact_products = sum(c.cube_count() for c in covers)
+    assert exact_products > 0
+    write_output(
+        "ablation_minimizer_exact.txt",
+        f"exact QM: {exact_products} products total over {N_FUNCTIONS} functions",
+    )
+
+
+def test_espresso_lite(benchmark):
+    def run():
+        return [espresso_minimize(f) for f in FUNCTIONS]
+
+    covers = benchmark.pedantic(run, rounds=1, iterations=1)
+    heuristic_products = sum(c.cube_count() for c in covers)
+    exact_products = sum(
+        minimize_exact(N_VARS, list(f.on.minterms())).cube_count()
+        for f in FUNCTIONS
+    )
+    ratio = heuristic_products / exact_products
+    write_output(
+        "ablation_minimizer_heuristic.txt",
+        f"espresso-lite: {heuristic_products} products"
+        f" (exact {exact_products}, ratio {ratio:.3f})",
+    )
+    # The heuristic stays close to exact: this is the quality bound the
+    # area comparisons rely on.
+    assert ratio <= 1.25

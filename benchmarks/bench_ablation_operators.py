@@ -1,0 +1,53 @@
+"""Ablation / paper future work: bi-decomposition with all ten operators.
+
+The paper evaluates only AND and 6⇒ (both need 0->1 divisors); Section V
+lists the remaining operators and approximation directions as future
+work.  This bench runs every operator on two benchmarks with
+generic random approximations of the matching kind, verifying each
+decomposition and reporting the quotient flexibility obtained.
+"""
+
+import pytest
+
+from repro.approx.generic import approximation_for_operator
+from repro.benchgen.registry import load_benchmark
+from repro.core.bidecomposition import apply_operator
+from repro.core.operators import OPERATORS
+from repro.core.quotient import full_quotient
+from repro.spp.synthesis import minimize_spp
+from repro.utils.rng import make_rng
+
+from benchmarks.conftest import write_output
+
+CASES = ["z4", "newtpla2"]
+_LINES = []
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_all_operators(benchmark, name):
+    instance = load_benchmark(name)
+    mgr = instance.mgr
+    rng = make_rng(f"ablation-operators:{name}")
+
+    def run():
+        flexibility = {}
+        for op_name, op in OPERATORS.items():
+            dc_total = 0
+            for f in instance.outputs:
+                g = approximation_for_operator(f, op, rate=0.15, rng=rng)
+                h = full_quotient(f, g, op)
+                h_cover = minimize_spp(h)
+                rebuilt = apply_operator(op, g, h_cover.to_function(mgr))
+                assert (rebuilt & f.care) == (f.on & f.care), op_name
+                dc_total += h.dc.satcount()
+            flexibility[op_name] = dc_total
+        return flexibility
+
+    flexibility = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(flexibility) == 10
+    _LINES.append(
+        f"{name}: quotient dc-set sizes per operator: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(flexibility.items()))
+    )
+    if len(_LINES) == len(CASES):
+        write_output("ablation_operators.txt", "\n".join(_LINES))

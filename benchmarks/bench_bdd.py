@@ -1,0 +1,53 @@
+"""Microbenchmarks of the BDD substrate (engine scaling sanity)."""
+
+from repro.bdd.manager import BDD
+
+
+def _build_adder_carry(bits: int):
+    """Carry-out of a ripple adder: the classic BDD stress function."""
+    mgr = BDD(
+        [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)]
+    )
+    carry = mgr.false
+    for i in range(bits - 1, -1, -1):
+        a = mgr.var(f"a{i}")
+        b = mgr.var(f"b{i}")
+        carry = (a & b) | ((a ^ b) & carry)
+    return mgr, carry
+
+
+def test_bdd_adder_carry_construction(benchmark):
+    mgr, carry = benchmark(_build_adder_carry, 12)
+    assert not carry.is_false
+
+
+def test_bdd_satcount(benchmark):
+    mgr, carry = _build_adder_carry(12)
+    count = benchmark(carry.satcount)
+    # Carry-out of n-bit a+b: number of (a, b) with a+b >= 2^n.
+    total = sum(1 for a in range(64) for b in range(64) if a + b >= 64)
+    # 12-bit version scales the 6-bit exhaustive check by symmetry of the
+    # construction; verify exactly on 6 bits instead.
+    mgr6, carry6 = _build_adder_carry(6)
+    assert carry6.satcount() == total
+    assert count > 0
+
+
+def test_bdd_xor_chain_apply(benchmark):
+    def build():
+        mgr = BDD([f"x{i}" for i in range(24)])
+        f = mgr.false
+        for i in range(24):
+            f = f ^ mgr.var(f"x{i}")
+        return f
+
+    parity = benchmark(build)
+    assert parity.size() <= 2 * 24 + 2
+
+
+def test_bdd_isop_extraction(benchmark):
+    from repro.bdd.ops import isop
+
+    mgr, carry = _build_adder_carry(8)
+    cubes, realized = benchmark(isop, carry, carry)
+    assert realized == carry

@@ -1,0 +1,14 @@
+"""Regenerate paper Figure 1 (AND bi-decomposition, SOP forms)."""
+
+from repro.harness.figures import render_figure1
+
+from benchmarks.conftest import write_output
+
+
+def test_figure1(benchmark):
+    data = benchmark(render_figure1)
+    write_output("figure1.txt", data.rendering)
+    # The paper's exact artifacts.
+    assert data.g_text == "x2 & x4"
+    assert set(data.h_text.split(" | ")) == {"x1", "x3"}
+    assert data.f.on.satcount() == 3

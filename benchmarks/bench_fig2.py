@@ -1,0 +1,14 @@
+"""Regenerate paper Figure 2 (2-SPP forms, pseudoproduct expansion)."""
+
+from repro.harness.figures import render_figure2
+
+from benchmarks.conftest import write_output
+
+
+def test_figure2(benchmark):
+    data = benchmark(render_figure2)
+    write_output("figure2.txt", data.rendering)
+    assert "x3 ^ x4" in data.g_text
+    assert set(data.h_text.split(" | ")) == {"x1", "x2"}
+    # Two 0->1 complementations, exactly as in the paper.
+    assert (data.g - data.f.on).satcount() == 2

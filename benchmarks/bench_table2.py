@@ -1,0 +1,36 @@
+"""Regenerate paper Table II (full-quotient formulas) with verification.
+
+The bench times the exhaustive check that, for a batch of random ISFs
+and valid divisors, each operator's Table II formulas produce exactly
+the semantically derived full quotient (Lemmas 1-5 + Corollaries 1-4).
+"""
+
+from repro.approx.generic import approximation_for_operator
+from repro.bdd.manager import BDD
+from repro.boolfunc.isf import ISF
+from repro.core.flexibility import semantic_full_quotient
+from repro.core.operators import OPERATORS
+from repro.core.quotient import full_quotient
+from repro.harness.tables import render_table2
+from repro.utils.rng import make_rng
+
+from benchmarks.conftest import write_output
+
+N_RANDOM_ISFS = 20
+
+
+def _verify_table2() -> str:
+    rng = make_rng("bench-table2")
+    mgr = BDD([f"x{i}" for i in range(1, 6)])
+    for _ in range(N_RANDOM_ISFS):
+        f = ISF.random(mgr, rng)
+        for op in OPERATORS.values():
+            g = approximation_for_operator(f, op, rate=rng.random() * 0.5, rng=rng)
+            assert full_quotient(f, g, op) == semantic_full_quotient(f, g, op)
+    return render_table2()
+
+
+def test_table2(benchmark):
+    text = benchmark(_verify_table2)
+    write_output("table2.txt", text)
+    assert "h_on" in text

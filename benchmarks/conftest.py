@@ -1,0 +1,21 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every paper table/figure has a module here.  Experiment benches run via
+``benchmark.pedantic(rounds=1)`` — one measured execution per benchmark
+row, since each row is itself a full synthesis flow, not a microkernel.
+Rendered tables are written to ``benchmarks/output/`` so the regenerated
+results are inspectable after a ``pytest benchmarks/ --benchmark-only``
+run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a regenerated table/figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n")

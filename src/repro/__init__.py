@@ -1,0 +1,86 @@
+"""repro — reproduction of *Computing the full quotient in
+bi-decomposition by approximation* (Bernasconi, Ciriani, Cortadella,
+Villa — DATE 2020).
+
+The library bi-decomposes a Boolean function ``f`` as ``f = g op h``
+where the divisor ``g`` is an *approximation* of ``f`` and the quotient
+``h`` is computed with its **full flexibility** (smallest on-set,
+largest dc-set — paper Table II).  Everything the flow needs is
+implemented here from scratch: a BDD engine, cube/cover algebra and PLA
+I/O, exact and heuristic two-level minimization, 2-SPP (XOR-AND-OR)
+synthesis, expansion-based approximation, a genlib technology mapper,
+and the paper's benchmark suite and experiment harness.
+
+Quickstart::
+
+    from repro import BDD, ISF, bidecompose, approximate_expand_full
+
+    mgr = BDD(["x1", "x2", "x3", "x4"])
+    f = ISF.completely_specified(
+        mgr.var("x1") & mgr.var("x2") & mgr.var("x4")
+        | mgr.var("x2") & mgr.var("x3") & mgr.var("x4")
+    )
+    approx = approximate_expand_full(f)
+    dec = bidecompose(f, "AND", approx.g)
+    assert dec.verify()
+"""
+
+from repro.approx import (
+    approximate_expand_bounded,
+    approximate_expand_full,
+    approximation_for_operator,
+    error_rate,
+)
+from repro.bdd import BDD, Function, isop, parse_expression
+from repro.boolfunc import ISF, TruthTable
+from repro.core import (
+    OPERATORS,
+    BiDecomposition,
+    apply_operator,
+    bidecompose,
+    full_quotient,
+    is_full_quotient,
+    is_valid_quotient,
+    operator_by_name,
+    semantic_full_quotient,
+    validate_divisor,
+)
+from repro.cover import PLA, Cover, Cube, parse_pla, write_pla
+from repro.spp import Pseudocube, SppCover, minimize_spp
+from repro.twolevel import espresso_minimize, minimize_exact
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDD",
+    "BiDecomposition",
+    "Cover",
+    "Cube",
+    "Function",
+    "ISF",
+    "OPERATORS",
+    "PLA",
+    "Pseudocube",
+    "SppCover",
+    "TruthTable",
+    "__version__",
+    "apply_operator",
+    "approximate_expand_bounded",
+    "approximate_expand_full",
+    "approximation_for_operator",
+    "bidecompose",
+    "error_rate",
+    "espresso_minimize",
+    "full_quotient",
+    "is_full_quotient",
+    "is_valid_quotient",
+    "isop",
+    "minimize_exact",
+    "minimize_spp",
+    "operator_by_name",
+    "parse_expression",
+    "parse_pla",
+    "semantic_full_quotient",
+    "validate_divisor",
+    "write_pla",
+]

@@ -1,0 +1,40 @@
+"""Approximation methods producing divisors for bi-decomposition.
+
+* :mod:`~repro.approx.expansion` — the paper's experimental 0→1 method
+  (Section IV-A): expand pseudoproducts of a 2-SPP cover, move the
+  swallowed off-set minterms into the dc-set, re-synthesize.  Both the
+  paper's full-expansion variant and the bounded-error variant of
+  Bernasconi–Ciriani (DSD 2014, ref. [2]) are provided.
+* :mod:`~repro.approx.generic` — random 0→1 / 1→0 / 0↔1 approximators
+  matched to each operator's required kind (used by tests and the
+  all-operator ablation).
+* :mod:`~repro.approx.error` — error-rate metrics.
+"""
+
+from repro.approx.error import error_count, error_rate, output_error_rate
+from repro.approx.expansion import (
+    ExpansionResult,
+    approximate_expand_bounded,
+    approximate_expand_full,
+)
+from repro.approx.generic import (
+    approximation_for_kind,
+    approximation_for_operator,
+    mixed_approximation,
+    over_approximation,
+    under_approximation,
+)
+
+__all__ = [
+    "ExpansionResult",
+    "approximate_expand_bounded",
+    "approximate_expand_full",
+    "approximation_for_kind",
+    "approximation_for_operator",
+    "error_count",
+    "error_rate",
+    "mixed_approximation",
+    "output_error_rate",
+    "over_approximation",
+    "under_approximation",
+]

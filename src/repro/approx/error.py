@@ -1,0 +1,36 @@
+"""Error-rate metrics for approximations.
+
+The paper (following ref. [2]) measures the error rate of an
+approximation ``g`` of ``f`` as the fraction of output bits complemented,
+i.e. the number of care minterms where ``g`` disagrees with ``f`` over
+the size of the Boolean space.  For multi-output functions the flipped
+bits are summed over all outputs and divided by ``2^n · m``.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import Function
+from repro.boolfunc.isf import ISF
+
+
+def error_count(f: ISF, g: Function) -> int:
+    """Number of care minterms of ``f`` where ``g`` differs."""
+    return ((f.on - g) | (g & f.off)).satcount()
+
+
+def error_rate(f: ISF, g: Function) -> float:
+    """Fraction of the whole Boolean space flipped by ``g``."""
+    return error_count(f, g) / (1 << f.n_vars)
+
+
+def output_error_rate(pairs: list[tuple[ISF, Function]]) -> float:
+    """Aggregate error rate of a multi-output approximation.
+
+    ``pairs`` holds one ``(f_j, g_j)`` pair per output; the result is
+    the total number of flipped output bits over ``2^n · m``.
+    """
+    if not pairs:
+        raise ValueError("need at least one output")
+    total_flips = sum(error_count(f, g) for f, g in pairs)
+    space = (1 << pairs[0][0].n_vars) * len(pairs)
+    return total_flips / space

@@ -1,0 +1,75 @@
+"""Random approximators of every kind (Definitions 1–3 of the paper).
+
+These are used for property-based testing of all ten operators and for
+the all-operator ablation experiment.  Each generator starts from the
+exact function (or its complement) and flips a requested fraction of
+care minterms in the allowed direction only, leaving dc minterms to an
+arbitrary but deterministic choice.
+
+All generators enumerate minterms, so they require small arity; the
+benchmark-scale flow uses :mod:`repro.approx.expansion` instead.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.bdd.manager import Function
+from repro.boolfunc.isf import ISF
+from repro.core.operators import ApproximationKind, BinaryOperator, operator_by_name
+
+
+def _flip_sample(mgr, candidates: list[int], rate: float, rng: Random) -> Function:
+    """Union of a random ``rate`` fraction of the candidate minterms."""
+    count = min(len(candidates), round(rate * len(candidates)))
+    chosen = rng.sample(candidates, count) if count else []
+    flips = mgr.false
+    for minterm in chosen:
+        flips = flips | mgr.minterm(minterm)
+    return flips
+
+
+def over_approximation(f: ISF, rate: float, rng: Random) -> Function:
+    """A 0→1 approximation of ``f``: flips ``rate`` of the off-set up.
+
+    Don't-care minterms of ``f`` are resolved downwards (g = 0 there), so
+    the error set is exactly the sampled off-set minterms.
+    """
+    flips = _flip_sample(f.mgr, sorted(f.off.minterms()), rate, rng)
+    return f.on | flips
+
+
+def under_approximation(f: ISF, rate: float, rng: Random) -> Function:
+    """A 1→0 approximation of ``f``: drops ``rate`` of the on-set."""
+    flips = _flip_sample(f.mgr, sorted(f.on.minterms()), rate, rng)
+    return f.on - flips
+
+
+def mixed_approximation(f: ISF, rate: float, rng: Random) -> Function:
+    """A 0↔1 approximation: flips ``rate`` of all care minterms."""
+    flips = _flip_sample(f.mgr, sorted(f.care.minterms()), rate, rng)
+    return (f.on ^ flips) - f.dc
+
+
+def approximation_for_kind(
+    f: ISF, kind: ApproximationKind, rate: float, rng: Random
+) -> Function:
+    """Generate a valid divisor of the requested kind."""
+    if kind is ApproximationKind.OVER_F:
+        return over_approximation(f, rate, rng)
+    if kind is ApproximationKind.UNDER_F:
+        return under_approximation(f, rate, rng)
+    if kind is ApproximationKind.OVER_COMPLEMENT:
+        return over_approximation(~f, rate, rng)
+    if kind is ApproximationKind.UNDER_COMPLEMENT:
+        return under_approximation(~f, rate, rng)
+    return mixed_approximation(f, rate, rng)
+
+
+def approximation_for_operator(
+    f: ISF, op: BinaryOperator | str, rate: float, rng: Random
+) -> Function:
+    """Generate a divisor of the kind operator ``op`` requires."""
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    return approximation_for_kind(f, op.approximation, rate, rng)

@@ -1,0 +1,22 @@
+"""A self-contained reduced ordered binary decision diagram (ROBDD) engine.
+
+This package replaces the CUDD library used by the paper's authors.  It
+provides:
+
+* :class:`~repro.bdd.manager.BDD` — the node manager (unique table,
+  ``ite``, quantification, restriction, composition, satcount).
+* :class:`~repro.bdd.manager.Function` — a hashable handle to a node with
+  full operator overloading (``&``, ``|``, ``^``, ``~``, ``-`` for set
+  difference).
+* :func:`~repro.bdd.ops.isop` — Minato–Morreale irredundant
+  sum-of-products extraction between a lower and an upper bound, the
+  bridge from BDDs to cube covers.
+* :func:`~repro.bdd.expr.parse_expression` — a small Boolean expression
+  parser (``~ & ^ | => <=>``) for tests and examples.
+"""
+
+from repro.bdd.expr import parse_expression
+from repro.bdd.manager import BDD, Function
+from repro.bdd.ops import isop
+
+__all__ = ["BDD", "Function", "isop", "parse_expression"]

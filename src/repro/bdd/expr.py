@@ -1,0 +1,153 @@
+"""Boolean expression parser producing BDD functions.
+
+Grammar (loosest binding first)::
+
+    iff     := implies ( "<=>" implies )*
+    implies := or ( "=>" or )*          (right associative)
+    or      := xor ( "|" xor )*         ("+" is accepted as an alias)
+    xor     := and ( "^" and )*
+    and     := unary ( "&" unary )*     ("*" is accepted as an alias)
+    unary   := ( "~" | "!" ) unary | atom
+    atom    := IDENT | "0" | "1" | "(" iff ")" | atom "'"
+
+A postfix apostrophe (``x'``) is accepted as negation to match the
+paper's notation.  Identifiers are ``[A-Za-z_][A-Za-z0-9_\\[\\]]*``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.bdd.manager import BDD, Function
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_\[\]]*)"
+    r"|(?P<const>[01])"
+    r"|(?P<op><=>|=>|[~!&^|()'*+]))"
+)
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed Boolean expressions."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise ExpressionError(
+                    f"unexpected character {text[position]!r} at offset {position}"
+                )
+            break
+        tokens.append(match.group(match.lastgroup))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, mgr: BDD, tokens: list[str]) -> None:
+        self.mgr = mgr
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise ExpressionError(f"expected {token!r}, got {got!r}")
+
+    # Grammar rules -----------------------------------------------------
+    def parse_iff(self) -> Function:
+        left = self.parse_implies()
+        while self.peek() == "<=>":
+            self.take()
+            left = left.equiv(self.parse_implies())
+        return left
+
+    def parse_implies(self) -> Function:
+        left = self.parse_or()
+        if self.peek() == "=>":
+            self.take()
+            return left.implies(self.parse_implies())
+        return left
+
+    def parse_or(self) -> Function:
+        left = self.parse_xor()
+        while self.peek() in ("|", "+"):
+            self.take()
+            left = left | self.parse_xor()
+        return left
+
+    def parse_xor(self) -> Function:
+        left = self.parse_and()
+        while self.peek() == "^":
+            self.take()
+            left = left ^ self.parse_and()
+        return left
+
+    def parse_and(self) -> Function:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token in ("&", "*"):
+                self.take()
+                left = left & self.parse_unary()
+            elif token is not None and (token[0].isalpha() or token in ("(", "0", "1", "~", "!")):
+                # Juxtaposition (``x1x2`` tokenizes as one identifier, but
+                # ``x1 (a|b)`` and ``x1 ~y`` are implicit conjunctions).
+                left = left & self.parse_unary()
+            else:
+                return left
+
+    def parse_unary(self) -> Function:
+        token = self.peek()
+        if token in ("~", "!"):
+            self.take()
+            return ~self.parse_unary()
+        return self.parse_atom()
+
+    def parse_atom(self) -> Function:
+        token = self.take()
+        if token == "(":
+            inner = self.parse_iff()
+            self.expect(")")
+            result = inner
+        elif token == "0":
+            result = self.mgr.false
+        elif token == "1":
+            result = self.mgr.true
+        elif token[0].isalpha() or token[0] == "_":
+            result = self.mgr.var(token)
+        else:
+            raise ExpressionError(f"unexpected token {token!r}")
+        while self.peek() == "'":
+            self.take()
+            result = ~result
+        return result
+
+
+def parse_expression(mgr: BDD, text: str) -> Function:
+    """Parse ``text`` into a BDD function over ``mgr``'s variables.
+
+    Undeclared identifiers raise ``KeyError``; declare variables on the
+    manager first so the global ordering is explicit.
+    """
+    parser = _Parser(mgr, _tokenize(text))
+    result = parser.parse_iff()
+    if parser.peek() is not None:
+        raise ExpressionError(f"trailing tokens starting at {parser.peek()!r}")
+    return result

@@ -1,0 +1,527 @@
+"""ROBDD node manager and function handles.
+
+The design follows the classic Brace–Rudell–Bryant construction:
+
+* nodes live in parallel arrays (``level``, ``low``, ``high``) indexed by
+  integer ids; ids ``0`` and ``1`` are the constant nodes;
+* a *unique table* maps ``(level, low, high)`` to the node id, enforcing
+  canonicity (two equal functions always share one node);
+* all Boolean connectives reduce to the ternary ``ite`` operator with a
+  computed-table cache.
+
+Variable order is the order of :meth:`BDD.add_var` calls.  There is no
+dynamic reordering — benchmark functions in this reproduction use their
+natural variable order, as the paper's flow does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+#: Level assigned to the two constant nodes; larger than any variable level.
+TERMINAL_LEVEL = 1 << 30
+
+
+class BDD:
+    """Manager owning the unique table and operation caches."""
+
+    def __init__(self, var_names: Iterable[str] = ()) -> None:
+        self._var_names: list[str] = []
+        self._var_index: dict[str, int] = {}
+        # Parallel node arrays.  Nodes 0 / 1 are the constants.
+        self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        for name in var_names:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    @property
+    def var_names(self) -> tuple[str, ...]:
+        """Declared variable names, in BDD order (index 0 on top)."""
+        return tuple(self._var_names)
+
+    @property
+    def n_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    def add_var(self, name: str) -> "Function":
+        """Declare a new variable below all existing ones and return it."""
+        if name in self._var_index:
+            raise ValueError(f"variable {name!r} already declared")
+        index = len(self._var_names)
+        self._var_names.append(name)
+        self._var_index[name] = index
+        return Function(self, self._mk(index, 0, 1))
+
+    def var(self, name: str) -> "Function":
+        """Return the projection function of a declared variable."""
+        return Function(self, self._mk(self._var_index[name], 0, 1))
+
+    def var_at(self, index: int) -> "Function":
+        """Return the projection function of the variable at ``index``."""
+        return Function(self, self._mk(index, 0, 1))
+
+    def level_of(self, name: str) -> int:
+        """Return the BDD level (order position) of variable ``name``."""
+        return self._var_index[name]
+
+    # ------------------------------------------------------------------
+    # Constants and cubes
+    # ------------------------------------------------------------------
+    @property
+    def false(self) -> "Function":
+        """The constant-0 function."""
+        return Function(self, 0)
+
+    @property
+    def true(self) -> "Function":
+        """The constant-1 function."""
+        return Function(self, 1)
+
+    def cube(self, assignment: dict[str, int | bool]) -> "Function":
+        """Build the conjunction of literals described by ``assignment``.
+
+        ``{"x1": 1, "x3": 0}`` yields the function ``x1 & ~x3``.
+        """
+        node = 1
+        levels = sorted(
+            ((self._var_index[name], bool(value)) for name, value in assignment.items()),
+            reverse=True,
+        )
+        for level, value in levels:
+            node = self._mk(level, 0, node) if value else self._mk(level, node, 0)
+        return Function(self, node)
+
+    def minterm(self, minterm_index: int) -> "Function":
+        """Build the single-minterm function for ``minterm_index``.
+
+        Variable 0 is the most significant bit of the index (library-wide
+        convention, see :mod:`repro.utils.bitops`).
+        """
+        n = self.n_vars
+        node = 1
+        for level in range(n - 1, -1, -1):
+            bit = (minterm_index >> (n - 1 - level)) & 1
+            node = self._mk(level, 0, node) if bit else self._mk(level, node, 0)
+        return Function(self, node)
+
+    # ------------------------------------------------------------------
+    # Core node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Terminal cases.
+        if f == 1:
+            return g
+        if f == 0:
+            return h
+        if g == h:
+            return g
+        if g == 1 and h == 0:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._branches(f, level)
+        g0, g1 = self._branches(g, level)
+        h0, h1 = self._branches(h, level)
+        result = self._mk(level, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _branches(self, node: int, level: int) -> tuple[int, int]:
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # Derived connectives -------------------------------------------------
+    def _not(self, u: int) -> int:
+        return self._ite(u, 0, 1)
+
+    def _and(self, u: int, v: int) -> int:
+        return self._ite(u, v, 0)
+
+    def _or(self, u: int, v: int) -> int:
+        return self._ite(u, 1, v)
+
+    def _xor(self, u: int, v: int) -> int:
+        return self._ite(u, self._not(v), v)
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Total number of live nodes in the manager (constants included)."""
+        return len(self._level)
+
+    def size(self, function: "Function") -> int:
+        """Number of nodes reachable from ``function`` (constants included)."""
+        seen: set[int] = set()
+        stack = [function.node]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > 1:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def clear_caches(self) -> None:
+        """Drop the operation caches (unique table is kept)."""
+        self._ite_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Quantification / substitution
+    # ------------------------------------------------------------------
+    def _cofactor(self, u: int, level: int, value: int) -> int:
+        if self._level[u] > level:
+            return u
+        if self._level[u] == level:
+            return self._high[u] if value else self._low[u]
+        # Variable below the top of u: descend with a small memo.
+        memo: dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if self._level[node] > level:
+                return node
+            if self._level[node] == level:
+                return self._high[node] if value else self._low[node]
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            result = self._mk(
+                self._level[node], rec(self._low[node]), rec(self._high[node])
+            )
+            memo[node] = result
+            return result
+
+        return rec(u)
+
+    def _restrict(self, u: int, assignment: dict[int, int]) -> int:
+        if not assignment:
+            return u
+        memo: dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if node <= 1:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            if level in assignment:
+                result = rec(self._high[node] if assignment[level] else self._low[node])
+            else:
+                result = self._mk(level, rec(self._low[node]), rec(self._high[node]))
+            memo[node] = result
+            return result
+
+        return rec(u)
+
+    def _exists(self, u: int, levels: frozenset[int]) -> int:
+        memo: dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if node <= 1:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            low = rec(self._low[node])
+            high = rec(self._high[node])
+            if level in levels:
+                result = self._or(low, high)
+            else:
+                result = self._mk(level, low, high)
+            memo[node] = result
+            return result
+
+        return rec(u)
+
+    def _compose(self, u: int, level: int, v: int) -> int:
+        memo: dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if self._level[node] > level:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            node_level = self._level[node]
+            if node_level == level:
+                result = self._ite(v, self._high[node], self._low[node])
+            else:
+                result = self._ite(
+                    self._mk(node_level, 0, 1),
+                    rec(self._high[node]),
+                    rec(self._low[node]),
+                )
+            memo[node] = result
+            return result
+
+        return rec(u)
+
+    # ------------------------------------------------------------------
+    # Counting and enumeration
+    # ------------------------------------------------------------------
+    def _satcount(self, u: int) -> int:
+        n = self.n_vars
+        memo: dict[int, int] = {}
+
+        def effective_level(node: int) -> int:
+            level = self._level[node]
+            return n if level == TERMINAL_LEVEL else level
+
+        def rec(node: int) -> int:
+            # Number of satisfying assignments of variables at levels
+            # >= effective_level(node).
+            if node == 0:
+                return 0
+            if node == 1:
+                return 1
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            low, high = self._low[node], self._high[node]
+            count = rec(low) << (effective_level(low) - level - 1)
+            count += rec(high) << (effective_level(high) - level - 1)
+            memo[node] = count
+            return count
+
+        return rec(u) << effective_level(u)
+
+    def _iter_minterms(self, u: int) -> Iterator[int]:
+        n = self.n_vars
+
+        def rec(node: int, level: int, prefix: int) -> Iterator[int]:
+            if node == 0:
+                return
+            if level == n:
+                yield prefix
+                return
+            node_level = self._level[node]
+            if node_level > level:
+                # Free variable: expand both branches.
+                yield from rec(node, level + 1, prefix << 1)
+                yield from rec(node, level + 1, (prefix << 1) | 1)
+            else:
+                yield from rec(self._low[node], level + 1, prefix << 1)
+                yield from rec(self._high[node], level + 1, (prefix << 1) | 1)
+
+        return rec(u, 0, 0)
+
+    def _support(self, u: int) -> set[int]:
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return levels
+
+    def _eval(self, u: int, minterm_index: int) -> bool:
+        n = self.n_vars
+        node = u
+        while node > 1:
+            level = self._level[node]
+            bit = (minterm_index >> (n - 1 - level)) & 1
+            node = self._high[node] if bit else self._low[node]
+        return node == 1
+
+
+class Function:
+    """Handle to a BDD node, with Boolean operator overloading.
+
+    Handles compare equal iff they denote the same function (canonicity of
+    the ROBDD guarantees this is a structural identity check).  The set
+    view of a function — its on-set of minterms — supports ``&``, ``|``,
+    ``^``, ``~``, and ``-`` (set difference), plus ``<=`` for implication
+    (subset) tests.
+    """
+
+    __slots__ = ("mgr", "node")
+
+    def __init__(self, mgr: BDD, node: int) -> None:
+        self.mgr = mgr
+        self.node = node
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Function)
+            and other.mgr is self.mgr
+            and other.node == self.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.mgr), self.node))
+
+    def __repr__(self) -> str:
+        return f"<Function node={self.node} nodes={self.mgr.size(self)}>"
+
+    # -- constants ----------------------------------------------------------
+    @property
+    def is_false(self) -> bool:
+        """True iff this is the constant-0 function."""
+        return self.node == 0
+
+    @property
+    def is_true(self) -> bool:
+        """True iff this is the constant-1 function."""
+        return self.node == 1
+
+    # -- connectives --------------------------------------------------------
+    def _wrap(self, node: int) -> "Function":
+        return Function(self.mgr, node)
+
+    def _node_of(self, other: "Function | int | bool") -> int:
+        if isinstance(other, Function):
+            if other.mgr is not self.mgr:
+                raise ValueError("mixing functions from different managers")
+            return other.node
+        return 1 if other else 0
+
+    def __invert__(self) -> "Function":
+        return self._wrap(self.mgr._not(self.node))
+
+    def __and__(self, other: "Function | int | bool") -> "Function":
+        return self._wrap(self.mgr._and(self.node, self._node_of(other)))
+
+    __rand__ = __and__
+
+    def __or__(self, other: "Function | int | bool") -> "Function":
+        return self._wrap(self.mgr._or(self.node, self._node_of(other)))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "Function | int | bool") -> "Function":
+        return self._wrap(self.mgr._xor(self.node, self._node_of(other)))
+
+    __rxor__ = __xor__
+
+    def __sub__(self, other: "Function | int | bool") -> "Function":
+        """Set difference: ``f - g`` is ``f & ~g``."""
+        return self._wrap(
+            self.mgr._and(self.node, self.mgr._not(self._node_of(other)))
+        )
+
+    def implies(self, other: "Function") -> "Function":
+        """The function ``~self | other``."""
+        return ~self | other
+
+    def equiv(self, other: "Function") -> "Function":
+        """The function ``self XNOR other``."""
+        return ~(self ^ other)
+
+    def ite(self, when_true: "Function", when_false: "Function") -> "Function":
+        """If-then-else with ``self`` as the condition."""
+        return self._wrap(
+            self.mgr._ite(self.node, self._node_of(when_true), self._node_of(when_false))
+        )
+
+    # -- ordering as sets ----------------------------------------------------
+    def __le__(self, other: "Function") -> bool:
+        """Subset test: True iff ``self`` implies ``other`` everywhere."""
+        return (self - other).is_false
+
+    def __ge__(self, other: "Function") -> bool:
+        return (other - self).is_false
+
+    def __lt__(self, other: "Function") -> bool:
+        return self <= other and self != other
+
+    def __gt__(self, other: "Function") -> bool:
+        return self >= other and self != other
+
+    def disjoint(self, other: "Function") -> bool:
+        """True iff the two on-sets do not intersect."""
+        return (self & other).is_false
+
+    # -- structure -------------------------------------------------------------
+    def support(self) -> tuple[str, ...]:
+        """Names of the variables the function actually depends on."""
+        names = self.mgr.var_names
+        return tuple(names[level] for level in sorted(self.mgr._support(self.node)))
+
+    def size(self) -> int:
+        """Number of BDD nodes of this function."""
+        return self.mgr.size(self)
+
+    # -- evaluation / counting ---------------------------------------------------
+    def __call__(self, minterm_index: int) -> bool:
+        """Evaluate on a minterm index (variable 0 = most significant bit)."""
+        return self.mgr._eval(self.node, minterm_index)
+
+    def evaluate(self, assignment: dict[str, int | bool]) -> bool:
+        """Evaluate on a full variable assignment given by name."""
+        index = 0
+        for name in self.mgr.var_names:
+            index = (index << 1) | (1 if assignment[name] else 0)
+        return self(index)
+
+    def satcount(self) -> int:
+        """Number of on-set minterms over all declared variables."""
+        return self.mgr._satcount(self.node)
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate on-set minterm indices in increasing order."""
+        return self.mgr._iter_minterms(self.node)
+
+    # -- cofactors / quantifiers ----------------------------------------------
+    def cofactor(self, name: str, value: int | bool) -> "Function":
+        """Shannon cofactor with respect to one variable."""
+        return self._wrap(
+            self.mgr._cofactor(self.node, self.mgr.level_of(name), 1 if value else 0)
+        )
+
+    def restrict(self, assignment: dict[str, int | bool]) -> "Function":
+        """Simultaneous cofactor for several variables."""
+        levels = {
+            self.mgr.level_of(name): (1 if value else 0)
+            for name, value in assignment.items()
+        }
+        return self._wrap(self.mgr._restrict(self.node, levels))
+
+    def exists(self, names: Iterable[str]) -> "Function":
+        """Existential quantification over ``names``."""
+        levels = frozenset(self.mgr.level_of(name) for name in names)
+        return self._wrap(self.mgr._exists(self.node, levels))
+
+    def forall(self, names: Iterable[str]) -> "Function":
+        """Universal quantification over ``names``."""
+        return ~((~self).exists(names))
+
+    def compose(self, name: str, replacement: "Function") -> "Function":
+        """Substitute ``replacement`` for variable ``name``."""
+        return self._wrap(
+            self.mgr._compose(self.node, self.mgr.level_of(name), replacement.node)
+        )

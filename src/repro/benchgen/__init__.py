@@ -1,0 +1,32 @@
+"""Benchmark suite generators.
+
+The paper evaluates on PLA benchmarks from the MCNC/espresso collection
+(ref. [12]), which cannot be redistributed here.  This package provides
+substitutes with the exact input/output arity of the originals:
+
+* :mod:`~repro.benchgen.arithmetic` — real arithmetic functions for the
+  instances that *are* arithmetic circuits (adders, distance, clipping,
+  logarithm, polynomial, power laws, population count);
+* :mod:`~repro.benchgen.synthetic` — seeded random multi-output PLA
+  covers for the control-logic instances;
+* :mod:`~repro.benchgen.registry` — the name → generator map for every
+  row of the paper's Tables III and IV;
+* :mod:`~repro.benchgen.paper_data` — the numbers printed in the paper,
+  for side-by-side reporting.
+"""
+
+from repro.benchgen.registry import (
+    BENCHMARKS,
+    BenchmarkInstance,
+    BenchmarkSpec,
+    load_benchmark,
+    table_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkInstance",
+    "BenchmarkSpec",
+    "load_benchmark",
+    "table_benchmarks",
+]

@@ -1,0 +1,216 @@
+"""Arithmetic benchmark functions.
+
+Each generator returns a list of per-output integer functions
+``minterm_index -> bit`` plus input labels; the registry tabulates them
+into truth tables and converts to BDDs.  Variable 0 is the most
+significant bit of the minterm index, so input words are read from the
+index with plain shifts.
+
+The functions mirror what the MCNC originals compute (adders, clipping,
+distance, logarithms, ``5x+1``); where the original's exact specification
+is not public, a function of the same arithmetic family and identical
+arity is used (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+BitFunction = Callable[[int], int]
+
+
+def _slice_of(minterm: int, n_vars: int, start: int, width: int) -> int:
+    """Extract ``width`` input bits starting at variable ``start``.
+
+    Variable ``start`` becomes the most significant bit of the result.
+    """
+    shift = n_vars - start - width
+    return (minterm >> shift) & ((1 << width) - 1)
+
+
+def _output_bit(value: int, n_outputs: int, output: int) -> int:
+    """Bit ``output`` of ``value``; output 0 is the most significant."""
+    return (value >> (n_outputs - 1 - output)) & 1
+
+
+def _word_function(
+    n_vars: int,
+    n_outputs: int,
+    word: Callable[[int], int],
+) -> list[BitFunction]:
+    """Lift an integer word function to per-output bit functions."""
+
+    def make(output: int) -> BitFunction:
+        return lambda minterm: _output_bit(word(minterm), n_outputs, output)
+
+    return [make(output) for output in range(n_outputs)]
+
+
+# -- adders ------------------------------------------------------------------
+
+def adder(bits: int, carry_in: bool = False) -> tuple[list[BitFunction], int]:
+    """A ``bits+bits`` (+carry) adder; returns (outputs, n_inputs)."""
+    n_vars = 2 * bits + (1 if carry_in else 0)
+    n_outputs = bits + 1
+
+    def word(minterm: int) -> int:
+        a = _slice_of(minterm, n_vars, 0, bits)
+        b = _slice_of(minterm, n_vars, bits, bits)
+        carry = _slice_of(minterm, n_vars, 2 * bits, 1) if carry_in else 0
+        return a + b + carry
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def interleaved_adder(bits: int) -> tuple[list[BitFunction], int]:
+    """An adder with interleaved operand bits (a0 b0 a1 b1 ...).
+
+    Functionally an adder like :func:`adder`, but the different input
+    ordering gives the synthesis flow a structurally different instance
+    (used for ``radd`` vs ``adr4``).
+    """
+    n_vars = 2 * bits
+    n_outputs = bits + 1
+
+    def word(minterm: int) -> int:
+        a = 0
+        b = 0
+        for position in range(bits):
+            a = (a << 1) | ((minterm >> (n_vars - 1 - 2 * position)) & 1)
+            b = (b << 1) | ((minterm >> (n_vars - 2 - 2 * position)) & 1)
+        return a + b
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+# -- Table IV instances ------------------------------------------------------
+
+def dist() -> tuple[list[BitFunction], int]:
+    """``dist`` (8/5): Euclidean norm ``round(sqrt(a^2 + b^2))``."""
+    n_vars, n_outputs = 8, 5
+
+    def word(minterm: int) -> int:
+        a = _slice_of(minterm, n_vars, 0, 4)
+        b = _slice_of(minterm, n_vars, 4, 4)
+        return round(math.sqrt(a * a + b * b))
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def clip() -> tuple[list[BitFunction], int]:
+    """``clip`` (9/5): saturated scaled product ``min(31, (a*b) >> 3)``.
+
+    A bare clamp of a 9-bit word would be mostly wiring (trivial area);
+    the MCNC ``clip`` is a signal-processing block, so the substitute
+    computes a 5x4-bit product, scales it and saturates into 5 bits.
+    """
+    n_vars, n_outputs = 9, 5
+
+    def word(minterm: int) -> int:
+        a = _slice_of(minterm, n_vars, 0, 5)
+        b = _slice_of(minterm, n_vars, 5, 4)
+        return min(31, (a * b) >> 3)
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def max512() -> tuple[list[BitFunction], int]:
+    """``max512`` (9/6): the power law ``floor(x^(2/3))`` on [0, 511]."""
+    n_vars, n_outputs = 9, 6
+
+    def word(minterm: int) -> int:
+        x = _slice_of(minterm, n_vars, 0, 9)
+        return int(round(x ** (2.0 / 3.0) - 0.5)) if x else 0
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def max1024() -> tuple[list[BitFunction], int]:
+    """``max1024`` (10/6): the power law ``floor(x^0.6)`` on [0, 1023]."""
+    n_vars, n_outputs = 10, 6
+
+    def word(minterm: int) -> int:
+        x = _slice_of(minterm, n_vars, 0, 10)
+        return int(x ** 0.6) if x else 0
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def log8mod() -> tuple[list[BitFunction], int]:
+    """``log8mod`` (8/5): ``round(8 * log2(1 + x)) mod 32``."""
+    n_vars, n_outputs = 8, 5
+
+    def word(minterm: int) -> int:
+        x = _slice_of(minterm, n_vars, 0, 8)
+        return int(round(8.0 * math.log2(1.0 + x))) % 32
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def z5xp1() -> tuple[list[BitFunction], int]:
+    """``Z5xp1`` (7/10): the affine polynomial ``5x + 1``."""
+    n_vars, n_outputs = 7, 10
+
+    def word(minterm: int) -> int:
+        x = _slice_of(minterm, n_vars, 0, 7)
+        return 5 * x + 1
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+def z4() -> tuple[list[BitFunction], int]:
+    """``z4`` (7/4): 3-bit + 3-bit + carry-in adder."""
+    outputs, n_vars = adder(3, carry_in=True)
+    return outputs, n_vars
+
+
+def adr4() -> tuple[list[BitFunction], int]:
+    """``adr4`` (8/5): 4-bit + 4-bit adder."""
+    return adder(4)
+
+
+def radd() -> tuple[list[BitFunction], int]:
+    """``radd`` (8/5): 4-bit adder with interleaved operands."""
+    return interleaved_adder(4)
+
+
+def add6() -> tuple[list[BitFunction], int]:
+    """``add6`` (12/7): 6-bit + 6-bit adder."""
+    return adder(6)
+
+
+def ex7() -> tuple[list[BitFunction], int]:
+    """``ex7`` (16/5): count of leading zeros of a 16-bit word.
+
+    A population count would be the most natural 16→5 arithmetic
+    function, but its low-order output bit is the 16-variable parity,
+    whose two-level covers are exponential (32768 products) — far beyond
+    what any two-level flow, the paper's included, would run.  The
+    leading-zero counter is an equally standard datapath block with
+    compact prefix-structured covers.
+    """
+    n_vars, n_outputs = 16, 5
+
+    def word(minterm: int) -> int:
+        if minterm == 0:
+            return 16
+        return 16 - minterm.bit_length()
+
+    return _word_function(n_vars, n_outputs, word), n_vars
+
+
+#: All arithmetic generators by benchmark name.
+ARITHMETIC_GENERATORS: dict[str, Callable[[], tuple[list[BitFunction], int]]] = {
+    "dist": dist,
+    "max512": max512,
+    "ex7": ex7,
+    "z4": z4,
+    "clip": clip,
+    "max1024": max1024,
+    "adr4": adr4,
+    "radd": radd,
+    "add6": add6,
+    "log8mod": log8mod,
+    "Z5xp1": z5xp1,
+}

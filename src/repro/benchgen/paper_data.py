@@ -1,0 +1,72 @@
+"""The numbers printed in the paper's Tables III and IV.
+
+Used by the harness to report paper-vs-measured side by side and by
+EXPERIMENTS.md.  Column meanings (per the paper, Section IV-B):
+
+* ``time_s`` — seconds to construct g and h (authors' C/CUDD code);
+* ``area_f`` / ``area_g`` — SIS-mapped area (mcnc.genlib) of the 2-SPP
+  forms of f and g;
+* ``pct_errors`` — error rate of the approximation g;
+* ``pct_reduction`` — (area_f - area_g) / area_f, in percent;
+* ``area_and`` / ``gain_and`` — area of (g AND h) and its gain over f;
+* ``area_nimp`` / ``gain_nimp`` — same for the 6⇒ operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of paper Table III or IV."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    time_s: float
+    area_f: int
+    area_g: int
+    pct_errors: float
+    pct_reduction: float
+    area_and: int
+    gain_and: float
+    area_nimp: int
+    gain_nimp: float
+    table: str
+
+
+TABLE_III_ROWS: tuple[PaperRow, ...] = (
+    PaperRow("bcb", 26, 39, 1.20, 4662, 4154, 0.10, 10.90, 4855, -4.14, 4800, -2.96, "III"),
+    PaperRow("br1", 12, 8, 0.04, 384, 356, 0.35, 7.29, 370, 3.65, 370, 3.65, "III"),
+    PaperRow("br2", 12, 8, 0.04, 275, 250, 0.38, 9.09, 263, 4.36, 263, 4.36, "III"),
+    PaperRow("mp2d", 14, 14, 0.09, 204, 65, 3.73, 68.14, 210, -2.94, 210, -2.94, "III"),
+    PaperRow("alcom", 15, 38, 0.19, 210, 140, 4.93, 33.33, 210, 0.00, 210, 0.00, "III"),
+    PaperRow("spla", 16, 46, 0.39, 1792, 1394, 5.01, 22.21, 1919, -7.09, 1931, -7.76, "III"),
+    PaperRow("al2", 16, 47, 0.59, 328, 226, 5.03, 31.10, 340, -3.66, 342, -4.27, "III"),
+    PaperRow("ex5", 8, 63, 0.12, 935, 206, 5.52, 77.97, 925, 1.07, 907, 2.99, "III"),
+    PaperRow("newtpla2", 10, 4, 0.01, 56, 19, 5.62, 66.07, 55, 1.79, 55, 1.79, "III"),
+    PaperRow("ts10", 22, 16, 0.67, 901, 609, 5.76, 32.41, 1153, -27.97, 1173, -30.19, "III"),
+    PaperRow("chkn", 29, 7, 0.25, 744, 370, 5.78, 50.27, 995, -33.74, 971, -30.51, "III"),
+    PaperRow("opa", 17, 69, 0.49, 1566, 1482, 8.09, 5.36, 1578, -0.77, 1578, -0.77, "III"),
+    PaperRow("b7", 8, 31, 0.10, 198, 146, 8.52, 26.26, 197, 0.51, 194, 2.02, "III"),
+    PaperRow("risc", 8, 31, 0.08, 204, 150, 8.62, 26.47, 203, 0.49, 200, 1.96, "III"),
+)
+
+TABLE_IV_ROWS: tuple[PaperRow, ...] = (
+    PaperRow("dist", 8, 5, 0.03, 669, 77, 40.62, 88.49, 736, -10.01, 718, -7.32, "IV"),
+    PaperRow("max512", 9, 6, 0.01, 817, 3, 43.23, 99.63, 769, 5.88, 745, 8.81, "IV"),
+    PaperRow("ex7", 16, 5, 0.05, 192, 32, 43.51, 83.33, 338, -76.04, 386, -101.04, "IV"),
+    PaperRow("z4", 7, 4, 0.01, 140, 3, 43.75, 97.86, 135, 3.57, 136, 2.86, "IV"),
+    PaperRow("clip", 9, 5, 0.03, 430, 24, 44.65, 94.42, 142, 66.98, 47, 89.07, "IV"),
+    PaperRow("max1024", 10, 6, 0.03, 1362, 48, 44.79, 96.48, 946, 30.54, 838, 38.47, "IV"),
+    PaperRow("adr4", 8, 5, 0.02, 180, 27, 45.00, 85.00, 223, -23.89, 215, -19.44, "IV"),
+    PaperRow("radd", 8, 5, 0.00, 119, 3, 45.62, 97.48, 144, -21.01, 141, -18.49, "IV"),
+    PaperRow("add6", 12, 7, 0.05, 292, 3, 46.54, 98.97, 402, -37.67, 401, -37.33, "IV"),
+    PaperRow("log8mod", 8, 5, 0.01, 237, 11, 47.50, 95.36, 219, 7.59, 221, 6.75, "IV"),
+    PaperRow("Z5xp1", 7, 10, 0.01, 273, 10, 48.91, 96.34, 271, 0.73, 265, 2.93, "IV"),
+)
+
+PAPER_ROWS: dict[str, PaperRow] = {
+    row.name: row for row in TABLE_III_ROWS + TABLE_IV_ROWS
+}

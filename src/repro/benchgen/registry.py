@@ -1,0 +1,103 @@
+"""Benchmark registry: name → loadable instance for every table row."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import BDD
+from repro.benchgen.arithmetic import ARITHMETIC_GENERATORS
+from repro.benchgen.paper_data import PAPER_ROWS, PaperRow
+from repro.benchgen.synthetic import SYNTHETIC_SPECS, generate_pla
+from repro.boolfunc.isf import ISF
+from repro.boolfunc.truthtable import TruthTable
+from repro.boolfunc.convert import truthtable_to_function
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of one benchmark."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    kind: str  # "arithmetic" | "synthetic"
+    table: str  # "III" | "IV"
+
+
+@dataclass
+class BenchmarkInstance:
+    """A loaded benchmark: one BDD manager and one ISF per output."""
+
+    spec: BenchmarkSpec
+    mgr: BDD
+    outputs: list[ISF] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Benchmark name."""
+        return self.spec.name
+
+    def paper_row(self) -> PaperRow | None:
+        """The paper's printed row for this benchmark, if any."""
+        return PAPER_ROWS.get(self.spec.name)
+
+
+def _build_specs() -> dict[str, BenchmarkSpec]:
+    specs: dict[str, BenchmarkSpec] = {}
+    for name, row in PAPER_ROWS.items():
+        kind = "arithmetic" if name in ARITHMETIC_GENERATORS else "synthetic"
+        specs[name] = BenchmarkSpec(
+            name, row.n_inputs, row.n_outputs, kind, row.table
+        )
+    return specs
+
+
+#: All benchmarks of the paper's Tables III and IV.
+BENCHMARKS: dict[str, BenchmarkSpec] = _build_specs()
+
+
+def table_benchmarks(table: str) -> list[BenchmarkSpec]:
+    """Specs of the benchmarks in one paper table ("III" or "IV")."""
+    return [spec for spec in BENCHMARKS.values() if spec.table == table]
+
+
+def _load_arithmetic(spec: BenchmarkSpec) -> BenchmarkInstance:
+    bit_functions, n_vars = ARITHMETIC_GENERATORS[spec.name]()
+    if n_vars != spec.n_inputs:
+        raise AssertionError(
+            f"{spec.name}: generator arity {n_vars} != spec {spec.n_inputs}"
+        )
+    if len(bit_functions) != spec.n_outputs:
+        raise AssertionError(
+            f"{spec.name}: generator outputs {len(bit_functions)} != spec"
+            f" {spec.n_outputs}"
+        )
+    mgr = BDD([f"x{i + 1}" for i in range(n_vars)])
+    outputs = []
+    for bit_function in bit_functions:
+        bits = 0
+        for minterm in range(1 << n_vars):
+            if bit_function(minterm):
+                bits |= 1 << minterm
+        table = TruthTable(n_vars, bits)
+        outputs.append(ISF.completely_specified(truthtable_to_function(mgr, table)))
+    return BenchmarkInstance(spec, mgr, outputs)
+
+
+def _load_synthetic(spec: BenchmarkSpec) -> BenchmarkInstance:
+    pla = generate_pla(SYNTHETIC_SPECS[spec.name])
+    mgr = pla.make_manager()
+    outputs = [
+        pla.output_isf(mgr, output) for output in range(pla.n_outputs)
+    ]
+    return BenchmarkInstance(spec, mgr, outputs)
+
+
+def load_benchmark(name: str) -> BenchmarkInstance:
+    """Load a benchmark by its paper-table name."""
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}")
+    if spec.kind == "arithmetic":
+        return _load_arithmetic(spec)
+    return _load_synthetic(spec)

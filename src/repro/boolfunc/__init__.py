@@ -1,0 +1,18 @@
+"""Boolean function representations.
+
+Two complementary backends:
+
+* :class:`~repro.boolfunc.truthtable.TruthTable` — dense bit-packed truth
+  tables (a Python integer with one bit per minterm).  Exact, simple and
+  fast for small variable counts; used as the brute-force oracle in tests
+  and for Karnaugh-map rendering.
+* :class:`~repro.boolfunc.isf.ISF` — incompletely specified functions as
+  (on-set, dc-set) BDD pairs, the representation the paper's flow uses
+  for ``f`` and the full quotient ``h``.
+"""
+
+from repro.boolfunc.convert import function_to_truthtable, truthtable_to_function
+from repro.boolfunc.isf import ISF
+from repro.boolfunc.truthtable import TruthTable
+
+__all__ = ["ISF", "TruthTable", "function_to_truthtable", "truthtable_to_function"]

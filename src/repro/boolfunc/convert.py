@@ -1,0 +1,81 @@
+"""Conversions between truth tables and BDD functions."""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDD, Function
+from repro.boolfunc.truthtable import TruthTable
+
+#: Safety bound: dense conversion above this arity would allocate 2^24 bits.
+MAX_DENSE_VARS = 24
+
+
+def truthtable_to_function(mgr: BDD, table: TruthTable) -> Function:
+    """Build the BDD of a dense truth table.
+
+    The manager must declare exactly ``table.n_vars`` variables; variable 0
+    (top of the order) is the most significant bit of the minterm index,
+    matching the truth-table convention.
+    """
+    if mgr.n_vars != table.n_vars:
+        raise ValueError(
+            f"manager has {mgr.n_vars} variables, table has {table.n_vars}"
+        )
+
+    cache: dict[tuple[int, int], int] = {}
+
+    def rec(level: int, bits: int) -> int:
+        # ``bits`` is the truth table of the subfunction on variables
+        # [level, n): 2^(n - level) entries.
+        width = 1 << (table.n_vars - level)
+        if bits == 0:
+            return 0
+        if bits == (1 << width) - 1:
+            return 1
+        key = (level, bits)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        half = width >> 1
+        # Minterm index bit for variable ``level`` is at position
+        # (n - 1 - level); within this sub-block it is the top bit, so the
+        # low half of the bit range is variable=0.
+        low_bits = bits & ((1 << half) - 1)
+        high_bits = bits >> half
+        node = mgr._mk(level, rec(level + 1, low_bits), rec(level + 1, high_bits))
+        cache[key] = node
+        return node
+
+    return Function(mgr, rec(0, table.bits))
+
+
+def function_to_truthtable(function: Function) -> TruthTable:
+    """Tabulate a BDD function densely (bounded by ``MAX_DENSE_VARS``)."""
+    mgr = function.mgr
+    if mgr.n_vars > MAX_DENSE_VARS:
+        raise ValueError(
+            f"refusing dense conversion for {mgr.n_vars} > {MAX_DENSE_VARS} variables"
+        )
+
+    cache: dict[tuple[int, int], int] = {}
+
+    def rec(level: int, node: int) -> int:
+        width = 1 << (mgr.n_vars - level)
+        if node == 0:
+            return 0
+        if node == 1:
+            return (1 << width) - 1
+        key = (level, node)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        half = width >> 1
+        if mgr._level[node] == level:
+            low_bits = rec(level + 1, mgr._low[node])
+            high_bits = rec(level + 1, mgr._high[node])
+        else:
+            low_bits = high_bits = rec(level + 1, node)
+        bits = (high_bits << half) | low_bits
+        cache[key] = bits
+        return bits
+
+    return TruthTable(mgr.n_vars, rec(0, function.node))

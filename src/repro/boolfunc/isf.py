@@ -1,0 +1,163 @@
+"""Incompletely specified functions (ISFs) as BDD pairs.
+
+An ISF ``f: {0,1}^n -> {0, 1, -}`` is represented by two disjoint BDDs:
+the on-set and the dc-set; the off-set is their complement.  This is the
+object the paper manipulates: the dividend ``f`` and the full quotient
+``h`` are ISFs, while the divisor ``g`` is completely specified (a plain
+:class:`~repro.bdd.manager.Function`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from random import Random
+
+from repro.bdd.manager import BDD, Function
+
+
+class ISF:
+    """An incompletely specified function: disjoint (on, dc) BDD pair."""
+
+    __slots__ = ("on", "dc")
+
+    def __init__(self, on: Function, dc: Function) -> None:
+        if on.mgr is not dc.mgr:
+            raise ValueError("on-set and dc-set use different managers")
+        if not (on & dc).is_false:
+            raise ValueError("on-set and dc-set must be disjoint")
+        self.on = on
+        self.dc = dc
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def completely_specified(cls, on: Function) -> "ISF":
+        """Wrap a completely specified function (empty dc-set)."""
+        return cls(on, on.mgr.false)
+
+    @classmethod
+    def from_sets(cls, mgr: BDD, on_minterms, dc_minterms) -> "ISF":
+        """Build from explicit minterm iterables (small n; tests/figures)."""
+        on = mgr.false
+        for minterm in on_minterms:
+            on = on | mgr.minterm(minterm)
+        dc = mgr.false
+        for minterm in dc_minterms:
+            dc = dc | mgr.minterm(minterm)
+        return cls(on, dc)
+
+    @classmethod
+    def random(
+        cls,
+        mgr: BDD,
+        rng: Random,
+        on_density: float = 0.4,
+        dc_density: float = 0.2,
+    ) -> "ISF":
+        """Random ISF for property-based testing (requires small n)."""
+        on = mgr.false
+        dc = mgr.false
+        for minterm in range(1 << mgr.n_vars):
+            draw = rng.random()
+            if draw < on_density:
+                on = on | mgr.minterm(minterm)
+            elif draw < on_density + dc_density:
+                dc = dc | mgr.minterm(minterm)
+        return cls(on, dc)
+
+    # -- derived sets -------------------------------------------------------
+    @property
+    def mgr(self) -> BDD:
+        """The owning BDD manager."""
+        return self.on.mgr
+
+    @property
+    def off(self) -> Function:
+        """The off-set (complement of on ∪ dc)."""
+        return ~(self.on | self.dc)
+
+    @property
+    def care(self) -> Function:
+        """The care set (on ∪ off = complement of dc)."""
+        return ~self.dc
+
+    @property
+    def upper(self) -> Function:
+        """Largest completion: on ∪ dc."""
+        return self.on | self.dc
+
+    @property
+    def is_completely_specified(self) -> bool:
+        """True iff the dc-set is empty."""
+        return self.dc.is_false
+
+    @property
+    def n_vars(self) -> int:
+        """Number of variables of the underlying space."""
+        return self.mgr.n_vars
+
+    # -- queries --------------------------------------------------------------
+    def __call__(self, minterm: int) -> int | None:
+        """Value on a minterm: 1, 0, or ``None`` for don't-care."""
+        if self.on(minterm):
+            return 1
+        if self.dc(minterm):
+            return None
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ISF)
+            and other.on == self.on
+            and other.dc == self.dc
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.on, self.dc))
+
+    def __repr__(self) -> str:
+        return (
+            f"ISF(on={self.on.satcount()}, dc={self.dc.satcount()},"
+            f" off={self.off.satcount()} minterms)"
+        )
+
+    def is_completion(self, candidate: Function) -> bool:
+        """True iff ``candidate`` agrees with this ISF on its care set."""
+        return self.on <= candidate and candidate <= self.upper
+
+    def accepts(self, other: "ISF") -> bool:
+        """True iff every completion of ``other`` is a completion of ``self``.
+
+        Equivalent to: ``other`` refines ``self`` — its on-set covers our
+        on-set requirement and stays within our upper bound, and its
+        flexibility is contained in ours.
+        """
+        return self.on <= other.on and other.upper <= self.upper
+
+    # -- transformations --------------------------------------------------------
+    def __invert__(self) -> "ISF":
+        """Complement: swaps on and off, keeps the dc-set."""
+        return ISF(self.off, self.dc)
+
+    def restrict_flexibility(self, keep_dc: Function) -> "ISF":
+        """Shrink the dc-set to ``dc & keep_dc`` (minterms leaving the
+        dc-set become off-set, i.e. the function stays an extension)."""
+        return ISF(self.on, self.dc & keep_dc)
+
+    def cofactor(self, name: str, value: int | bool) -> "ISF":
+        """Shannon cofactor of both sets."""
+        return ISF(self.on.cofactor(name, value), self.dc.cofactor(name, value))
+
+    # -- counting ------------------------------------------------------------------
+    def counts(self) -> tuple[int, int, int]:
+        """Return ``(|on|, |dc|, |off|)`` minterm counts."""
+        on = self.on.satcount()
+        dc = self.dc.satcount()
+        return on, dc, (1 << self.n_vars) - on - dc
+
+    def on_minterms(self) -> Iterator[int]:
+        """Iterate the on-set minterm indices."""
+        return self.on.minterms()
+
+    def dc_minterms(self) -> Iterator[int]:
+        """Iterate the dc-set minterm indices."""
+        return self.dc.minterms()

@@ -1,0 +1,180 @@
+"""Dense truth tables as arbitrary-precision bitmasks.
+
+A :class:`TruthTable` over ``n`` variables stores one bit per minterm in a
+single Python integer (bit ``i`` = value on minterm ``i``).  Bitwise
+operators on Python integers are implemented in C, so this backend is both
+exact and quick for the ``n <= ~20`` range where dense representations are
+feasible.  Variable 0 is the most significant bit of the minterm index
+(library-wide convention).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from random import Random
+
+from repro.utils.bitops import mask_for, minterm_to_assignment
+
+
+class TruthTable:
+    """Completely specified Boolean function as a packed truth table."""
+
+    __slots__ = ("n_vars", "bits")
+
+    def __init__(self, n_vars: int, bits: int) -> None:
+        if n_vars < 0:
+            raise ValueError("n_vars must be non-negative")
+        self.n_vars = n_vars
+        self.bits = bits & mask_for(n_vars)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def zeros(cls, n_vars: int) -> "TruthTable":
+        """The constant-0 function."""
+        return cls(n_vars, 0)
+
+    @classmethod
+    def ones(cls, n_vars: int) -> "TruthTable":
+        """The constant-1 function."""
+        return cls(n_vars, mask_for(n_vars))
+
+    @classmethod
+    def variable(cls, n_vars: int, index: int) -> "TruthTable":
+        """Projection function of variable ``index`` (0 = most significant)."""
+        if not 0 <= index < n_vars:
+            raise ValueError(f"variable index {index} out of range")
+        bits = 0
+        shift = n_vars - 1 - index
+        for minterm in range(1 << n_vars):
+            if (minterm >> shift) & 1:
+                bits |= 1 << minterm
+        return cls(n_vars, bits)
+
+    @classmethod
+    def from_function(cls, n_vars: int, fn: Callable[..., int | bool]) -> "TruthTable":
+        """Tabulate ``fn(x0, x1, ..)`` over all assignments."""
+        bits = 0
+        for minterm in range(1 << n_vars):
+            if fn(*minterm_to_assignment(minterm, n_vars)):
+                bits |= 1 << minterm
+        return cls(n_vars, bits)
+
+    @classmethod
+    def from_minterms(cls, n_vars: int, minterms: Iterator[int] | list[int]) -> "TruthTable":
+        """Build from an iterable of on-set minterm indices."""
+        bits = 0
+        for minterm in minterms:
+            bits |= 1 << minterm
+        return cls(n_vars, bits)
+
+    @classmethod
+    def random(cls, n_vars: int, rng: Random, density: float = 0.5) -> "TruthTable":
+        """A random function where each minterm is on with probability ``density``."""
+        bits = 0
+        for minterm in range(1 << n_vars):
+            if rng.random() < density:
+                bits |= 1 << minterm
+        return cls(n_vars, bits)
+
+    # -- queries -----------------------------------------------------------
+    def __call__(self, minterm: int) -> bool:
+        return bool((self.bits >> minterm) & 1)
+
+    def __len__(self) -> int:
+        return 1 << self.n_vars
+
+    def count(self) -> int:
+        """Number of on-set minterms."""
+        return self.bits.bit_count()
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate on-set minterm indices in increasing order."""
+        bits = self.bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    @property
+    def is_false(self) -> bool:
+        """True iff the function is constantly 0."""
+        return self.bits == 0
+
+    @property
+    def is_true(self) -> bool:
+        """True iff the function is constantly 1."""
+        return self.bits == mask_for(self.n_vars)
+
+    # -- operators -----------------------------------------------------------
+    def _check(self, other: "TruthTable") -> None:
+        if not isinstance(other, TruthTable):
+            raise TypeError(f"expected TruthTable, got {type(other).__name__}")
+        if other.n_vars != self.n_vars:
+            raise ValueError("mixing truth tables of different arity")
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n_vars, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n_vars, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n_vars, self.bits ^ other.bits)
+
+    def __sub__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n_vars, self.bits & ~other.bits)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n_vars, ~self.bits)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TruthTable)
+            and other.n_vars == self.n_vars
+            and other.bits == self.bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_vars, self.bits))
+
+    def __le__(self, other: "TruthTable") -> bool:
+        """Subset (implication) test."""
+        self._check(other)
+        return self.bits & ~other.bits == 0
+
+    def __ge__(self, other: "TruthTable") -> bool:
+        self._check(other)
+        return other.bits & ~self.bits == 0
+
+    def disjoint(self, other: "TruthTable") -> bool:
+        """True iff the on-sets do not intersect."""
+        self._check(other)
+        return self.bits & other.bits == 0
+
+    def __repr__(self) -> str:
+        if self.n_vars <= 5:
+            rows = format(self.bits, f"0{1 << self.n_vars}b")
+            return f"TruthTable({self.n_vars}, 0b{rows})"
+        return f"TruthTable({self.n_vars}, count={self.count()})"
+
+    # -- misc -------------------------------------------------------------------
+    def cofactor(self, index: int, value: int | bool) -> "TruthTable":
+        """Shannon cofactor w.r.t. variable ``index`` (result keeps arity)."""
+        var = TruthTable.variable(self.n_vars, index)
+        keep = var if value else ~var
+        shift = 1 << (self.n_vars - 1 - index)
+        selected = self.bits & keep.bits
+        if value:
+            other_half = selected >> shift
+        else:
+            other_half = (selected << shift) & mask_for(self.n_vars)
+        return TruthTable(self.n_vars, selected | other_half)
+
+    def error_count(self, other: "TruthTable") -> int:
+        """Number of minterms where the two functions differ."""
+        self._check(other)
+        return (self.bits ^ other.bits).bit_count()

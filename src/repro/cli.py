@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli table2
+    python -m repro.cli table3 [--names br1 br2] [--no-paper]
+    python -m repro.cli table4 [--names z4]
+    python -m repro.cli fig1
+    python -m repro.cli fig2
+    python -m repro.cli bench <name> [...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.harness.tables import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    from repro.harness.tables import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _run_table(table: str, args: argparse.Namespace) -> int:
+    from repro.harness.experiment import run_table
+    from repro.harness.report import comparison_lines, shape_summary
+    from repro.harness.tables import render_table_results
+
+    names = args.names or None
+    results = run_table(table, names=names)
+    print(render_table_results(results, table, with_paper=not args.no_paper))
+    print()
+    for line in comparison_lines(results):
+        print(line)
+    print()
+    print("shape summary:", shape_summary(results))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    return _run_table("III", args)
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    return _run_table("IV", args)
+
+
+def _cmd_fig1(_args: argparse.Namespace) -> int:
+    from repro.harness.figures import render_figure1
+
+    print(render_figure1().rendering)
+    return 0
+
+
+def _cmd_fig2(_args: argparse.Namespace) -> int:
+    from repro.harness.figures import render_figure2
+
+    print(render_figure2().rendering)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import run_benchmark
+    from repro.harness.tables import render_table_results
+
+    results = [run_benchmark(name) for name in args.names]
+    table = "III/IV"
+    print(render_table_results(results, table, with_paper=not args.no_paper))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bidec",
+        description=(
+            "Reproduce tables/figures of 'Computing the full quotient in"
+            " bi-decomposition by approximation' (DATE 2020)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="operator table").set_defaults(
+        handler=_cmd_table1
+    )
+    subparsers.add_parser("table2", help="full-quotient formulas").set_defaults(
+        handler=_cmd_table2
+    )
+    for name, handler in (("table3", _cmd_table3), ("table4", _cmd_table4)):
+        sub = subparsers.add_parser(name, help=f"run paper {name}")
+        sub.add_argument("--names", nargs="*", help="subset of benchmarks")
+        sub.add_argument(
+            "--no-paper", action="store_true", help="omit the paper's rows"
+        )
+        sub.set_defaults(handler=handler)
+    subparsers.add_parser("fig1", help="regenerate Figure 1").set_defaults(
+        handler=_cmd_fig1
+    )
+    subparsers.add_parser("fig2", help="regenerate Figure 2").set_defaults(
+        handler=_cmd_fig2
+    )
+    bench = subparsers.add_parser("bench", help="run named benchmarks")
+    bench.add_argument("names", nargs="+")
+    bench.add_argument("--no-paper", action="store_true")
+    bench.set_defaults(handler=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: full-quotient bi-decomposition by approximation.
+
+* :mod:`~repro.core.operators` — the ten non-degenerate two-input Boolean
+  operators (Table I) with their quotient-flexibility formulas (Table II);
+* :mod:`~repro.core.quotient` — divisor validation and full-quotient
+  computation;
+* :mod:`~repro.core.flexibility` — an independent *semantic* derivation
+  of the full quotient (used to verify Lemmas 1–5 and Corollaries 1–4);
+* :mod:`~repro.core.bidecomposition` — the end-to-end driver that picks a
+  divisor by approximation, computes the quotient, minimizes both in
+  2-SPP (or SOP) form and verifies ``f = g op h``.
+"""
+
+from repro.core.bidecomposition import BiDecomposition, apply_operator, bidecompose
+from repro.core.flexibility import (
+    is_full_quotient,
+    is_valid_quotient,
+    semantic_full_quotient,
+)
+from repro.core.operators import (
+    OPERATORS,
+    ApproximationKind,
+    BinaryOperator,
+    operator_by_name,
+)
+from repro.core.quotient import (
+    InvalidDivisorError,
+    divisor_error_set,
+    full_quotient,
+    validate_divisor,
+)
+
+__all__ = [
+    "OPERATORS",
+    "ApproximationKind",
+    "BiDecomposition",
+    "BinaryOperator",
+    "InvalidDivisorError",
+    "apply_operator",
+    "bidecompose",
+    "divisor_error_set",
+    "full_quotient",
+    "is_full_quotient",
+    "is_valid_quotient",
+    "operator_by_name",
+    "semantic_full_quotient",
+    "validate_divisor",
+]

@@ -1,0 +1,86 @@
+"""Semantic derivation of the full quotient, independent of Table II.
+
+For every care minterm ``w`` of ``f`` the set of *allowed* quotient
+values is ``{b : op(g(w), b) = f(w)}``.  The full quotient is forced
+where exactly one value is allowed and free where both are; a divisor is
+invalid exactly where no value is allowed.  This module computes that
+characterization directly with BDD operations and is used by the test
+suite to verify the paper's Table II formulas (Lemmas 1–5) and the
+maximality statements (Corollaries 1–4).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import Function
+from repro.boolfunc.isf import ISF
+from repro.core.operators import BinaryOperator, operator_by_name
+from repro.core.quotient import InvalidDivisorError
+
+
+def _op_with_fixed_h(g: Function, op: BinaryOperator, h_value: bool) -> Function:
+    """The completely specified function ``w -> op(g(w), h_value)``."""
+    out_g0 = op.truth(False, h_value)
+    out_g1 = op.truth(True, h_value)
+    if out_g0 and out_g1:
+        return g.mgr.true
+    if out_g1:
+        return g
+    if out_g0:
+        return ~g
+    return g.mgr.false
+
+
+def semantic_full_quotient(f: ISF, g: Function, op: BinaryOperator | str) -> ISF:
+    """Compute the full quotient from first principles (no Table II).
+
+    Raises :class:`InvalidDivisorError` if some care minterm admits no
+    quotient value — which happens exactly when ``g`` is not an
+    approximation of the kind Table II requires.
+    """
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    mgr = f.mgr
+    # matches_b = {w : op(g(w), b) == f(w)} over the care set.
+    result_h1 = _op_with_fixed_h(g, op, True)
+    result_h0 = _op_with_fixed_h(g, op, False)
+    agrees_h1 = (result_h1 & f.on) | (~result_h1 & f.off)
+    agrees_h0 = (result_h0 & f.on) | (~result_h0 & f.off)
+
+    impossible = f.care & ~agrees_h1 & ~agrees_h0
+    if not impossible.is_false:
+        raise InvalidDivisorError(
+            f"no quotient value exists on {impossible.satcount()} care"
+            f" minterm(s); g is not a valid {op.approximation.value}"
+        )
+    on = agrees_h1 & ~agrees_h0
+    dc = f.dc | (agrees_h1 & agrees_h0 & f.care)
+    return ISF(on & ~dc, dc)
+
+
+def is_valid_quotient(
+    f: ISF, g: Function, op: BinaryOperator | str, candidate: ISF
+) -> bool:
+    """True iff *every* completion of ``candidate`` satisfies
+    ``f = g op candidate`` on the care set of ``f``."""
+    try:
+        full = semantic_full_quotient(f, g, op)
+    except InvalidDivisorError:
+        return False
+    # Forced-1 minterms must be on; forced-0 minterms must be off.
+    return full.on <= candidate.on and full.off <= candidate.off
+
+
+def is_full_quotient(
+    f: ISF, g: Function, op: BinaryOperator | str, candidate: ISF
+) -> bool:
+    """True iff ``candidate`` is *the* maximum-flexibility quotient.
+
+    Checks both validity and maximality: smallest on-set and largest
+    dc-set among valid quotients (Corollaries 1–4 phrase this as "the
+    quotient with the smallest on-set and the biggest dc-set").
+    """
+    try:
+        full = semantic_full_quotient(f, g, op)
+    except InvalidDivisorError:
+        return False
+    return candidate == full

@@ -1,0 +1,262 @@
+"""The ten binary operations depending on both inputs (paper Table I)
+and their full-quotient formulas (paper Table II).
+
+Each operator records:
+
+* its truth function on ``(g, h)`` bits;
+* the bi-decomposed (De Morgan) form string from Table I;
+* the kind of approximation the divisor ``g`` must be (Definitions 1–3);
+* the Table II formulas for the quotient's on-set and dc-set as BDD
+  expressions over ``f`` (an ISF) and ``g`` (completely specified), plus
+  the paper's printed ``h_off`` expression for cross-checking.
+
+The three operator families of Section III map to the three
+approximation groups: AND-like operators need a 0→1 approximation of
+``f`` (or a 1→0 approximation of its complement), OR-like the converse,
+and the XOR pair accepts any 0↔1 approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.bdd.manager import Function
+from repro.boolfunc.isf import ISF
+
+
+class ApproximationKind(Enum):
+    """What the divisor must be, per Table II (dc minterms unrestricted)."""
+
+    #: 0→1 approximation of f: ``f_on ⊆ g_on``.
+    OVER_F = "0->1 approximation of f"
+    #: 1→0 approximation of f: ``g_on ∩ f_off = ∅``.
+    UNDER_F = "1->0 approximation of f"
+    #: 0→1 approximation of f̄: ``f_off ⊆ g_on``.
+    OVER_COMPLEMENT = "0->1 approximation of ~f"
+    #: 1→0 approximation of f̄: ``g_on ∩ f_on = ∅``.
+    UNDER_COMPLEMENT = "1->0 approximation of ~f"
+    #: 0↔1 approximation: any completely specified g.
+    ANY = "0<->1 approximation of f"
+
+
+@dataclass(frozen=True)
+class BinaryOperator:
+    """One of the ten non-degenerate two-input Boolean operators."""
+
+    name: str
+    symbol: str
+    form: str
+    truth: Callable[[bool, bool], bool]
+    approximation: ApproximationKind
+    #: Table II h_on expression (before removing overlap with h_dc).
+    quotient_on: Callable[[ISF, Function], Function]
+    #: Table II h_dc expression.
+    quotient_dc: Callable[[ISF, Function], Function]
+    #: Table II h_off expression, as printed (used only for cross-checks).
+    quotient_off_printed: Callable[[ISF, Function], Function]
+    #: Which of the quotient's sets equals the approximation error set
+    #: ("on", "off", or "" when neither — never the case in Table II).
+    error_in: str
+
+    def __call__(self, g_bit: bool | int, h_bit: bool | int) -> bool:
+        """Apply the operator to two bits."""
+        return self.truth(bool(g_bit), bool(h_bit))
+
+    def truth_row(self) -> tuple[bool, bool, bool, bool]:
+        """Outputs on (g,h) = (0,0), (0,1), (1,0), (1,1)."""
+        return (
+            self.truth(False, False),
+            self.truth(False, True),
+            self.truth(True, False),
+            self.truth(True, True),
+        )
+
+    def __repr__(self) -> str:
+        return f"BinaryOperator({self.name})"
+
+
+def _operators() -> dict[str, BinaryOperator]:
+    registry: dict[str, BinaryOperator] = {}
+
+    def add(
+        name: str,
+        symbol: str,
+        form: str,
+        truth: Callable[[bool, bool], bool],
+        approximation: ApproximationKind,
+        quotient_on: Callable[[ISF, Function], Function],
+        quotient_dc: Callable[[ISF, Function], Function],
+        quotient_off_printed: Callable[[ISF, Function], Function],
+        error_in: str,
+    ) -> None:
+        registry[name] = BinaryOperator(
+            name,
+            symbol,
+            form,
+            truth,
+            approximation,
+            quotient_on,
+            quotient_dc,
+            quotient_off_printed,
+            error_in,
+        )
+
+    # --- AND-like family (Section III-A) -------------------------------
+    add(
+        "AND",
+        "·",
+        "f = g · h",
+        lambda a, b: a and b,
+        ApproximationKind.OVER_F,
+        lambda f, g: f.on,
+        lambda f, g: ~g | f.dc,
+        lambda f, g: g - f.on,
+        "off",
+    )
+    add(
+        "NOT_IMPLIED_BY",  # 6⇐ : f = ḡ · h
+        "⇍",
+        "f = ~g · h",
+        lambda a, b: (not a) and b,
+        ApproximationKind.UNDER_COMPLEMENT,
+        lambda f, g: f.on,
+        lambda f, g: g | f.dc,
+        lambda f, g: (~g) - f.on,
+        "off",
+    )
+    add(
+        "NOT_IMPLIES",  # 6⇒ : f = g · h̄
+        "⇏",
+        "f = g · ~h",
+        lambda a, b: a and (not b),
+        ApproximationKind.OVER_F,
+        lambda f, g: f.off - (~g),
+        lambda f, g: ~g | f.dc,
+        lambda f, g: f.on,
+        "on",
+    )
+    add(
+        "NOR",
+        "↓",
+        "f = ~g · ~h",
+        lambda a, b: not (a or b),
+        ApproximationKind.UNDER_COMPLEMENT,
+        lambda f, g: f.off - g,
+        lambda f, g: g | f.dc,
+        lambda f, g: f.on,
+        "on",
+    )
+
+    # --- OR-like family (Section III-B) ----------------------------------
+    add(
+        "OR",
+        "+",
+        "f = g + h",
+        lambda a, b: a or b,
+        ApproximationKind.UNDER_F,
+        lambda f, g: f.on - g,
+        lambda f, g: g | f.dc,
+        lambda f, g: f.off,
+        "on",
+    )
+    add(
+        "IMPLIES",  # ⇒ : f = ḡ + h
+        "⇒",
+        "f = ~g + h",
+        lambda a, b: (not a) or b,
+        ApproximationKind.OVER_COMPLEMENT,
+        lambda f, g: f.on - (~g),
+        lambda f, g: ~g | f.dc,
+        lambda f, g: f.off,
+        "on",
+    )
+    add(
+        "IMPLIED_BY",  # ⇐ : f = g + h̄
+        "⇐",
+        "f = g + ~h",
+        lambda a, b: a or (not b),
+        ApproximationKind.UNDER_F,
+        lambda f, g: f.off,
+        lambda f, g: g | f.dc,
+        lambda f, g: f.on - g,
+        "off",
+    )
+    add(
+        "NAND",
+        "↑",
+        "f = ~g + ~h",
+        lambda a, b: not (a and b),
+        ApproximationKind.OVER_COMPLEMENT,
+        lambda f, g: f.off,
+        lambda f, g: ~g | f.dc,
+        lambda f, g: g - f.off,
+        "off",
+    )
+
+    # --- XOR family (Section III-C) -----------------------------------------
+    add(
+        "XOR",
+        "⊕",
+        "f = g ⊕ h",
+        lambda a, b: a != b,
+        ApproximationKind.ANY,
+        lambda f, g: f.on ^ g,
+        lambda f, g: f.dc,
+        lambda f, g: f.on ^ (~g),
+        "on",
+    )
+    add(
+        "XNOR",
+        "⊙",
+        "f = g ⊕ ~h",
+        lambda a, b: a == b,
+        ApproximationKind.ANY,
+        lambda f, g: f.off ^ g,
+        lambda f, g: f.dc,
+        lambda f, g: f.off ^ (~g),
+        "off",  # "g is a 0<->1 approximation of f, whose errors are
+        # described by h_off" (Section III-C)
+    )
+    return registry
+
+
+#: Registry of all ten operators, in the order of paper Table I.
+OPERATORS: dict[str, BinaryOperator] = _operators()
+
+#: Table I presentation order.
+TABLE_I_ORDER = (
+    "AND",
+    "NOT_IMPLIED_BY",
+    "NOT_IMPLIES",
+    "NOR",
+    "OR",
+    "IMPLIES",
+    "IMPLIED_BY",
+    "NAND",
+    "XOR",
+    "XNOR",
+)
+
+#: The two operators the paper evaluates experimentally (Section IV).
+EXPERIMENT_OPERATORS = ("AND", "NOT_IMPLIES")
+
+
+def operator_by_name(name: str) -> BinaryOperator:
+    """Look up an operator; accepts canonical names and common aliases."""
+    aliases = {
+        "NIMPLY": "NOT_IMPLIES",
+        "NIMPLIES": "NOT_IMPLIES",
+        "6=>": "NOT_IMPLIES",
+        "6<=": "NOT_IMPLIED_BY",
+        "=>": "IMPLIES",
+        "<=": "IMPLIED_BY",
+    }
+    key = name.upper()
+    key = aliases.get(key, key)
+    if key not in OPERATORS:
+        raise KeyError(
+            f"unknown operator {name!r}; choose from {sorted(OPERATORS)}"
+        )
+    return OPERATORS[key]

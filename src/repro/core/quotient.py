@@ -1,0 +1,96 @@
+"""Divisor validation and full-quotient computation (paper Table II).
+
+Given an incompletely specified dividend ``f``, a completely specified
+divisor ``g`` of the right approximation kind, and an operator ``op``,
+:func:`full_quotient` returns the incompletely specified quotient ``h``
+with the smallest on-set and the largest dc-set such that ``f = g op h``
+(Lemmas 1–5 and Corollaries 1–4 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import Function
+from repro.boolfunc.isf import ISF
+from repro.core.operators import ApproximationKind, BinaryOperator, operator_by_name
+
+
+class InvalidDivisorError(ValueError):
+    """The divisor is not an approximation of the kind the operator needs."""
+
+
+def validate_divisor(f: ISF, g: Function, op: BinaryOperator | str) -> None:
+    """Raise :class:`InvalidDivisorError` unless ``g`` fits ``op``.
+
+    The conditions are those of Table II, with don't-care minterms of
+    ``f`` unrestricted (Definitions 1 and 2):
+
+    * ``OVER_F``: ``f_on ⊆ g_on``;
+    * ``UNDER_F``: ``g_on ∩ f_off = ∅``;
+    * ``OVER_COMPLEMENT``: ``f_off ⊆ g_on``;
+    * ``UNDER_COMPLEMENT``: ``g_on ∩ f_on = ∅``;
+    * ``ANY``: always valid.
+    """
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    kind = op.approximation
+    if kind is ApproximationKind.OVER_F:
+        violation = f.on - g
+        message = "g must over-approximate f (f_on ⊆ g_on)"
+    elif kind is ApproximationKind.UNDER_F:
+        violation = g & f.off
+        message = "g must under-approximate f (g_on ∩ f_off = ∅)"
+    elif kind is ApproximationKind.OVER_COMPLEMENT:
+        violation = f.off - g
+        message = "g must over-approximate ~f (f_off ⊆ g_on)"
+    elif kind is ApproximationKind.UNDER_COMPLEMENT:
+        violation = g & f.on
+        message = "g must under-approximate ~f (g_on ∩ f_on = ∅)"
+    else:
+        return
+    if not violation.is_false:
+        raise InvalidDivisorError(
+            f"{message}; {violation.satcount()} violating minterm(s) for"
+            f" operator {op.name}"
+        )
+
+
+def full_quotient(f: ISF, g: Function, op: BinaryOperator | str) -> ISF:
+    """The maximum-flexibility quotient of ``f`` by ``g`` under ``op``.
+
+    Implements the formulas of Table II.  The returned ISF ``h``
+    satisfies ``f = g op ĥ`` for *every* completion ``ĥ`` of ``h``
+    (Lemmas 1–5), and any other valid quotient has a larger on-set or a
+    smaller dc-set (Corollaries 1–4).
+    """
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    if g.mgr is not f.mgr:
+        raise ValueError("f and g must share a BDD manager")
+    validate_divisor(f, g, op)
+    dc = op.quotient_dc(f, g)
+    on = op.quotient_on(f, g) - dc  # Table II sets are read with dc priority
+    return ISF(on, dc)
+
+
+def divisor_error_set(f: ISF, g: Function, op: BinaryOperator | str) -> Function:
+    """The approximation error: care minterms of ``f`` (or ``~f``) flipped
+    by ``g``.
+
+    Per the paper's observation after each lemma, this set coincides with
+    the quotient's on-set or off-set (attribute ``error_in`` of the
+    operator), so an accurate approximation directly yields a highly
+    flexible quotient.
+    """
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    kind = op.approximation
+    if kind is ApproximationKind.OVER_F:
+        return g & f.off
+    if kind is ApproximationKind.UNDER_F:
+        return f.on - g
+    if kind is ApproximationKind.OVER_COMPLEMENT:
+        return g & f.on
+    if kind is ApproximationKind.UNDER_COMPLEMENT:
+        return f.off - g
+    # 0↔1: both directions count.
+    return (f.on - g) | (g & f.off)

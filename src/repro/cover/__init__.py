@@ -1,0 +1,14 @@
+"""Cube and cover algebra, plus PLA (espresso-format) file I/O.
+
+This package is the data model of two-level logic: :class:`Cube` is a
+product term in positional-cube notation, :class:`Cover` is a list of
+cubes (an SOP form), and :mod:`repro.cover.pla` reads and writes the
+MCNC/espresso PLA exchange format that the paper's benchmark suite [12]
+uses.
+"""
+
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+from repro.cover.pla import PLA, parse_pla, write_pla
+
+__all__ = ["Cover", "Cube", "PLA", "parse_pla", "write_pla"]

@@ -1,0 +1,185 @@
+"""Covers: sums of products over a fixed variable count.
+
+A :class:`Cover` is an ordered list of :class:`~repro.cover.cube.Cube`
+objects.  Semantic operations (tautology, containment) are provided both
+by classic unate-recursion on the cube list and by conversion to BDDs;
+the two are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.bdd.manager import BDD, Function
+from repro.boolfunc.truthtable import TruthTable
+from repro.cover.cube import Cube
+from repro.utils.bitops import bit_indices
+
+
+class Cover:
+    """A sum of products (possibly redundant, possibly empty)."""
+
+    __slots__ = ("n_vars", "cubes")
+
+    def __init__(self, n_vars: int, cubes: Iterable[Cube] = ()) -> None:
+        self.n_vars = n_vars
+        self.cubes: list[Cube] = []
+        for cube in cubes:
+            if cube.n_vars != n_vars:
+                raise ValueError("cube arity mismatch")
+            self.cubes.append(cube)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_strings(cls, rows: Iterable[str]) -> "Cover":
+        """Build from positional-cube strings (all the same length)."""
+        cubes = [Cube.from_string(row) for row in rows]
+        if not cubes:
+            raise ValueError("cannot infer arity from an empty list")
+        return cls(cubes[0].n_vars, cubes)
+
+    @classmethod
+    def from_isop(cls, n_vars: int, cube_dicts: list[dict[str, bool]], names) -> "Cover":
+        """Build from :func:`repro.bdd.ops.isop` output."""
+        index = {name: position for position, name in enumerate(names)}
+        cubes = [
+            Cube.from_literals(n_vars, {index[name]: val for name, val in entry.items()})
+            for entry in cube_dicts
+        ]
+        return cls(n_vars, cubes)
+
+    # -- basic container behaviour ---------------------------------------
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __getitem__(self, index: int) -> Cube:
+        return self.cubes[index]
+
+    def __repr__(self) -> str:
+        return f"Cover({len(self.cubes)} cubes, {self.literal_count()} literals)"
+
+    def copy(self) -> "Cover":
+        """Shallow copy (cubes are immutable)."""
+        return Cover(self.n_vars, list(self.cubes))
+
+    # -- measures ------------------------------------------------------------
+    def literal_count(self) -> int:
+        """Total number of literals across all cubes (SOP cost)."""
+        return sum(cube.literal_count for cube in self.cubes)
+
+    def cube_count(self) -> int:
+        """Number of products."""
+        return len(self.cubes)
+
+    # -- semantics --------------------------------------------------------------
+    def contains_minterm(self, minterm: int) -> bool:
+        """Evaluate the SOP on a minterm index."""
+        return any(cube.contains_minterm(minterm) for cube in self.cubes)
+
+    def to_function(self, mgr: BDD) -> Function:
+        """Build the BDD of the SOP."""
+        result = mgr.false
+        for cube in self.cubes:
+            result = result | cube.to_function(mgr)
+        return result
+
+    def to_truthtable(self) -> TruthTable:
+        """Dense tabulation (small arity only)."""
+        bits = 0
+        for minterm in range(1 << self.n_vars):
+            if self.contains_minterm(minterm):
+                bits |= 1 << minterm
+        return TruthTable(self.n_vars, bits)
+
+    def to_expression(self, names) -> str:
+        """Human-readable SOP string."""
+        if not self.cubes:
+            return "0"
+        return " | ".join(
+            cube.to_expression(names) if cube.literal_count else "1"
+            for cube in self.cubes
+        )
+
+    # -- classic cover algorithms (unate recursion) ------------------------------
+    def cofactor_cube(self, against: Cube) -> "Cover":
+        """Cover cofactor with respect to a cube (Shannon generalization)."""
+        result = []
+        for cube in self.cubes:
+            if (cube.pos & against.neg) or (cube.neg & against.pos):
+                continue  # disjoint from the cofactor subspace
+            bound = against.pos | against.neg
+            result.append(
+                Cube(self.n_vars, cube.pos & ~bound, cube.neg & ~bound)
+            )
+        return Cover(self.n_vars, result)
+
+    def is_tautology(self) -> bool:
+        """Tautology check by recursive splitting on the most binate variable."""
+        cover = self
+        # Quick exits.
+        for cube in cover.cubes:
+            if cube.literal_count == 0:
+                return True
+        if not cover.cubes:
+            return False
+
+        pos_counts = [0] * self.n_vars
+        neg_counts = [0] * self.n_vars
+        free_everywhere = (1 << self.n_vars) - 1
+        for cube in cover.cubes:
+            free_everywhere &= cube.free_mask
+            for var in bit_indices(cube.pos):
+                pos_counts[var] += 1
+            for var in bit_indices(cube.neg):
+                neg_counts[var] += 1
+
+        # A variable appearing in only one phase can be removed only if a
+        # unate-leaf test applies; pick the most binate variable to split.
+        split_var = -1
+        best_score = -1
+        for var in range(self.n_vars):
+            if pos_counts[var] and neg_counts[var]:
+                score = min(pos_counts[var], neg_counts[var])
+                if score > best_score:
+                    best_score = score
+                    split_var = var
+        if split_var < 0:
+            # Unate cover: tautology iff some cube has no literals —
+            # already checked above, except literals on variables that are
+            # free in every cube were impossible; so answer is False.
+            return False
+
+        positive = cover.cofactor_cube(Cube.from_literals(self.n_vars, {split_var: 1}))
+        if not positive.is_tautology():
+            return False
+        negative = cover.cofactor_cube(Cube.from_literals(self.n_vars, {split_var: 0}))
+        return negative.is_tautology()
+
+    def covers_cube(self, cube: Cube) -> bool:
+        """True iff the cover contains every minterm of ``cube``."""
+        return self.cofactor_cube(cube).is_tautology()
+
+    def covers_cover(self, other: "Cover") -> bool:
+        """True iff every cube of ``other`` is contained in this cover."""
+        return all(self.covers_cube(cube) for cube in other.cubes)
+
+    # -- simple structural cleanups ------------------------------------------------
+    def single_cube_containment(self) -> "Cover":
+        """Drop cubes contained in a single other cube (cheap cleanup)."""
+        kept: list[Cube] = []
+        # Sort by decreasing coverage so containers come first.
+        ordered = sorted(self.cubes, key=lambda c: c.literal_count)
+        for cube in ordered:
+            if any(existing.contains_cube(cube) for existing in kept):
+                continue
+            kept.append(cube)
+        return Cover(self.n_vars, kept)
+
+    def merged_with(self, other: "Cover") -> "Cover":
+        """Concatenation of two covers over the same variables."""
+        if other.n_vars != self.n_vars:
+            raise ValueError("cover arity mismatch")
+        return Cover(self.n_vars, self.cubes + other.cubes)

@@ -1,0 +1,216 @@
+"""Product terms (cubes) in positional-cube notation.
+
+A cube over ``n`` variables keeps two bitmasks indexed by *variable
+index* (bit ``i`` = variable ``i``):
+
+* ``pos`` — variables appearing as positive literals,
+* ``neg`` — variables appearing as negative literals.
+
+A variable in neither mask is absent (don't-care position).  The empty
+cube (no literals) is the tautology.  Note the variable-index bit order
+differs from the *minterm* convention (variable 0 is the most significant
+bit of a minterm index); :meth:`Cube.contains_minterm` does the mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.bdd.manager import BDD, Function
+from repro.utils.bitops import bit_indices
+
+
+class Cube:
+    """An AND of literals over ``n_vars`` variables."""
+
+    __slots__ = ("n_vars", "pos", "neg")
+
+    def __init__(self, n_vars: int, pos: int = 0, neg: int = 0) -> None:
+        if pos & neg:
+            raise ValueError("cube with contradictory literals (use None instead)")
+        self.n_vars = n_vars
+        self.pos = pos
+        self.neg = neg
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def tautology(cls, n_vars: int) -> "Cube":
+        """The literal-free cube covering the whole space."""
+        return cls(n_vars, 0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse PLA-style positional notation, e.g. ``"10-1"``.
+
+        Character ``k`` of the string refers to variable ``k``; ``1`` is a
+        positive literal, ``0`` negative, ``-`` (or ``2``) absent.
+        """
+        pos = neg = 0
+        for index, char in enumerate(text):
+            if char == "1":
+                pos |= 1 << index
+            elif char == "0":
+                neg |= 1 << index
+            elif char not in "-2":
+                raise ValueError(f"bad cube character {char!r}")
+        return cls(len(text), pos, neg)
+
+    @classmethod
+    def from_minterm(cls, n_vars: int, minterm: int) -> "Cube":
+        """The full cube of a single minterm index (variable 0 = MSB)."""
+        pos = neg = 0
+        for var in range(n_vars):
+            if (minterm >> (n_vars - 1 - var)) & 1:
+                pos |= 1 << var
+            else:
+                neg |= 1 << var
+        return cls(n_vars, pos, neg)
+
+    @classmethod
+    def from_literals(cls, n_vars: int, literals: dict[int, int | bool]) -> "Cube":
+        """Build from ``{variable_index: polarity}``."""
+        pos = neg = 0
+        for var, polarity in literals.items():
+            if polarity:
+                pos |= 1 << var
+            else:
+                neg |= 1 << var
+        return cls(n_vars, pos, neg)
+
+    # -- printing ------------------------------------------------------------
+    def to_string(self) -> str:
+        """Positional-cube string (inverse of :meth:`from_string`)."""
+        chars = []
+        for var in range(self.n_vars):
+            bit = 1 << var
+            if self.pos & bit:
+                chars.append("1")
+            elif self.neg & bit:
+                chars.append("0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    def to_expression(self, names: tuple[str, ...] | list[str]) -> str:
+        """Human-readable product, e.g. ``x1 & ~x3`` (``1`` if literal-free)."""
+        parts = []
+        for var in range(self.n_vars):
+            bit = 1 << var
+            if self.pos & bit:
+                parts.append(names[var])
+            elif self.neg & bit:
+                parts.append("~" + names[var])
+        return " & ".join(parts) if parts else "1"
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_string()!r})"
+
+    # -- identity ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cube)
+            and other.n_vars == self.n_vars
+            and other.pos == self.pos
+            and other.neg == self.neg
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_vars, self.pos, self.neg))
+
+    # -- measures -----------------------------------------------------------------
+    @property
+    def literal_count(self) -> int:
+        """Number of literals in the product."""
+        return (self.pos | self.neg).bit_count()
+
+    @property
+    def free_mask(self) -> int:
+        """Bitmask of variables not bound by the cube."""
+        return ~(self.pos | self.neg) & ((1 << self.n_vars) - 1)
+
+    def minterm_count(self) -> int:
+        """Number of minterms covered: 2^(free variables)."""
+        return 1 << self.free_mask.bit_count()
+
+    def literals(self) -> Iterator[tuple[int, bool]]:
+        """Yield ``(variable_index, polarity)`` pairs."""
+        for var in bit_indices(self.pos):
+            yield var, True
+        for var in bit_indices(self.neg):
+            yield var, False
+
+    # -- semantics -----------------------------------------------------------------
+    def contains_minterm(self, minterm: int) -> bool:
+        """Evaluate the product on a minterm index (variable 0 = MSB)."""
+        for var in bit_indices(self.pos):
+            if not (minterm >> (self.n_vars - 1 - var)) & 1:
+                return False
+        for var in bit_indices(self.neg):
+            if (minterm >> (self.n_vars - 1 - var)) & 1:
+                return False
+        return True
+
+    def to_function(self, mgr: BDD) -> Function:
+        """Build the BDD of the cube (manager must have >= n_vars variables)."""
+        result = mgr.true
+        for var, polarity in self.literals():
+            literal = mgr.var_at(var)
+            result = result & (literal if polarity else ~literal)
+        return result
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate covered minterm indices (exponential in free variables)."""
+        free_vars = list(bit_indices(self.free_mask))
+        base = 0
+        for var in bit_indices(self.pos):
+            base |= 1 << (self.n_vars - 1 - var)
+        for combo in range(1 << len(free_vars)):
+            minterm = base
+            for position, var in enumerate(free_vars):
+                if (combo >> position) & 1:
+                    minterm |= 1 << (self.n_vars - 1 - var)
+            yield minterm
+
+    # -- cube algebra ---------------------------------------------------------------
+    def contains_cube(self, other: "Cube") -> bool:
+        """True iff ``other``'s minterms are all inside this cube."""
+        return (self.pos & ~other.pos) == 0 and (self.neg & ~other.neg) == 0
+
+    def intersect(self, other: "Cube") -> "Cube | None":
+        """Cube intersection, or ``None`` if empty."""
+        if (self.pos & other.neg) or (self.neg & other.pos):
+            return None
+        return Cube(self.n_vars, self.pos | other.pos, self.neg | other.neg)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both."""
+        return Cube(self.n_vars, self.pos & other.pos, self.neg & other.neg)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables with conflicting literals."""
+        return ((self.pos & other.neg) | (self.neg & other.pos)).bit_count()
+
+    def consensus(self, other: "Cube") -> "Cube | None":
+        """Consensus term when the distance is exactly 1, else ``None``."""
+        conflict = (self.pos & other.neg) | (self.neg & other.pos)
+        if conflict.bit_count() != 1:
+            return None
+        pos = (self.pos | other.pos) & ~conflict
+        neg = (self.neg | other.neg) & ~conflict
+        return Cube(self.n_vars, pos, neg)
+
+    def without_variable(self, var: int) -> "Cube":
+        """Drop any literal of ``var`` (expansion step)."""
+        bit = 1 << var
+        return Cube(self.n_vars, self.pos & ~bit, self.neg & ~bit)
+
+    def cofactor(self, var: int, value: int | bool) -> "Cube | None":
+        """Cofactor against a literal: ``None`` if the cube vanishes."""
+        bit = 1 << var
+        if value:
+            if self.neg & bit:
+                return None
+        else:
+            if self.pos & bit:
+                return None
+        return Cube(self.n_vars, self.pos & ~bit, self.neg & ~bit)

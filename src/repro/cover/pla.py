@@ -1,0 +1,178 @@
+"""Reader/writer for the MCNC / espresso PLA exchange format.
+
+Supported directives: ``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type``
+(``fd`` — the default — ``fr``, ``f``), ``.e``/``.end``.  Each cube line
+has an input part over ``{0,1,-}`` and an output part over ``{0,1,-,~,d}``
+(``d`` marks a don't-care output in fd-type PLAs, ``4`` is accepted as a
+legacy alias of ``-``).
+
+The reader produces a :class:`PLA`, which exposes each output as a pair of
+input covers (on-set cover, dc-set cover) — exactly the per-output ISF
+view the synthesis flow needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.isf import ISF
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+
+
+class PLAError(ValueError):
+    """Raised for malformed PLA text."""
+
+
+@dataclass
+class PLA:
+    """Parsed PLA: covers of the on/dc sets of each output."""
+
+    n_inputs: int
+    n_outputs: int
+    input_labels: list[str]
+    output_labels: list[str]
+    rows: list[tuple[Cube, str]] = field(default_factory=list)
+    pla_type: str = "fd"
+
+    def output_covers(self, output: int) -> tuple[Cover, Cover]:
+        """Return ``(on_cover, dc_cover)`` of one output column."""
+        if not 0 <= output < self.n_outputs:
+            raise IndexError(f"output {output} out of range")
+        on_cubes = []
+        dc_cubes = []
+        for cube, outputs in self.rows:
+            char = outputs[output]
+            if char == "1":
+                on_cubes.append(cube)
+            elif char in "d-2":
+                dc_cubes.append(cube)
+            elif char == "4":
+                dc_cubes.append(cube)
+            # '0' and '~' contribute nothing in fd-type PLAs.
+        return Cover(self.n_inputs, on_cubes), Cover(self.n_inputs, dc_cubes)
+
+    def output_isf(self, mgr: BDD, output: int) -> ISF:
+        """Build the ISF of one output over a manager with matching arity."""
+        on_cover, dc_cover = self.output_covers(output)
+        on = on_cover.to_function(mgr)
+        dc = dc_cover.to_function(mgr) - on  # on-set wins where they overlap
+        return ISF(on, dc)
+
+    def make_manager(self) -> BDD:
+        """Create a BDD manager with this PLA's input variables."""
+        return BDD(self.input_labels)
+
+
+def parse_pla(text: str) -> PLA:
+    """Parse PLA text into a :class:`PLA`."""
+    n_inputs: int | None = None
+    n_outputs: int | None = None
+    input_labels: list[str] | None = None
+    output_labels: list[str] | None = None
+    pla_type = "fd"
+    rows: list[tuple[Cube, str]] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                n_inputs = int(parts[1])
+            elif directive == ".o":
+                n_outputs = int(parts[1])
+            elif directive == ".p":
+                pass  # informational product count
+            elif directive == ".ilb":
+                input_labels = parts[1:]
+            elif directive == ".ob":
+                output_labels = parts[1:]
+            elif directive == ".type":
+                pla_type = parts[1]
+            elif directive in (".e", ".end"):
+                break
+            else:
+                # Unknown directives are ignored (matches espresso's
+                # permissiveness for .phase, .pair, etc.).
+                continue
+        else:
+            if n_inputs is None:
+                raise PLAError("cube line before .i directive")
+            compact = line.replace(" ", "").replace("\t", "")
+            if n_outputs is None or n_outputs == 0:
+                in_part, out_part = compact, ""
+            else:
+                in_part = compact[:n_inputs]
+                out_part = compact[n_inputs:]
+            if len(in_part) != n_inputs:
+                raise PLAError(f"bad input part in line {raw_line!r}")
+            if n_outputs and len(out_part) != n_outputs:
+                raise PLAError(f"bad output part in line {raw_line!r}")
+            rows.append((Cube.from_string(in_part), out_part))
+
+    if n_inputs is None:
+        raise PLAError("missing .i directive")
+    if n_outputs is None:
+        n_outputs = 0
+    if input_labels is None:
+        input_labels = [f"x{i + 1}" for i in range(n_inputs)]
+    if output_labels is None:
+        output_labels = [f"f{j}" for j in range(n_outputs)]
+    if len(input_labels) != n_inputs or len(output_labels) != n_outputs:
+        raise PLAError("label count does not match .i/.o")
+    return PLA(n_inputs, n_outputs, input_labels, output_labels, rows, pla_type)
+
+
+def write_pla(pla: PLA) -> str:
+    """Serialize a :class:`PLA` back to text."""
+    lines = [
+        f".i {pla.n_inputs}",
+        f".o {pla.n_outputs}",
+        ".ilb " + " ".join(pla.input_labels),
+        ".ob " + " ".join(pla.output_labels),
+        f".type {pla.pla_type}",
+        f".p {len(pla.rows)}",
+    ]
+    for cube, outputs in pla.rows:
+        lines.append(f"{cube.to_string()} {outputs}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def pla_from_covers(
+    covers: list[tuple[Cover, Cover]],
+    input_labels: list[str] | None = None,
+    output_labels: list[str] | None = None,
+) -> PLA:
+    """Assemble a multi-output PLA from per-output (on, dc) covers.
+
+    Each output's cubes become rows that assert only that output (other
+    outputs get ``~`` meaning "no contribution"), which is valid fd-type
+    semantics and keeps the construction simple.
+    """
+    if not covers:
+        raise ValueError("need at least one output")
+    n_inputs = covers[0][0].n_vars
+    n_outputs = len(covers)
+    rows: list[tuple[Cube, str]] = []
+    for output, (on_cover, dc_cover) in enumerate(covers):
+        for cube in on_cover:
+            pattern = ["~"] * n_outputs
+            pattern[output] = "1"
+            rows.append((cube, "".join(pattern)))
+        for cube in dc_cover:
+            pattern = ["~"] * n_outputs
+            pattern[output] = "d"
+            rows.append((cube, "".join(pattern)))
+    return PLA(
+        n_inputs,
+        n_outputs,
+        input_labels or [f"x{i + 1}" for i in range(n_inputs)],
+        output_labels or [f"f{j}" for j in range(n_outputs)],
+        rows,
+        "fd",
+    )

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.harness.experiment import (
+    BenchmarkResult,
+    OutputArtifacts,
+    run_benchmark,
+    run_table,
+)
+from repro.harness.figures import render_figure1, render_figure2, render_karnaugh
+from repro.harness.tables import (
+    render_table1,
+    render_table2,
+    render_table_results,
+)
+from repro.harness.report import comparison_lines, shape_summary
+
+__all__ = [
+    "BenchmarkResult",
+    "OutputArtifacts",
+    "comparison_lines",
+    "render_figure1",
+    "render_figure2",
+    "render_karnaugh",
+    "render_table1",
+    "render_table2",
+    "render_table_results",
+    "run_benchmark",
+    "run_table",
+    "shape_summary",
+]

@@ -1,0 +1,153 @@
+"""Karnaugh-map rendering and regeneration of the paper's Figures 1–2.
+
+The maps follow the paper's layout: rows are ``x1 x2`` in Gray order
+(00, 01, 11, 10), columns are ``x3 x4`` in Gray order.  Cell symbols:
+``1`` on-set, ``0`` off-set, ``-`` don't-care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bdd.manager import BDD, Function
+from repro.bdd.expr import parse_expression
+from repro.boolfunc.isf import ISF
+from repro.core.bidecomposition import apply_operator
+from repro.core.quotient import full_quotient
+from repro.spp.pseudocube import Pseudocube, make_xor_factor
+from repro.spp.spp_cover import SppCover
+from repro.spp.synthesis import minimize_spp
+from repro.twolevel.espresso import espresso_minimize
+from repro.utils.bitops import gray_code
+
+_GRAY4 = tuple(gray_code(i) for i in range(4))  # 0, 1, 3, 2
+
+
+def render_karnaugh(f: ISF | Function, title: str = "") -> str:
+    """ASCII 4-variable Karnaugh map in the paper's layout."""
+    if isinstance(f, Function):
+        f = ISF.completely_specified(f)
+    if f.n_vars != 4:
+        raise ValueError("Karnaugh rendering supports exactly 4 variables")
+    names = f.mgr.var_names
+    lines = []
+    if title:
+        lines.append(title)
+    header = " ".join(f"{row:02b}"[::1] for row in (0b00, 0b01, 0b11, 0b10))
+    lines.append(f"{names[0]}{names[1]} \\ {names[2]}{names[3]}   "
+                 + "  ".join(f"{value:02b}" for value in _GRAY4))
+    for row in _GRAY4:
+        cells = []
+        for column in _GRAY4:
+            minterm = (row << 2) | column
+            value = f(minterm)
+            cells.append("-" if value is None else str(value))
+        lines.append(f"       {row:02b}       " + "   ".join(cells))
+    del header
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureData:
+    """All artifacts of a worked 4-variable figure."""
+
+    mgr: BDD
+    f: ISF
+    g: Function
+    h: ISF
+    f_text: str
+    g_text: str
+    h_text: str
+    rendering: str
+
+
+def render_figure1() -> FigureData:
+    """Regenerate paper Figure 1 (AND bi-decomposition, SOP forms).
+
+    f = x1 x2 x4 + x2 x3 x4 (6 SOP literals); the 0→1 approximation adds
+    the single minterm x1'x2 x3'x4, giving g = x2 x4 (2 literals); the
+    full quotient minimizes to h = x1 + x3 (2 literals) and
+    f = g · h = x2 x4 (x1 + x3) with 4 literals.
+    """
+    mgr = BDD(["x1", "x2", "x3", "x4"])
+    f_fn = parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    f = ISF.completely_specified(f_fn)
+    g = f_fn | mgr.cube({"x1": 0, "x2": 1, "x3": 0, "x4": 1})
+    h = full_quotient(f, g, "AND")
+
+    f_cover = espresso_minimize(f)
+    g_cover = espresso_minimize(ISF.completely_specified(g))
+    h_cover = espresso_minimize(h)
+    rebuilt = apply_operator("AND", g_cover.to_function(mgr), h_cover.to_function(mgr))
+    assert rebuilt == f_fn, "figure 1 reconstruction failed"
+
+    names = mgr.var_names
+    f_text = f_cover.to_expression(names)
+    g_text = g_cover.to_expression(names)
+    h_text = h_cover.to_expression(names)
+    parts = [
+        render_karnaugh(f, "(a) f"),
+        "",
+        render_karnaugh(g, "(b) g  (0->1 approximation)"),
+        "",
+        render_karnaugh(h, "(c) h  (full quotient)"),
+        "",
+        f"f_SOP = {f_text}   ({f_cover.literal_count()} literals)",
+        f"g_SOP = {g_text}   ({g_cover.literal_count()} literals)",
+        f"h_SOP = {h_text}   ({h_cover.literal_count()} literals)",
+        f"f = g . h = ({g_text}) & ({h_text})",
+    ]
+    return FigureData(mgr, f, g, h, f_text, g_text, h_text, "\n".join(parts))
+
+
+def render_figure2() -> FigureData:
+    """Regenerate paper Figure 2 (2-SPP forms, pseudoproduct expansion).
+
+    f = x1(x3 ^ x4) + x2(x3 ^ x4) (2 pseudoproducts, 6 literals; the
+    minimal SOP needs 4 products and 12 literals).  Expanding the first
+    pseudoproduct by removing the literal x1 moves the two off-set
+    minterms x1'x2'x3'x4 and x1'x2'x3 x4' to the on-set and swallows the
+    second pseudoproduct: g = x3 ^ x4.  The full quotient is
+    h = x1 + x2, so f = g · h = (x3 ^ x4)(x1 + x2).
+    """
+    mgr = BDD(["x1", "x2", "x3", "x4"])
+    f_fn = parse_expression(mgr, "(x1 | x2) & (x3 ^ x4)")
+    f = ISF.completely_specified(f_fn)
+
+    # The paper's 2-SPP cover of f.
+    factor = make_xor_factor(2, 3, 1)  # x3 ^ x4
+    pc1 = Pseudocube(4, pos=0b0001, xors=frozenset({factor}))  # x1 (x3^x4)
+    pc2 = Pseudocube(4, pos=0b0010, xors=frozenset({factor}))  # x2 (x3^x4)
+    f_cover = SppCover(4, [pc1, pc2])
+    assert f_cover.to_function(mgr) == f_fn
+
+    # Expansion step of [2]: remove literal x1 from the first
+    # pseudoproduct; the expanded pseudoproduct (x3^x4) covers pc2.
+    expanded = pc1.drop_literal(0)
+    g = expanded.to_function(mgr)
+    flipped = g - f_fn
+    assert flipped.satcount() == 2, "expansion must introduce two 0->1 errors"
+
+    h = full_quotient(f, g, "AND")
+    g_cover = SppCover(4, [expanded])
+    h_cover = minimize_spp(h)
+    rebuilt = apply_operator("AND", g, h_cover.to_function(mgr))
+    assert rebuilt == f_fn, "figure 2 reconstruction failed"
+
+    names = mgr.var_names
+    f_text = f_cover.to_expression(names)
+    g_text = g_cover.to_expression(names)
+    h_text = h_cover.to_expression(names)
+    parts = [
+        render_karnaugh(f, "(a) f"),
+        "",
+        render_karnaugh(g, "(b) g = x3 ^ x4  (expansion of x1(x3^x4))"),
+        "",
+        render_karnaugh(h, "(c) h  (full quotient)"),
+        "",
+        f"f_2SPP = {f_text}   ({f_cover.literal_count()} literals)",
+        f"g_2SPP = {g_text}   ({g_cover.literal_count()} literals)",
+        f"h_2SPP = {h_text}   ({h_cover.literal_count()} literals)",
+        f"f = g . h = ({g_text}) & ({h_text})",
+    ]
+    return FigureData(mgr, f, g, h, f_text, g_text, h_text, "\n".join(parts))

@@ -1,0 +1,66 @@
+"""Paper-vs-measured comparison helpers (EXPERIMENTS.md backing)."""
+
+from __future__ import annotations
+
+from repro.benchgen.paper_data import PAPER_ROWS, PaperRow
+from repro.harness.experiment import BenchmarkResult
+
+
+def comparison_lines(results: list[BenchmarkResult]) -> list[str]:
+    """One comparison line per benchmark: measured vs paper key columns."""
+    lines = []
+    for result in results:
+        row = PAPER_ROWS.get(result.name)
+        if row is None:
+            continue
+        lines.append(
+            f"{result.name}: errors {result.pct_errors:.2f}% (paper"
+            f" {row.pct_errors:.2f}%), g-reduction {result.pct_reduction:.1f}%"
+            f" (paper {row.pct_reduction:.1f}%), gain AND"
+            f" {result.gain_and:+.1f}% (paper {row.gain_and:+.1f}%), gain 6=>"
+            f" {result.gain_nimp:+.1f}% (paper {row.gain_nimp:+.1f}%)"
+        )
+    return lines
+
+
+def _sign(value: float, tolerance: float = 2.0) -> int:
+    """Ternary sign with a +-tolerance% dead zone around zero."""
+    if value > tolerance:
+        return 1
+    if value < -tolerance:
+        return -1
+    return 0
+
+
+def shape_summary(results: list[BenchmarkResult]) -> dict[str, object]:
+    """Aggregate shape agreement between measured and paper results.
+
+    Shape criteria (per DESIGN.md): sign of the AND / 6⇒ gains, the
+    magnitude class of the g-area reduction, and the similarity between
+    the two operators' behaviour on the same instance.
+    """
+    compared = 0
+    gain_sign_matches = 0
+    reduction_direction_matches = 0
+    operators_agree_measured = 0
+    operators_agree_paper = 0
+    for result in results:
+        row: PaperRow | None = PAPER_ROWS.get(result.name)
+        if row is None:
+            continue
+        compared += 1
+        if _sign(result.gain_and) == _sign(row.gain_and):
+            gain_sign_matches += 1
+        if (result.pct_reduction >= 50.0) == (row.pct_reduction >= 50.0):
+            reduction_direction_matches += 1
+        if _sign(result.gain_and) == _sign(result.gain_nimp):
+            operators_agree_measured += 1
+        if _sign(row.gain_and) == _sign(row.gain_nimp):
+            operators_agree_paper += 1
+    return {
+        "compared": compared,
+        "gain_sign_matches": gain_sign_matches,
+        "reduction_class_matches": reduction_direction_matches,
+        "operators_agree_measured": operators_agree_measured,
+        "operators_agree_paper": operators_agree_paper,
+    }

@@ -1,0 +1,35 @@
+"""2-SPP synthesis: three-level XOR-AND-OR forms.
+
+SPP networks (Luccio–Pagli [7]) generalize SOP forms by replacing
+literals with XOR factors inside products ("pseudoproducts").  For
+technological reasons the paper restricts factors to at most two literals
+(2-SPP forms, Ciriani–Bernasconi [5]).  This package provides:
+
+* :class:`~repro.spp.pseudocube.Pseudocube` — a product of literals and
+  two-literal XOR factors, each variable used at most once;
+* :class:`~repro.spp.spp_cover.SppCover` — a sum of pseudoproducts;
+* :func:`~repro.spp.synthesis.minimize_spp` — 2-SPP minimization of an
+  incompletely specified function (exact for small arity via maximal
+  pseudocube enumeration + covering, cube-merging heuristic above).
+"""
+
+from repro.spp.pseudocube import Pseudocube, XorFactor
+from repro.spp.spp_cover import SppCover
+from repro.spp.synthesis import (
+    enumerate_maximal_pseudocubes,
+    minimize_spp,
+    minimize_spp_exact,
+    minimize_spp_heuristic,
+    sop_to_spp,
+)
+
+__all__ = [
+    "Pseudocube",
+    "SppCover",
+    "XorFactor",
+    "enumerate_maximal_pseudocubes",
+    "minimize_spp",
+    "minimize_spp_exact",
+    "minimize_spp_heuristic",
+    "sop_to_spp",
+]

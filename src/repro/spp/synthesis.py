@@ -1,0 +1,295 @@
+"""2-SPP synthesis algorithms.
+
+Two engines, dispatched by :func:`minimize_spp`:
+
+* **exact** (small arity): enumerate all *maximal* pseudocubes of the
+  interval ``[on, on ∪ dc]`` (no factor can be dropped and no literal
+  pair can be weakened to an XOR factor without leaving the interval) and
+  solve a minimum-cost covering problem over the on-set.  Expansion moves
+  never increase the 2-SPP literal count, so an optimal cover made of
+  maximal pseudocubes is globally optimal for the lexicographic
+  ``(pseudoproducts, literals)`` cost.
+* **heuristic** (benchmark arity): start from an espresso-minimized SOP
+  cover, repeatedly (a) merge pseudocube pairs whose union is again a
+  pseudocube — the move that creates XOR factors, e.g.
+  ``x1 x3' x4 + x1 x3 x4' = x1 (x3 ^ x4)`` — (b) expand factors against
+  the off-set, and (c) remove redundant pseudoproducts, until the cost
+  stops improving.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDD, Function
+from repro.boolfunc.isf import ISF
+from repro.cover.cover import Cover
+from repro.spp.pseudocube import Pseudocube
+from repro.spp.spp_cover import SppCover
+from repro.twolevel.covering import CoveringProblem, solve_covering
+from repro.twolevel.espresso import espresso_minimize
+from repro.cover.cube import Cube
+
+
+def _try_merge(first: Pseudocube, second: Pseudocube) -> Pseudocube | None:
+    """Merge two pseudocubes if their union is exactly a pseudocube."""
+    if first.n_vars != second.n_vars:
+        return None
+    if first.xors == second.xors:
+        bound_first = first.pos | first.neg
+        bound_second = second.pos | second.neg
+        if bound_first != bound_second:
+            return None
+        conflict = (first.pos & second.neg) | (first.neg & second.pos)
+        agree = (first.pos ^ second.pos) | (first.neg ^ second.neg)
+        if agree != conflict:
+            return None  # same bound set but inconsistent literal patterns
+        count = conflict.bit_count()
+        if count == 1:
+            # Classic distance-1 merge: drop the conflicting literal.
+            var = conflict.bit_length() - 1
+            return first.drop_literal(var)
+        if count == 2:
+            # Opposite polarities on two variables: forms an XOR factor.
+            low = conflict & -conflict
+            var_a = low.bit_length() - 1
+            var_b = (conflict ^ low).bit_length() - 1
+            return first.pair_literals(var_a, var_b)
+        return None
+    if first.pos == second.pos and first.neg == second.neg:
+        difference = first.xors ^ second.xors
+        if len(difference) == 2:
+            factors = sorted(difference)
+            a, b = factors
+            if a.i == b.i and a.j == b.j and a.phase != b.phase:
+                # Both phases of the same XOR pair: the factor cancels.
+                own = a if a in first.xors else b
+                return first.drop_xor(own)
+    return None
+
+
+def _merge_fixpoint(cover: SppCover) -> SppCover:
+    """Apply pairwise merges until none applies."""
+    pseudocubes = list(dict.fromkeys(cover.pseudocubes))
+    merged = True
+    while merged:
+        merged = False
+        count = len(pseudocubes)
+        for index_a in range(count):
+            if merged:
+                break
+            for index_b in range(index_a + 1, count):
+                union = _try_merge(pseudocubes[index_a], pseudocubes[index_b])
+                if union is not None:
+                    rest = [
+                        pc
+                        for position, pc in enumerate(pseudocubes)
+                        if position not in (index_a, index_b)
+                    ]
+                    rest.append(union)
+                    pseudocubes = list(dict.fromkeys(rest))
+                    merged = True
+                    break
+    return SppCover(cover.n_vars, pseudocubes)
+
+
+def _spp_expand(cover: SppCover, off: Function, mgr: BDD) -> SppCover:
+    """Expand each pseudoproduct against the off-set.
+
+    Tries factor drops first (literal win of 1 or 2), then literal-pair
+    weakenings (no literal change, doubles coverage — enabling later
+    containment removals).
+    """
+    expanded: list[Pseudocube] = []
+    order = sorted(cover.pseudocubes, key=lambda pc: -pc.literal_count)
+    for pc in order:
+        current = pc
+        changed = True
+        while changed:
+            changed = False
+            for kind, payload in list(current.factors()):
+                candidate = current.drop_factor(kind, payload)
+                if (candidate.to_function(mgr) & off).is_false:
+                    current = candidate
+                    changed = True
+                    break
+            if changed:
+                continue
+            literal_vars = [
+                var for var, _pol in
+                (payload for kind, payload in current.factors() if kind == "lit")
+            ]
+            for position, var_a in enumerate(literal_vars):
+                for var_b in literal_vars[position + 1 :]:
+                    candidate = current.pair_literals(var_a, var_b)
+                    if (candidate.to_function(mgr) & off).is_false:
+                        current = candidate
+                        changed = True
+                        break
+                if changed:
+                    break
+        expanded.append(current)
+    return SppCover(cover.n_vars, list(dict.fromkeys(expanded)))
+
+
+def _spp_irredundant(cover: SppCover, dc: Function, mgr: BDD) -> SppCover:
+    """Single irredundancy sweep with prefix/suffix unions."""
+    pseudocubes = cover.pseudocubes
+    if not pseudocubes:
+        return cover
+    functions = [pc.to_function(mgr) for pc in pseudocubes]
+    suffix: list[Function] = [mgr.false] * (len(pseudocubes) + 1)
+    for index in range(len(pseudocubes) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] | functions[index]
+    kept: list[Pseudocube] = []
+    prefix = dc
+    for index, (pc, function) in enumerate(zip(pseudocubes, functions)):
+        rest = prefix | suffix[index + 1]
+        if function <= rest:
+            continue
+        kept.append(pc)
+        prefix = prefix | function
+    return SppCover(cover.n_vars, kept)
+
+
+def sop_to_spp(cover: Cover) -> SppCover:
+    """Lift an SOP cover and apply the merge fixpoint (no oracle needed)."""
+    return _merge_fixpoint(SppCover.from_cover(cover))
+
+
+def minimize_spp_heuristic(
+    isf: ISF,
+    initial: Cover | SppCover | None = None,
+    max_iterations: int = 6,
+) -> SppCover:
+    """Heuristic 2-SPP minimization (benchmark-scale workhorse)."""
+    mgr = isf.mgr
+    on, dc, off = isf.on, isf.dc, isf.off
+    if on.is_false:
+        return SppCover(mgr.n_vars, [])
+    if off.is_false:
+        return SppCover(mgr.n_vars, [Pseudocube.tautology(mgr.n_vars)])
+
+    if initial is None:
+        spp = SppCover.from_cover(espresso_minimize(isf))
+    elif isinstance(initial, Cover):
+        spp = SppCover.from_cover(initial)
+    else:
+        spp = initial.copy()
+
+    spp = _merge_fixpoint(spp)
+    spp = _spp_irredundant(spp, dc, mgr)
+    best = spp
+    best_cost = spp.cost()
+    for _iteration in range(max_iterations):
+        spp = _spp_expand(spp, off, mgr)
+        spp = _merge_fixpoint(spp)
+        spp = _spp_irredundant(spp, dc, mgr)
+        cost = spp.cost()
+        if cost < best_cost:
+            best, best_cost = spp, cost
+        else:
+            break
+
+    realized = best.to_function(mgr)
+    if not (on <= realized and realized <= isf.upper):
+        raise AssertionError("2-SPP synthesis produced an invalid cover")
+    return best
+
+
+def enumerate_maximal_pseudocubes(
+    isf: ISF, max_candidates: int = 50_000
+) -> list[Pseudocube]:
+    """All maximal pseudocubes inside ``[on, on ∪ dc]``.
+
+    Raises ``RuntimeError`` if the candidate space exceeds
+    ``max_candidates`` (callers should fall back to the heuristic).
+    """
+    mgr = isf.mgr
+    upper = isf.upper
+    n_vars = mgr.n_vars
+    seen: set[Pseudocube] = set()
+    maximal: set[Pseudocube] = set()
+    function_cache: dict[Pseudocube, Function] = {}
+
+    def function_of(pc: Pseudocube) -> Function:
+        cached = function_cache.get(pc)
+        if cached is None:
+            cached = pc.to_function(mgr)
+            function_cache[pc] = cached
+        return cached
+
+    stack = [
+        Pseudocube.from_cube(Cube.from_minterm(n_vars, minterm))
+        for minterm in isf.on.minterms()
+    ]
+    while stack:
+        pc = stack.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        if len(seen) > max_candidates:
+            raise RuntimeError(
+                f"maximal-pseudocube enumeration exceeded {max_candidates} candidates"
+            )
+        grew = False
+        for candidate in pc.expansions():
+            if function_of(candidate) <= upper:
+                grew = True
+                if candidate not in seen:
+                    stack.append(candidate)
+        if not grew:
+            maximal.add(pc)
+    return sorted(
+        maximal, key=lambda p: (p.literal_count, p.pos, p.neg, sorted(p.xors))
+    )
+
+
+def minimize_spp_exact(
+    isf: ISF,
+    literal_weight: int = 1,
+    product_weight: int = 1000,
+    max_candidates: int = 50_000,
+    max_nodes: int = 200_000,
+) -> SppCover:
+    """Exact minimum 2-SPP cover via covering over maximal pseudocubes."""
+    mgr = isf.mgr
+    if isf.on.is_false:
+        return SppCover(mgr.n_vars, [])
+    if isf.off.is_false:
+        return SppCover(mgr.n_vars, [Pseudocube.tautology(mgr.n_vars)])
+    candidates = enumerate_maximal_pseudocubes(isf, max_candidates=max_candidates)
+    on_minterms = sorted(isf.on.minterms())
+    row_index = {minterm: row for row, minterm in enumerate(on_minterms)}
+    columns = []
+    costs = []
+    for pc in candidates:
+        covered = frozenset(
+            row_index[m] for m in on_minterms if pc.contains_minterm(m)
+        )
+        columns.append(covered)
+        costs.append(product_weight + literal_weight * pc.literal_count)
+    problem = CoveringProblem(len(on_minterms), columns, costs)
+    chosen = solve_covering(problem, max_nodes=max_nodes)
+    result = SppCover(mgr.n_vars, [candidates[j] for j in chosen])
+    realized = result.to_function(mgr)
+    if not (isf.on <= realized and realized <= isf.upper):
+        raise AssertionError("exact 2-SPP produced an invalid cover")
+    return result
+
+
+def minimize_spp(
+    isf: ISF,
+    exact_threshold: int = 6,
+    initial: Cover | SppCover | None = None,
+) -> SppCover:
+    """Minimize an ISF in 2-SPP form.
+
+    Uses the exact engine for ``n_vars <= exact_threshold`` (falling back
+    to the heuristic if the candidate space explodes) and the heuristic
+    engine otherwise.
+    """
+    if isf.n_vars <= exact_threshold:
+        try:
+            return minimize_spp_exact(isf)
+        except RuntimeError:
+            pass
+    return minimize_spp_heuristic(isf, initial=initial)

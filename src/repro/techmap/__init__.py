@@ -1,0 +1,34 @@
+"""Technology mapping for area estimation.
+
+Replaces the paper's ``SIS`` + ``mcnc.genlib`` area flow: a genlib parser
+(:mod:`~repro.techmap.genlib`), an embedded mcnc-style gate library
+(:mod:`~repro.techmap.library_data`), a multi-level logic network built
+from SOP/2-SPP forms (:mod:`~repro.techmap.network`), and a dynamic
+programming tree-covering mapper (:mod:`~repro.techmap.mapper`).
+
+Absolute areas are on our library's scale; the harness reports *gains*
+(area ratios), which is what the paper's conclusions rest on.
+"""
+
+from repro.techmap.area import (
+    area_of_bidecomposition,
+    area_of_covers,
+    area_of_spp_covers,
+    map_network,
+)
+from repro.techmap.genlib import Gate, GateLibrary, parse_genlib
+from repro.techmap.library_data import MCNC_LIKE_GENLIB, default_library
+from repro.techmap.network import LogicNetwork
+
+__all__ = [
+    "Gate",
+    "GateLibrary",
+    "LogicNetwork",
+    "MCNC_LIKE_GENLIB",
+    "area_of_bidecomposition",
+    "area_of_covers",
+    "area_of_spp_covers",
+    "default_library",
+    "map_network",
+    "parse_genlib",
+]

@@ -1,0 +1,94 @@
+"""Area estimation entry points used by the experiment harness."""
+
+from __future__ import annotations
+
+from repro.core.operators import BinaryOperator, operator_by_name
+from repro.cover.cover import Cover
+from repro.spp.spp_cover import SppCover
+from repro.techmap.genlib import GateLibrary
+from repro.techmap.library_data import default_library
+from repro.techmap.mapper import MappingResult, map_network_for_area
+from repro.techmap.network import LogicNetwork
+
+
+def map_network(
+    network: LogicNetwork, library: GateLibrary | None = None
+) -> MappingResult:
+    """Map a network with the default (mcnc-style) library."""
+    return map_network_for_area(network, library or default_library())
+
+
+def area_of_spp_covers(
+    covers: list[SppCover],
+    input_names: list[str] | tuple[str, ...],
+    library: GateLibrary | None = None,
+) -> float:
+    """Mapped area of the multi-output XOR-AND-OR network of 2-SPP forms."""
+    network = LogicNetwork(input_names)
+    for index, cover in enumerate(covers):
+        network.add_spp_cover(cover, f"f{index}")
+    return map_network(network, library).area
+
+
+def area_of_covers(
+    covers: list[Cover],
+    input_names: list[str] | tuple[str, ...],
+    library: GateLibrary | None = None,
+) -> float:
+    """Mapped area of the multi-output AND-OR network of SOP covers."""
+    network = LogicNetwork(input_names)
+    for index, cover in enumerate(covers):
+        network.add_cover(cover, f"f{index}")
+    return map_network(network, library).area
+
+
+def area_of_bidecomposition(
+    pairs: list[tuple[SppCover, SppCover]],
+    op: BinaryOperator | str,
+    input_names: list[str] | tuple[str, ...],
+    library: GateLibrary | None = None,
+) -> float:
+    """Mapped area of a multi-output bi-decomposed network.
+
+    ``pairs`` holds per-output ``(g_cover, h_cover)``; each output is the
+    operator applied to the two 2-SPP sub-networks (Section IV-B step 4:
+    "the bi-decomposition of f is computed as AND (resp. 6⇒) of the two
+    2-SPP forms for g and h").
+    """
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    network = LogicNetwork(input_names)
+    for index, (g_cover, h_cover) in enumerate(pairs):
+        g_root = network.add_spp_cover(g_cover, f"_g{index}")
+        h_root = network.add_spp_cover(h_cover, f"_h{index}")
+        out00, out01, out10, out11 = op.truth_row()
+        row = (out00, out01, out10, out11)
+        if row == (False, False, False, True):  # AND
+            root = network.binary("and", g_root, h_root)
+        elif row == (False, False, True, True):  # projection to g (degenerate)
+            root = g_root
+        elif row == (False, False, True, False):  # g AND NOT h  (6⇒)
+            root = network.binary("and", g_root, network.negate(h_root))
+        elif row == (False, True, False, False):  # NOT g AND h  (6⇐)
+            root = network.binary("and", network.negate(g_root), h_root)
+        elif row == (True, False, False, False):  # NOR
+            root = network.negate(network.binary("or", g_root, h_root))
+        elif row == (False, True, True, True):  # OR
+            root = network.binary("or", g_root, h_root)
+        elif row == (True, True, False, True):  # IMPLIES: ~g + h
+            root = network.binary("or", network.negate(g_root), h_root)
+        elif row == (True, False, True, True):  # IMPLIED_BY: g + ~h
+            root = network.binary("or", g_root, network.negate(h_root))
+        elif row == (True, True, True, False):  # NAND
+            root = network.negate(network.binary("and", g_root, h_root))
+        elif row == (False, True, True, False):  # XOR
+            root = network.binary("xor", g_root, h_root)
+        elif row == (True, False, False, True):  # XNOR
+            root = network.negate(network.binary("xor", g_root, h_root))
+        else:
+            raise ValueError(f"unsupported operator row {row}")
+        # Replace the helper outputs with the combined one.
+        del network.outputs[f"_g{index}"]
+        del network.outputs[f"_h{index}"]
+        network.set_output(f"f{index}", root)
+    return map_network(network, library).area

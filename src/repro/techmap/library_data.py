@@ -1,0 +1,48 @@
+"""Embedded gate library in genlib format.
+
+The gate set mirrors the classic ``mcnc.genlib`` shipped with SIS
+(inverter, NAND/NOR ladders, AND/OR, XOR/XNOR, AOI/OAI cells).  Areas
+are on a normalized scale — roughly "grid units" with an inverter at 1 —
+chosen so that mapped areas of the benchmark suite land in the same
+numeric range as the paper's tables.  Since the experiment harness only
+compares areas of different realizations of the *same* function under
+the *same* library, only relative areas matter for the reproduced gains.
+"""
+
+from repro.techmap.genlib import GateLibrary, parse_genlib
+
+MCNC_LIKE_GENLIB = """
+# mcnc-style library, normalized areas (inv = 1)
+GATE inv1    1.0  O=!a;            PIN a INV 1 999 0.9 0.3 0.9 0.3
+GATE nand2   2.0  O=!(a*b);        PIN * INV 1 999 1.0 0.2 1.0 0.2
+GATE nand3   3.0  O=!(a*b*c);      PIN * INV 1 999 1.1 0.3 1.1 0.3
+GATE nand4   4.0  O=!(a*b*c*d);    PIN * INV 1 999 1.2 0.3 1.2 0.3
+GATE nor2    2.0  O=!(a+b);        PIN * INV 1 999 1.4 0.5 1.4 0.5
+GATE nor3    3.0  O=!(a+b+c);      PIN * INV 1 999 2.4 0.7 2.4 0.7
+GATE nor4    4.0  O=!(a+b+c+d);    PIN * INV 1 999 3.8 1.0 3.8 1.0
+GATE and2    3.0  O=a*b;           PIN * NONINV 1 999 1.9 0.3 1.9 0.3
+GATE and3    4.0  O=a*b*c;         PIN * NONINV 1 999 2.0 0.3 2.0 0.3
+GATE and4    5.0  O=a*b*c*d;       PIN * NONINV 1 999 2.2 0.3 2.2 0.3
+GATE or2     3.0  O=a+b;           PIN * NONINV 1 999 2.4 0.3 2.4 0.3
+GATE or3     4.0  O=a+b+c;         PIN * NONINV 1 999 2.7 0.3 2.7 0.3
+GATE or4     5.0  O=a+b+c+d;       PIN * NONINV 1 999 3.0 0.3 3.0 0.3
+GATE xor2    5.0  O=a^b;           PIN * UNKNOWN 2 999 1.9 0.5 1.9 0.5
+GATE xnor2   5.0  O=!(a^b);        PIN * UNKNOWN 2 999 2.1 0.5 2.1 0.5
+GATE aoi21   3.0  O=!(a*b+c);      PIN * INV 1 999 1.6 0.4 1.6 0.4
+GATE aoi22   4.0  O=!(a*b+c*d);    PIN * INV 1 999 2.0 0.4 2.0 0.4
+GATE oai21   3.0  O=!((a+b)*c);    PIN * INV 1 999 1.6 0.4 1.6 0.4
+GATE oai22   4.0  O=!((a+b)*(c+d)); PIN * INV 1 999 2.0 0.4 2.0 0.4
+GATE buf     2.0  O=a;             PIN a NONINV 1 999 1.0 0.3 1.0 0.3
+GATE zero    0.0  O=CONST0;
+GATE one     0.0  O=CONST1;
+"""
+
+_DEFAULT: GateLibrary | None = None
+
+
+def default_library() -> GateLibrary:
+    """The embedded mcnc-style library (parsed once and cached)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = parse_genlib(MCNC_LIKE_GENLIB)
+    return _DEFAULT

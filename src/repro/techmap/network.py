@@ -1,0 +1,195 @@
+"""Multi-level logic networks built from two-level and 2-SPP forms.
+
+A :class:`LogicNetwork` is a DAG of primitive nodes (``input``,
+``const0``, ``const1``, ``not``, and binary ``and``/``or``/``xor``).
+Builders construct the natural circuit of an SOP (AND-OR with input
+inverters) or of a 2-SPP form (XOR-AND-OR), with wide gates binarized
+into *left-deep* chains — the same shape the genlib pattern trees use,
+so the tree mapper can recognize multi-input cells (nand3, aoi21, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cover.cover import Cover
+from repro.spp.spp_cover import SppCover
+from repro.utils.bitops import bit_indices
+
+
+@dataclass(frozen=True)
+class Node:
+    """A primitive network node; ``fanins`` are node ids."""
+
+    kind: str
+    fanins: tuple[int, ...] = ()
+    name: str = ""
+
+
+class LogicNetwork:
+    """A DAG of primitive logic nodes with named primary outputs.
+
+    Structural hashing keeps the DAG non-redundant: building the same
+    (kind, fanins) node twice returns the same id, so shared input
+    inverters and repeated factors are represented once.
+    """
+
+    def __init__(self, input_names: list[str] | tuple[str, ...]) -> None:
+        self.nodes: list[Node] = []
+        self.outputs: dict[str, int] = {}
+        self._hash: dict[tuple, int] = {}
+        self._inputs: dict[str, int] = {}
+        for name in input_names:
+            node_id = self._add(Node("input", (), name))
+            self._inputs[name] = node_id
+
+    # -- construction ------------------------------------------------------
+    def _add(self, node: Node) -> int:
+        key = (node.kind, node.fanins, node.name)
+        existing = self._hash.get(key)
+        if existing is not None:
+            return existing
+        node_id = len(self.nodes)
+        self.nodes.append(node)
+        self._hash[key] = node_id
+        return node_id
+
+    def input_id(self, name: str) -> int:
+        """Node id of a primary input."""
+        return self._inputs[name]
+
+    def const(self, value: int | bool) -> int:
+        """Constant node."""
+        return self._add(Node("const1" if value else "const0"))
+
+    def negate(self, node_id: int) -> int:
+        """NOT node, collapsing double negation."""
+        node = self.nodes[node_id]
+        if node.kind == "not":
+            return node.fanins[0]
+        if node.kind == "const0":
+            return self.const(1)
+        if node.kind == "const1":
+            return self.const(0)
+        return self._add(Node("not", (node_id,)))
+
+    def binary(self, kind: str, left: int, right: int) -> int:
+        """Binary ``and``/``or``/``xor`` node with trivial simplifications."""
+        if kind not in ("and", "or", "xor"):
+            raise ValueError(f"bad binary kind {kind!r}")
+        left_kind = self.nodes[left].kind
+        right_kind = self.nodes[right].kind
+        if kind == "and":
+            if left_kind == "const0" or right_kind == "const0":
+                return self.const(0)
+            if left_kind == "const1":
+                return right
+            if right_kind == "const1":
+                return left
+        elif kind == "or":
+            if left_kind == "const1" or right_kind == "const1":
+                return self.const(1)
+            if left_kind == "const0":
+                return right
+            if right_kind == "const0":
+                return left
+        else:
+            if left_kind == "const0":
+                return right
+            if right_kind == "const0":
+                return left
+            if left_kind == "const1":
+                return self.negate(right)
+            if right_kind == "const1":
+                return self.negate(left)
+        return self._add(Node(kind, (left, right)))
+
+    def chain(self, kind: str, operands: list[int]) -> int:
+        """Left-deep chain of a wide AND/OR/XOR."""
+        if not operands:
+            return self.const(1 if kind == "and" else 0)
+        result = operands[0]
+        for operand in operands[1:]:
+            result = self.binary(kind, result, operand)
+        return result
+
+    def set_output(self, name: str, node_id: int) -> None:
+        """Declare a primary output."""
+        self.outputs[name] = node_id
+
+    # -- builders -----------------------------------------------------------
+    def add_cover(self, cover: Cover, output_name: str) -> int:
+        """Add the AND-OR circuit of an SOP cover; returns the root id."""
+        names = list(self._inputs)
+        products = []
+        for cube in cover.cubes:
+            literals = []
+            for var in bit_indices(cube.pos):
+                literals.append(self.input_id(names[var]))
+            for var in bit_indices(cube.neg):
+                literals.append(self.negate(self.input_id(names[var])))
+            products.append(self.chain("and", literals))
+        root = self.chain("or", products)
+        self.set_output(output_name, root)
+        return root
+
+    def add_spp_cover(self, cover: SppCover, output_name: str) -> int:
+        """Add the XOR-AND-OR circuit of a 2-SPP cover; returns the root id."""
+        names = list(self._inputs)
+        products = []
+        for pc in cover.pseudocubes:
+            factors = []
+            for var in bit_indices(pc.pos):
+                factors.append(self.input_id(names[var]))
+            for var in bit_indices(pc.neg):
+                factors.append(self.negate(self.input_id(names[var])))
+            for xor in sorted(pc.xors):
+                gate = self.binary(
+                    "xor", self.input_id(names[xor.i]), self.input_id(names[xor.j])
+                )
+                factors.append(gate if xor.phase else self.negate(gate))
+            products.append(self.chain("and", factors))
+        root = self.chain("or", products)
+        self.set_output(output_name, root)
+        return root
+
+    # -- analysis -------------------------------------------------------------
+    def evaluate(self, assignment: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate all outputs on an input assignment."""
+        values: list[bool | None] = [None] * len(self.nodes)
+        for node_id, node in enumerate(self.nodes):
+            if node.kind == "input":
+                values[node_id] = bool(assignment[node.name])
+            elif node.kind == "const0":
+                values[node_id] = False
+            elif node.kind == "const1":
+                values[node_id] = True
+            elif node.kind == "not":
+                values[node_id] = not values[node.fanins[0]]
+            elif node.kind == "and":
+                values[node_id] = values[node.fanins[0]] and values[node.fanins[1]]
+            elif node.kind == "or":
+                values[node_id] = values[node.fanins[0]] or values[node.fanins[1]]
+            elif node.kind == "xor":
+                values[node_id] = values[node.fanins[0]] != values[node.fanins[1]]
+            else:
+                raise ValueError(f"bad node kind {node.kind!r}")
+        return {name: bool(values[node_id]) for name, node_id in self.outputs.items()}
+
+    def fanout_counts(self) -> list[int]:
+        """Fanout count per node (outputs add one reference each)."""
+        counts = [0] * len(self.nodes)
+        for node in self.nodes:
+            for fanin in node.fanins:
+                counts[fanin] += 1
+        for node_id in self.outputs.values():
+            counts[node_id] += 1
+        return counts
+
+    def gate_count(self) -> int:
+        """Number of non-input, non-constant nodes."""
+        return sum(
+            1
+            for node in self.nodes
+            if node.kind not in ("input", "const0", "const1")
+        )

@@ -1,0 +1,27 @@
+"""Cost metrics for two-level forms."""
+
+from __future__ import annotations
+
+from repro.cover.cover import Cover
+
+
+def sop_cost(cover: Cover) -> tuple[int, int]:
+    """Classic two-level cost: ``(products, literals)``, compared
+    lexicographically."""
+    return cover.cube_count(), cover.literal_count()
+
+
+def sop_gate_input_count(cover: Cover) -> int:
+    """Gate-input count of the AND-OR network realizing the cover.
+
+    Each cube with ``k >= 2`` literals is an AND gate with ``k`` inputs;
+    the OR gate has one input per product.  Single-literal cubes feed the
+    OR directly.  This is the usual pre-mapping area proxy.
+    """
+    inputs = 0
+    for cube in cover.cubes:
+        if cube.literal_count >= 2:
+            inputs += cube.literal_count
+    if cover.cube_count() >= 2:
+        inputs += cover.cube_count()
+    return inputs

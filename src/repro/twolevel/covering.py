@@ -1,0 +1,187 @@
+"""Minimum-cost unate covering (set covering) with branch and bound.
+
+Shared by exact Quine–McCluskey SOP minimization and exact 2-SPP
+synthesis: rows are objects to cover (on-set minterms), columns are
+candidate implicants with costs.
+
+The solver applies the classic reductions — essential columns, row
+dominance, column dominance — and then branches on the row with the
+fewest covering columns, using a maximal-independent-set lower bound for
+pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CoveringProblem:
+    """A unate covering instance.
+
+    ``columns[j]`` is the set of row indices column ``j`` covers;
+    ``costs[j]`` its positive cost.  Rows are ``range(n_rows)``.
+    """
+
+    n_rows: int
+    columns: list[frozenset[int]]
+    costs: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.costs):
+            raise ValueError("columns and costs must align")
+        if any(cost <= 0 for cost in self.costs):
+            raise ValueError("costs must be positive")
+
+
+def solve_covering(
+    problem: CoveringProblem, max_nodes: int = 200_000
+) -> list[int]:
+    """Return indices of a minimum-cost set of columns covering all rows.
+
+    Raises ``ValueError`` if some row cannot be covered.  ``max_nodes``
+    bounds the branch-and-bound search; if exhausted, the best solution
+    found so far is returned (still a valid cover), making the solver
+    usable as an any-time heuristic on large instances.
+    """
+    column_rows = [set(rows) for rows in problem.columns]
+    costs = problem.costs
+    all_rows = set(range(problem.n_rows))
+    coverable = set().union(*column_rows) if column_rows else set()
+    if all_rows - coverable:
+        raise ValueError(f"rows {sorted(all_rows - coverable)} cannot be covered")
+
+    best_solution: list[int] | None = None
+    best_cost = float("inf")
+    nodes_visited = 0
+
+    def row_to_columns(rows: set[int], active: list[int]) -> dict[int, list[int]]:
+        table: dict[int, list[int]] = {row: [] for row in rows}
+        for j in active:
+            for row in column_rows[j] & rows:
+                table[row].append(j)
+        return table
+
+    def lower_bound(rows: set[int], active: list[int]) -> float:
+        """Greedy maximal independent set of rows: sum of each row's
+        cheapest covering column is a valid lower bound."""
+        remaining = set(rows)
+        table = row_to_columns(rows, active)
+        bound = 0.0
+        while remaining:
+            # Pick the row whose covering columns are fewest (hardest row).
+            row = min(remaining, key=lambda r: len(table[r]))
+            cols = table[row]
+            if not cols:
+                return float("inf")
+            bound += min(costs[j] for j in cols)
+            # Remove all rows sharing a column with `row` (not independent).
+            touched = set()
+            for j in cols:
+                touched |= column_rows[j]
+            remaining -= touched
+            remaining.discard(row)
+        return bound
+
+    def search(rows: set[int], active: list[int], chosen: list[int], cost: float) -> None:
+        nonlocal best_solution, best_cost, nodes_visited
+        nodes_visited += 1
+        if nodes_visited > max_nodes:
+            return
+        if not rows:
+            if cost < best_cost:
+                best_cost = cost
+                best_solution = list(chosen)
+            return
+        if cost + lower_bound(rows, active) >= best_cost:
+            return
+
+        # Reductions loop.
+        rows = set(rows)
+        active = list(active)
+        chosen = list(chosen)
+        changed = True
+        while changed and rows:
+            changed = False
+            table = row_to_columns(rows, active)
+            # Essential columns: a row covered by exactly one column.
+            for row, cols in table.items():
+                if not cols:
+                    return  # infeasible branch
+                if len(cols) == 1:
+                    j = cols[0]
+                    chosen.append(j)
+                    cost += costs[j]
+                    rows -= column_rows[j]
+                    active = [k for k in active if k != j]
+                    changed = True
+                    break
+            if changed:
+                continue
+            # Column dominance: drop k if some j covers a superset at <= cost.
+            pruned = []
+            active_sorted = sorted(
+                active, key=lambda j: (-len(column_rows[j] & rows), costs[j])
+            )
+            kept: list[int] = []
+            for j in active_sorted:
+                j_rows = column_rows[j] & rows
+                if not j_rows:
+                    pruned.append(j)
+                    continue
+                dominated = any(
+                    j_rows <= (column_rows[k] & rows) and costs[k] <= costs[j]
+                    for k in kept
+                )
+                if dominated:
+                    pruned.append(j)
+                else:
+                    kept.append(j)
+            if pruned:
+                active = [j for j in active if j not in set(pruned)]
+                changed = True
+        if not rows:
+            if cost < best_cost:
+                best_cost = cost
+                best_solution = list(chosen)
+            return
+        if cost + lower_bound(rows, active) >= best_cost:
+            return
+
+        # Branch on the hardest row.
+        table = row_to_columns(rows, active)
+        branch_row = min(rows, key=lambda r: len(table[r]))
+        candidates = sorted(table[branch_row], key=lambda j: costs[j])
+        if not candidates:
+            return
+        for j in candidates:
+            search(
+                rows - column_rows[j],
+                [k for k in active if k != j],
+                chosen + [j],
+                cost + costs[j],
+            )
+
+    search(all_rows, list(range(len(column_rows))), [], 0.0)
+    if best_solution is None:
+        # Search budget exhausted before any full cover: fall back to greedy.
+        best_solution = _greedy_cover(all_rows, column_rows, costs)
+    return sorted(best_solution)
+
+
+def _greedy_cover(
+    rows: set[int], column_rows: list[set[int]], costs: list[float]
+) -> list[int]:
+    remaining = set(rows)
+    chosen: list[int] = []
+    while remaining:
+        best_j = max(
+            range(len(column_rows)),
+            key=lambda j: (len(column_rows[j] & remaining) / costs[j]),
+        )
+        gain = column_rows[best_j] & remaining
+        if not gain:
+            raise ValueError("greedy fallback stuck: uncoverable rows remain")
+        chosen.append(best_j)
+        remaining -= gain
+    return chosen

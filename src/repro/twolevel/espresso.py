@@ -1,0 +1,152 @@
+"""Espresso-style heuristic SOP minimization with BDD oracles.
+
+The classic EXPAND / IRREDUNDANT / REDUCE loop is kept, but validity
+checks ("does this expanded cube hit the off-set?", "is this cube covered
+by the rest of the cover plus the dc-set?") are answered exactly with BDD
+operations instead of unate recursion on covers.  This keeps the
+implementation compact and exactly correct while preserving espresso's
+cost behaviour (product count first, literal count second).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDD, Function
+from repro.bdd.ops import isop
+from repro.boolfunc.isf import ISF
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+
+
+def supercube_of(function: Function, n_vars: int) -> Cube | None:
+    """Smallest cube containing a non-empty function (``None`` if empty)."""
+    if function.is_false:
+        return None
+    mgr = function.mgr
+    pos = neg = 0
+    for var in range(n_vars):
+        literal = mgr.var_at(var)
+        if function <= literal:
+            pos |= 1 << var
+        elif function <= ~literal:
+            neg |= 1 << var
+    return Cube(n_vars, pos, neg)
+
+
+def initial_cover(isf: ISF) -> Cover:
+    """Seed cover from Minato–Morreale ISOP between on and on ∪ dc."""
+    cubes, _realized = isop(isf.on, isf.upper)
+    mgr = isf.mgr
+    return Cover.from_isop(mgr.n_vars, cubes, mgr.var_names)
+
+
+def _cover_cost(cover: Cover) -> tuple[int, int]:
+    return cover.cube_count(), cover.literal_count()
+
+
+def _expand(cover: Cover, off: Function, mgr: BDD) -> Cover:
+    """Expand each cube against the off-set, then drop contained cubes.
+
+    Literal-removal order: variables whose removal frees the most minterms
+    are tried first (higher chance of enabling later removals to still be
+    valid is symmetrical, so a simple fixed order with retry is used).
+    """
+    expanded: list[Cube] = []
+    # Most-specific cubes first: they gain the most from expansion.
+    order = sorted(cover.cubes, key=lambda c: -c.literal_count)
+    for cube in order:
+        current = cube
+        current_fn = current.to_function(mgr)
+        changed = True
+        while changed:
+            changed = False
+            for var, _polarity in sorted(current.literals()):
+                candidate = current.without_variable(var)
+                candidate_fn = candidate.to_function(mgr)
+                if (candidate_fn & off).is_false:
+                    current = candidate
+                    current_fn = candidate_fn
+                    changed = True
+        expanded.append(current)
+    return Cover(cover.n_vars, expanded).single_cube_containment()
+
+
+def _irredundant(cover: Cover, dc: Function, mgr: BDD) -> Cover:
+    """Greedy irredundant pass (single sweep with prefix/suffix unions)."""
+    cubes = cover.cubes
+    if not cubes:
+        return cover
+    functions = [cube.to_function(mgr) for cube in cubes]
+    suffix: list[Function] = [mgr.false] * (len(cubes) + 1)
+    for index in range(len(cubes) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] | functions[index]
+    kept: list[Cube] = []
+    prefix = dc
+    for index, (cube, function) in enumerate(zip(cubes, functions)):
+        rest = prefix | suffix[index + 1]
+        if function <= rest:
+            continue  # redundant: covered by the others plus dc
+        kept.append(cube)
+        prefix = prefix | function
+    return Cover(cover.n_vars, kept)
+
+
+def _reduce(cover: Cover, on: Function, dc: Function, mgr: BDD) -> Cover:
+    """Shrink each cube onto the on-set part only it covers."""
+    cubes = cover.cubes
+    if not cubes:
+        return cover
+    functions = [cube.to_function(mgr) for cube in cubes]
+    suffix: list[Function] = [mgr.false] * (len(cubes) + 1)
+    for index in range(len(cubes) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] | functions[index]
+    reduced: list[Cube] = []
+    prefix = mgr.false
+    for index, (cube, function) in enumerate(zip(cubes, functions)):
+        others = prefix | suffix[index + 1]
+        required = (function & on) - others
+        smaller = supercube_of(required, cover.n_vars)
+        if smaller is not None:
+            reduced.append(smaller)
+            prefix = prefix | smaller.to_function(mgr)
+        # A cube with no private on-set minterms is dropped outright.
+    return Cover(cover.n_vars, reduced)
+
+
+def espresso_minimize(
+    isf: ISF,
+    initial: Cover | None = None,
+    max_iterations: int = 8,
+) -> Cover:
+    """Heuristically minimize an ISF into an SOP cover.
+
+    The result always satisfies ``on <= cover <= on ∪ dc`` (asserted
+    before returning).  ``initial`` may seed the loop with an existing
+    cover of the same interval.
+    """
+    mgr = isf.mgr
+    on, dc, off = isf.on, isf.dc, isf.off
+    if on.is_false:
+        return Cover(mgr.n_vars, [])
+    if off.is_false:
+        return Cover(mgr.n_vars, [Cube.tautology(mgr.n_vars)])
+
+    cover = initial if initial is not None else initial_cover(isf)
+    cover = _expand(cover, off, mgr)
+    cover = _irredundant(cover, dc, mgr)
+    best = cover
+    best_cost = _cover_cost(cover)
+
+    for _iteration in range(max_iterations):
+        cover = _reduce(cover, on, dc, mgr)
+        cover = _expand(cover, off, mgr)
+        cover = _irredundant(cover, dc, mgr)
+        cost = _cover_cost(cover)
+        if cost < best_cost:
+            best, best_cost = cover, cost
+        else:
+            break
+
+    realized = best.to_function(mgr)
+    if not (on <= realized and realized <= isf.upper):
+        raise AssertionError("espresso produced an invalid cover")
+    return best

@@ -1,0 +1,107 @@
+"""Exact two-level minimization (Quine–McCluskey with don't-cares).
+
+Primes are generated over ``on ∪ dc`` by iterated pairwise merging of
+implicants grouped by popcount; the minimum cover of the on-set is then
+found by the branch-and-bound solver in :mod:`repro.twolevel.covering`.
+
+Implicants are ``(value, mask)`` pairs in *minterm bit order* (variable 0
+is the most significant bit): ``mask`` has 1-bits on don't-care positions
+and ``value`` carries the fixed bits.  The conversion to
+:class:`~repro.cover.cube.Cube` flips to variable-index order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+from repro.twolevel.covering import CoveringProblem, solve_covering
+
+
+def _implicant_to_cube(n_vars: int, value: int, mask: int) -> Cube:
+    pos = neg = 0
+    for var in range(n_vars):
+        bit = 1 << (n_vars - 1 - var)
+        if mask & bit:
+            continue
+        if value & bit:
+            pos |= 1 << var
+        else:
+            neg |= 1 << var
+    return Cube(n_vars, pos, neg)
+
+
+def generate_primes(
+    n_vars: int, on_minterms: Iterable[int], dc_minterms: Iterable[int] = ()
+) -> list[Cube]:
+    """All prime implicants of the interval [on, on ∪ dc]."""
+    minterms = set(on_minterms) | set(dc_minterms)
+    if not minterms:
+        return []
+    if len(minterms) == 1 << n_vars:
+        return [Cube.tautology(n_vars)]
+
+    current: set[tuple[int, int]] = {(m, 0) for m in minterms}
+    primes: list[tuple[int, int]] = []
+    while current:
+        merged_away: set[tuple[int, int]] = set()
+        next_level: set[tuple[int, int]] = set()
+        by_mask: dict[int, list[tuple[int, int]]] = {}
+        for value, mask in current:
+            by_mask.setdefault(mask, []).append((value, mask))
+        for mask, group in by_mask.items():
+            by_count: dict[int, list[int]] = {}
+            for value, _ in group:
+                by_count.setdefault(value.bit_count(), []).append(value)
+            for count, values in by_count.items():
+                partners = by_count.get(count + 1, [])
+                value_set = set(values)
+                for value in values:
+                    for partner in partners:
+                        diff = value ^ partner
+                        if diff.bit_count() == 1:
+                            next_level.add((value & partner, mask | diff))
+                            merged_away.add((value, mask))
+                            merged_away.add((partner, mask))
+                del value_set
+        primes.extend(imp for imp in current if imp not in merged_away)
+        current = next_level
+
+    return [_implicant_to_cube(n_vars, value, mask) for value, mask in primes]
+
+
+def minimize_exact(
+    n_vars: int,
+    on_minterms: Iterable[int],
+    dc_minterms: Iterable[int] = (),
+    literal_weight: int = 1,
+    product_weight: int = 1000,
+    max_nodes: int = 200_000,
+) -> Cover:
+    """Minimum SOP cover of the on-set, using the dc-set freely.
+
+    The default cost orders solutions primarily by product count and
+    secondarily by literal count, matching classic two-level practice.
+    """
+    on_list = sorted(set(on_minterms))
+    dc_set = set(dc_minterms)
+    if not on_list:
+        return Cover(n_vars, [])
+    primes = generate_primes(n_vars, on_list, dc_set)
+    row_index = {minterm: row for row, minterm in enumerate(on_list)}
+
+    columns = []
+    costs = []
+    for prime in primes:
+        covered = frozenset(
+            row_index[m] for m in on_list if prime.contains_minterm(m)
+        )
+        if covered:
+            columns.append(covered)
+            costs.append(product_weight + literal_weight * prime.literal_count)
+    usable = [prime for prime in primes if any(prime.contains_minterm(m) for m in on_list)]
+
+    problem = CoveringProblem(len(on_list), columns, costs)
+    chosen = solve_covering(problem, max_nodes=max_nodes)
+    return Cover(n_vars, [usable[j] for j in chosen])

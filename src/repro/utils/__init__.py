@@ -1,0 +1,25 @@
+"""Shared low-level utilities: bit manipulation, timing, deterministic RNG."""
+
+from repro.utils.bitops import (
+    bit_count,
+    bit_indices,
+    gray_code,
+    iter_minterms,
+    mask_for,
+    minterm_to_assignment,
+    popcount_below,
+)
+from repro.utils.rng import make_rng
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "Stopwatch",
+    "bit_count",
+    "bit_indices",
+    "gray_code",
+    "iter_minterms",
+    "make_rng",
+    "mask_for",
+    "minterm_to_assignment",
+    "popcount_below",
+]

@@ -1,0 +1,67 @@
+"""Bit-level helpers shared by truth tables, cubes, and minterm iteration.
+
+Conventions used throughout the library:
+
+* A *minterm* of an ``n``-variable function is an integer in
+  ``range(2 ** n)``.
+* Variable 0 is the **most significant bit** of the minterm index, so for
+  variables ``[x1, x2, x3, x4]`` the minterm ``x1=1, x2=0, x3=1, x4=1``
+  has index ``0b1011 = 11``.  This matches the row-then-column reading of
+  the Karnaugh maps in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+def mask_for(n_vars: int) -> int:
+    """Return the all-ones truth-table mask for ``n_vars`` variables."""
+    return (1 << (1 << n_vars)) - 1
+
+
+def bit_count(value: int) -> int:
+    """Population count of a non-negative integer."""
+    return value.bit_count()
+
+
+def bit_indices(value: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``value``, lowest first."""
+    while value:
+        low = value & -value
+        yield low.bit_length() - 1
+        value ^= low
+
+
+def popcount_below(value: int, limit: int) -> int:
+    """Count set bits of ``value`` at positions strictly below ``limit``."""
+    return (value & ((1 << limit) - 1)).bit_count()
+
+
+def iter_minterms(n_vars: int) -> Iterator[int]:
+    """Iterate all minterm indices of an ``n_vars``-variable space."""
+    return iter(range(1 << n_vars))
+
+
+def minterm_to_assignment(minterm: int, n_vars: int) -> tuple[int, ...]:
+    """Expand a minterm index into per-variable bits.
+
+    Variable 0 is the most significant bit::
+
+        >>> minterm_to_assignment(0b1011, 4)
+        (1, 0, 1, 1)
+    """
+    return tuple((minterm >> (n_vars - 1 - i)) & 1 for i in range(n_vars))
+
+
+def assignment_to_minterm(bits: tuple[int, ...] | list[int]) -> int:
+    """Inverse of :func:`minterm_to_assignment`."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (bit & 1)
+    return value
+
+
+def gray_code(index: int) -> int:
+    """Return the ``index``-th Gray code (used for Karnaugh-map axes)."""
+    return index ^ (index >> 1)

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.convert import truthtable_to_function
+from repro.boolfunc.isf import ISF
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils.rng import make_rng
+
+
+def fresh_manager(n_vars: int) -> BDD:
+    """A manager with variables x1..xn (x1 on top of the order)."""
+    return BDD([f"x{i + 1}" for i in range(n_vars)])
+
+
+def isf_from_masks(mgr: BDD, on_bits: int, dc_bits: int) -> ISF:
+    """Build an ISF from truth-table bitmasks (dc wins overlaps)."""
+    n = mgr.n_vars
+    dc_bits &= (1 << (1 << n)) - 1
+    on_bits &= ~dc_bits
+    on = truthtable_to_function(mgr, TruthTable(n, on_bits))
+    dc = truthtable_to_function(mgr, TruthTable(n, dc_bits))
+    return ISF(on, dc)
+
+
+def brute_force_equal(mgr: BDD, function, predicate) -> bool:
+    """Compare a BDD function against a Python predicate on all minterms."""
+    return all(
+        bool(function(m)) == bool(predicate(m)) for m in range(1 << mgr.n_vars)
+    )
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG, fresh per test."""
+    return make_rng("pytest")
+
+
+@pytest.fixture
+def mgr4():
+    """A 4-variable manager (the paper's figure size)."""
+    return fresh_manager(4)
+
+
+@pytest.fixture
+def mgr5():
+    """A 5-variable manager."""
+    return fresh_manager(5)

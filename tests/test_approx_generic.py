@@ -1,0 +1,111 @@
+"""Tests for the generic random approximators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.error import error_count, error_rate, output_error_rate
+from repro.approx.generic import (
+    approximation_for_kind,
+    approximation_for_operator,
+    mixed_approximation,
+    over_approximation,
+    under_approximation,
+)
+from repro.core.operators import OPERATORS, ApproximationKind
+from repro.core.quotient import validate_divisor
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager, isf_from_masks
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+rates = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(tt_bits, tt_bits, rates, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_over_approximation_direction(on_bits, dc_bits, rate, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, dc_bits)
+    g = over_approximation(f, rate, make_rng(seed))
+    assert f.on <= g  # 0->1 only
+    assert (g & f.off & ~f.dc).satcount() == error_count(f, g)
+
+
+@given(tt_bits, tt_bits, rates, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_under_approximation_direction(on_bits, dc_bits, rate, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, dc_bits)
+    g = under_approximation(f, rate, make_rng(seed))
+    assert (g & f.off).is_false  # 1->0 only
+
+
+@given(tt_bits, rates, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, deadline=None)
+def test_mixed_approximation_error_count(on_bits, rate, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    g = mixed_approximation(f, rate, make_rng(seed))
+    care_minterms = 16
+    expected_flips = min(care_minterms, round(rate * care_minterms))
+    assert error_count(f, g) == expected_flips
+
+
+def test_rate_extremes():
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, 0b0000_1111_0000_1111, 0)
+    rng = make_rng(0)
+    exact = over_approximation(f, 0.0, rng)
+    assert exact == f.on
+    full = over_approximation(f, 1.0, make_rng(0))
+    assert full.is_true  # every off-minterm flipped
+
+
+@given(tt_bits, st.sampled_from(sorted(OPERATORS)), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=60, deadline=None)
+def test_operator_dispatch_yields_valid_divisor(on_bits, op_name, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0b0110)
+    op = OPERATORS[op_name]
+    rng = make_rng(seed)
+    g = approximation_for_operator(f, op, rate=rng.random(), rng=rng)
+    validate_divisor(f, g, op)  # must not raise
+
+
+def test_kind_dispatch_covers_all_kinds():
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, 0b0011_1100_0101_1010, 0)
+    rng = make_rng(1)
+    for kind in ApproximationKind:
+        g = approximation_for_kind(f, kind, 0.25, rng)
+        if kind is ApproximationKind.OVER_F:
+            assert f.on <= g
+        elif kind is ApproximationKind.UNDER_F:
+            assert g <= f.on
+        elif kind is ApproximationKind.OVER_COMPLEMENT:
+            assert f.off <= g
+        elif kind is ApproximationKind.UNDER_COMPLEMENT:
+            assert g <= f.off
+
+
+def test_error_rate_definition():
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, 0b0000_0000_1111_1111, 0)
+    g = f.on | mgr.minterm(15)
+    assert error_count(f, g) == 1
+    assert error_rate(f, g) == 1 / 16
+
+
+def test_output_error_rate_aggregates():
+    mgr = fresh_manager(4)
+    f0 = isf_from_masks(mgr, 0b0000_0000_1111_1111, 0)
+    f1 = isf_from_masks(mgr, 0b1111_0000_0000_0000, 0)
+    g0 = f0.on | mgr.minterm(15)  # 1 flip
+    g1 = f1.on | mgr.minterm(0) | mgr.minterm(1)  # 2 flips
+    assert output_error_rate([(f0, g0), (f1, g1)]) == 3 / 32
+
+
+def test_output_error_rate_requires_pairs():
+    import pytest
+
+    with pytest.raises(ValueError):
+        output_error_rate([])

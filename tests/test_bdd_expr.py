@@ -1,0 +1,96 @@
+"""Tests for the Boolean expression parser."""
+
+import pytest
+
+from repro.bdd.expr import ExpressionError, parse_expression
+from tests.conftest import fresh_manager
+
+
+@pytest.fixture
+def mgr():
+    return fresh_manager(4)
+
+
+def test_single_variable(mgr):
+    assert parse_expression(mgr, "x1") == mgr.var("x1")
+
+
+def test_constants(mgr):
+    assert parse_expression(mgr, "0").is_false
+    assert parse_expression(mgr, "1").is_true
+
+
+def test_not_forms(mgr):
+    x = mgr.var("x1")
+    assert parse_expression(mgr, "~x1") == ~x
+    assert parse_expression(mgr, "!x1") == ~x
+    assert parse_expression(mgr, "x1'") == ~x
+    assert parse_expression(mgr, "x1''") == x
+
+
+def test_precedence_and_over_xor_over_or(mgr):
+    x1, x2, x3 = mgr.var("x1"), mgr.var("x2"), mgr.var("x3")
+    assert parse_expression(mgr, "x1 | x2 & x3") == (x1 | (x2 & x3))
+    assert parse_expression(mgr, "x1 ^ x2 & x3") == (x1 ^ (x2 & x3))
+    assert parse_expression(mgr, "x1 | x2 ^ x3") == (x1 | (x2 ^ x3))
+
+
+def test_parentheses(mgr):
+    x1, x2, x3 = mgr.var("x1"), mgr.var("x2"), mgr.var("x3")
+    assert parse_expression(mgr, "(x1 | x2) & x3") == ((x1 | x2) & x3)
+
+
+def test_plus_and_star_aliases(mgr):
+    assert parse_expression(mgr, "x1 + x2") == parse_expression(mgr, "x1 | x2")
+    assert parse_expression(mgr, "x1 * x2") == parse_expression(mgr, "x1 & x2")
+
+
+def test_implicit_conjunction(mgr):
+    explicit = parse_expression(mgr, "x1 & (x2 | x3)")
+    implicit = parse_expression(mgr, "x1 (x2 | x3)")
+    assert explicit == implicit
+
+
+def test_implies(mgr):
+    x1, x2 = mgr.var("x1"), mgr.var("x2")
+    assert parse_expression(mgr, "x1 => x2") == (~x1 | x2)
+    # Right associative: a => b => c is a => (b => c).
+    x3 = mgr.var("x3")
+    assert parse_expression(mgr, "x1 => x2 => x3") == (~x1 | (~x2 | x3))
+
+
+def test_iff(mgr):
+    x1, x2 = mgr.var("x1"), mgr.var("x2")
+    assert parse_expression(mgr, "x1 <=> x2") == ~(x1 ^ x2)
+
+
+def test_paper_figure_expressions(mgr):
+    f1 = parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    assert sorted(f1.minterms()) == [7, 13, 15]
+    f2 = parse_expression(mgr, "(x1 | x2) & (x3 ^ x4)")
+    assert f2.satcount() == 6
+
+
+def test_trailing_tokens_rejected(mgr):
+    with pytest.raises(ExpressionError):
+        parse_expression(mgr, "x1 )")
+
+
+def test_bad_character_rejected(mgr):
+    with pytest.raises(ExpressionError):
+        parse_expression(mgr, "x1 @ x2")
+
+
+def test_empty_expression_rejected(mgr):
+    with pytest.raises(ExpressionError):
+        parse_expression(mgr, "")
+
+
+def test_unknown_variable_raises_keyerror(mgr):
+    with pytest.raises(KeyError):
+        parse_expression(mgr, "y9")
+
+
+def test_unbalanced_parenthesis(mgr):
+    with pytest.raises(ExpressionError):
+        parse_expression(mgr, "(x1 & x2")

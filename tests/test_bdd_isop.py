@@ -1,0 +1,81 @@
+"""Tests for Minato-Morreale ISOP extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.ops import count_nodes_dag, isop
+from repro.boolfunc.convert import truthtable_to_function
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import fresh_manager
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def function_from_bits(mgr, bits):
+    return truthtable_to_function(mgr, TruthTable(mgr.n_vars, bits))
+
+
+@given(tt_bits, tt_bits)
+@settings(max_examples=60, deadline=None)
+def test_isop_respects_bounds(bits_lower, bits_extra):
+    mgr = fresh_manager(4)
+    lower = function_from_bits(mgr, bits_lower & ~bits_extra)
+    upper = function_from_bits(mgr, bits_lower | bits_extra)
+    cubes, realized = isop(lower, upper)
+    assert lower <= realized
+    assert realized <= upper
+    # The cube list and the realized BDD agree.
+    rebuilt = mgr.false
+    for cube in cubes:
+        rebuilt = rebuilt | mgr.cube(cube)
+    assert rebuilt == realized
+
+
+def test_isop_exact_when_bounds_coincide():
+    mgr = fresh_manager(4)
+    f = function_from_bits(mgr, 0b0110_1001_1001_0110)  # xor-ish
+    cubes, realized = isop(f, f)
+    assert realized == f
+    assert len(cubes) == 8  # 4-variable parity needs 8 products
+
+
+def test_isop_constant_cases():
+    mgr = fresh_manager(3)
+    cubes, realized = isop(mgr.false, mgr.false)
+    assert cubes == [] and realized.is_false
+    cubes, realized = isop(mgr.true, mgr.true)
+    assert cubes == [{}] and realized.is_true
+
+
+def test_isop_rejects_bad_bounds():
+    mgr = fresh_manager(3)
+    with pytest.raises(ValueError):
+        isop(mgr.true, mgr.false)
+
+
+def test_isop_rejects_mixed_managers():
+    mgr_a = fresh_manager(2)
+    mgr_b = fresh_manager(2)
+    with pytest.raises(ValueError):
+        isop(mgr_a.false, mgr_b.true)
+
+
+def test_isop_uses_dc_to_simplify():
+    mgr = fresh_manager(4)
+    # on = one minterm, dc = the rest of a cube: ISOP may output the cube.
+    lower = mgr.minterm(0b1111)
+    upper = mgr.cube({"x1": 1})
+    cubes, realized = isop(lower, upper)
+    assert lower <= realized <= upper
+    total_literals = sum(len(cube) for cube in cubes)
+    assert total_literals <= 4  # far fewer than the 4-literal minterm alone
+
+
+def test_count_nodes_dag():
+    mgr = fresh_manager(3)
+    f = mgr.var("x1") & mgr.var("x2")
+    g = mgr.var("x1") & mgr.var("x2") | mgr.var("x3")
+    shared = count_nodes_dag([f, g])
+    assert shared <= f.size() + g.size()
+    assert count_nodes_dag([]) == 0

@@ -1,0 +1,125 @@
+"""Tests for the arithmetic benchmark generators."""
+
+import math
+
+import pytest
+
+from repro.benchgen.arithmetic import (
+    ARITHMETIC_GENERATORS,
+    adder,
+    interleaved_adder,
+)
+from repro.benchgen.paper_data import PAPER_ROWS
+
+
+def word_of(bit_functions, minterm, n_outputs):
+    value = 0
+    for fn in bit_functions:
+        value = (value << 1) | fn(minterm)
+    return value
+
+
+def test_all_generators_match_paper_arity():
+    for name, generator in ARITHMETIC_GENERATORS.items():
+        outputs, n_vars = generator()
+        row = PAPER_ROWS[name]
+        assert n_vars == row.n_inputs, name
+        assert len(outputs) == row.n_outputs, name
+
+
+def test_adder_is_correct():
+    outputs, n_vars = adder(3)
+    assert n_vars == 6
+    for a in range(8):
+        for b in range(8):
+            minterm = (a << 3) | b
+            assert word_of(outputs, minterm, 4) == a + b
+
+
+def test_adder_with_carry():
+    outputs, n_vars = adder(2, carry_in=True)
+    assert n_vars == 5
+    for a in range(4):
+        for b in range(4):
+            for carry in range(2):
+                minterm = (a << 3) | (b << 1) | carry
+                assert word_of(outputs, minterm, 3) == a + b + carry
+
+
+def test_interleaved_adder_matches_plain_adder_values():
+    outputs, n_vars = interleaved_adder(3)
+    assert n_vars == 6
+    for a in range(8):
+        for b in range(8):
+            minterm = 0
+            for i in range(3):
+                minterm = (minterm << 2) | (((a >> (2 - i)) & 1) << 1) | (
+                    (b >> (2 - i)) & 1
+                )
+            assert word_of(outputs, minterm, 4) == a + b
+
+
+def test_z4_is_3bit_adder_with_carry():
+    outputs, n_vars = ARITHMETIC_GENERATORS["z4"]()
+    assert n_vars == 7
+    minterm = (0b101 << 4) | (0b011 << 1) | 1  # 5 + 3 + 1
+    assert word_of(outputs, minterm, 4) == 9
+
+
+def test_dist_is_euclidean_norm():
+    outputs, n_vars = ARITHMETIC_GENERATORS["dist"]()
+    for a, b in ((0, 0), (3, 4), (15, 15), (7, 1)):
+        minterm = (a << 4) | b
+        assert word_of(outputs, minterm, 5) == round(math.sqrt(a * a + b * b))
+
+
+def test_clip_saturates():
+    outputs, n_vars = ARITHMETIC_GENERATORS["clip"]()
+    # a = 31, b = 15: (31*15) >> 3 = 58 -> saturates at 31.
+    minterm = (31 << 4) | 15
+    assert word_of(outputs, minterm, 5) == 31
+    # a = 2, b = 4: (8) >> 3 = 1.
+    minterm = (2 << 4) | 4
+    assert word_of(outputs, minterm, 5) == 1
+
+
+def test_power_laws_are_monotone_and_in_range():
+    for name, exponent_range in (("max512", 6), ("max1024", 6)):
+        outputs, n_vars = ARITHMETIC_GENERATORS[name]()
+        previous = 0
+        for x in range(1 << n_vars):
+            value = word_of(outputs, x, exponent_range)
+            assert 0 <= value < (1 << exponent_range)
+            assert value >= previous - 1  # allow rounding plateaus
+            previous = max(previous, value)
+
+
+def test_log8mod_values():
+    outputs, _ = ARITHMETIC_GENERATORS["log8mod"]()
+    assert word_of(outputs, 0, 5) == 0
+    assert word_of(outputs, 255, 5) == round(8 * math.log2(256)) % 32
+
+
+def test_z5xp1_affine():
+    outputs, _ = ARITHMETIC_GENERATORS["Z5xp1"]()
+    for x in (0, 1, 77, 127):
+        assert word_of(outputs, x, 10) == 5 * x + 1
+
+
+def test_ex7_leading_zeros():
+    outputs, _ = ARITHMETIC_GENERATORS["ex7"]()
+    assert word_of(outputs, 0, 5) == 16
+    assert word_of(outputs, 1, 5) == 15
+    assert word_of(outputs, 0x8000, 5) == 0
+    assert word_of(outputs, 0x0100, 5) == 7
+
+
+def test_radd_and_adr4_differ_structurally():
+    adr4_outputs, _ = ARITHMETIC_GENERATORS["adr4"]()
+    radd_outputs, _ = ARITHMETIC_GENERATORS["radd"]()
+    different = any(
+        adr4_outputs[j](m) != radd_outputs[j](m)
+        for j in range(5)
+        for m in range(0, 256, 7)
+    )
+    assert different

@@ -1,0 +1,67 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.benchgen.paper_data import (
+    PAPER_ROWS,
+    TABLE_III_ROWS,
+    TABLE_IV_ROWS,
+)
+from repro.benchgen.registry import (
+    BENCHMARKS,
+    load_benchmark,
+    table_benchmarks,
+)
+
+
+def test_all_paper_rows_are_registered():
+    assert set(BENCHMARKS) == set(PAPER_ROWS)
+    assert len(TABLE_III_ROWS) == 14
+    assert len(TABLE_IV_ROWS) == 11
+
+
+def test_table_partition():
+    table3 = {spec.name for spec in table_benchmarks("III")}
+    table4 = {spec.name for spec in table_benchmarks("IV")}
+    assert table3 & table4 == set()
+    assert table3 | table4 == set(BENCHMARKS)
+    assert "br1" in table3 and "z4" in table4
+
+
+def test_kinds():
+    assert BENCHMARKS["z4"].kind == "arithmetic"
+    assert BENCHMARKS["adr4"].kind == "arithmetic"
+    assert BENCHMARKS["br1"].kind == "synthetic"
+    assert BENCHMARKS["chkn"].kind == "synthetic"
+
+
+def test_unknown_benchmark():
+    with pytest.raises(KeyError):
+        load_benchmark("does-not-exist")
+
+
+def test_load_arithmetic_instance():
+    instance = load_benchmark("z4")
+    assert instance.name == "z4"
+    assert instance.mgr.n_vars == 7
+    assert len(instance.outputs) == 4
+    # Spot check: z4 is a 3+3+1 adder; MSB output on 7+7+1 = 15 = 0b1111.
+    minterm = (7 << 4) | (7 << 1) | 1
+    values = [f.on(minterm) for f in instance.outputs]
+    assert values == [True, True, True, True]
+    assert instance.paper_row() is not None
+    assert instance.paper_row().table == "IV"
+
+
+def test_load_synthetic_instance():
+    instance = load_benchmark("newtpla2")
+    assert instance.mgr.n_vars == 10
+    assert len(instance.outputs) == 4
+    for f in instance.outputs:
+        assert not f.on.is_false
+
+
+def test_outputs_are_completely_specified_for_arithmetic():
+    instance = load_benchmark("z4")
+    for f in instance.outputs:
+        assert f.is_completely_specified

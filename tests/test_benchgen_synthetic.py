@@ -1,0 +1,74 @@
+"""Tests for the synthetic control-logic PLA generators."""
+
+from repro.benchgen.paper_data import PAPER_ROWS
+from repro.benchgen.synthetic import (
+    SYNTHETIC_SPECS,
+    SyntheticSpec,
+    generate_pla,
+    output_cover,
+)
+
+
+def test_specs_match_paper_arity():
+    for name, spec in SYNTHETIC_SPECS.items():
+        row = PAPER_ROWS[name]
+        assert spec.n_inputs == row.n_inputs, name
+        assert spec.n_outputs == row.n_outputs, name
+
+
+def test_generation_is_deterministic():
+    spec = SYNTHETIC_SPECS["br1"]
+    first = generate_pla(spec)
+    second = generate_pla(spec)
+    assert [(c.to_string(), o) for c, o in first.rows] == [
+        (c.to_string(), o) for c, o in second.rows
+    ]
+
+
+def test_different_benchmarks_differ():
+    br1 = generate_pla(SYNTHETIC_SPECS["br1"])
+    br2 = generate_pla(SYNTHETIC_SPECS["br2"])
+    assert [(c.to_string(), o) for c, o in br1.rows] != [
+        (c.to_string(), o) for c, o in br2.rows
+    ]
+
+
+def test_every_output_has_minimum_support():
+    for name in ("br1", "newtpla2", "alcom"):
+        spec = SYNTHETIC_SPECS[name]
+        pla = generate_pla(spec)
+        for output in range(spec.n_outputs):
+            cover = output_cover(pla, output)
+            assert len(cover) >= spec.min_rows_per_output, (name, output)
+
+
+def test_row_count_close_to_spec():
+    for name, spec in SYNTHETIC_SPECS.items():
+        pla = generate_pla(spec)
+        # Clusters may overshoot n_rows slightly; output support may add
+        # a few more rows.
+        assert len(pla.rows) >= spec.n_rows, name
+        assert len(pla.rows) <= spec.n_rows + spec.n_outputs * spec.min_rows_per_output
+
+
+def test_clusters_create_overlapping_cubes():
+    """The cluster structure must create cube pairs at distance <= 1,
+    the property that makes pseudoproduct expansion cheap."""
+    pla = generate_pla(SYNTHETIC_SPECS["br1"])
+    cubes = [cube for cube, _outputs in pla.rows]
+    close_pairs = 0
+    for i, a in enumerate(cubes):
+        for b in cubes[i + 1 :]:
+            if a.distance(b) <= 1:
+                close_pairs += 1
+    assert close_pairs >= len(cubes) // 4
+
+
+def test_custom_spec_generation():
+    spec = SyntheticSpec("tiny", 5, 2, 6, 0.6, 1.2)
+    pla = generate_pla(spec)
+    assert pla.n_inputs == 5
+    assert pla.n_outputs == 2
+    mgr = pla.make_manager()
+    f = pla.output_isf(mgr, 0)
+    assert not f.on.is_false  # output 0 is supported

@@ -1,0 +1,117 @@
+"""Tests for the end-to-end bi-decomposition driver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.generic import approximation_for_operator
+from repro.bdd.expr import parse_expression
+from repro.boolfunc.isf import ISF
+from repro.core.bidecomposition import BiDecomposition, apply_operator, bidecompose
+from repro.core.operators import OPERATORS
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager, isf_from_masks
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+op_names = st.sampled_from(sorted(OPERATORS))
+
+
+@given(tt_bits, tt_bits, op_names)
+@settings(max_examples=40, deadline=None)
+def test_apply_operator_matches_truth_table(bits_g, bits_h, op_name):
+    mgr = fresh_manager(4)
+    from repro.boolfunc.convert import truthtable_to_function
+    from repro.boolfunc.truthtable import TruthTable
+
+    g = truthtable_to_function(mgr, TruthTable(4, bits_g))
+    h = truthtable_to_function(mgr, TruthTable(4, bits_h))
+    op = OPERATORS[op_name]
+    combined = apply_operator(op, g, h)
+    for m in range(16):
+        assert combined(m) == op(g(m), h(m))
+
+
+@given(tt_bits, op_names, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_bidecompose_all_operators(on_bits, op_name, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    op = OPERATORS[op_name]
+    rng = make_rng(seed)
+
+    def approximator(isf, operator):
+        return approximation_for_operator(isf, operator, rate=0.3, rng=rng)
+
+    dec = bidecompose(f, op, approximator)
+    assert dec.verify()
+    assert dec.op is op
+    # The minimized covers define a completely specified realization.
+    rebuilt = dec.reconstruct()
+    assert (rebuilt & f.care) == (f.on & f.care)
+
+
+def test_bidecompose_accepts_ready_divisor():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(
+        parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    )
+    g = parse_expression(mgr, "x2 & x4")
+    dec = bidecompose(f, "AND", g)
+    assert isinstance(dec, BiDecomposition)
+    assert dec.verify()
+    assert dec.g == g
+    # Paper Figure 1: total 4 literals (2 for g, 2 for h).
+    assert dec.literal_cost() == 4
+
+
+def test_error_metrics():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(
+        parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    )
+    g = parse_expression(mgr, "x2 & x4")
+    dec = bidecompose(f, "AND", g)
+    assert dec.error_set.satcount() == 1
+    assert dec.error_rate() == pytest.approx(1 / 16)
+
+
+def test_bidecompose_invalid_divisor_raises():
+    from repro.core.quotient import InvalidDivisorError
+
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "x1 | x2"))
+    with pytest.raises(InvalidDivisorError):
+        bidecompose(f, "AND", mgr.false)
+
+
+def test_h_completion_prefers_cover():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "(x1 | x2) & (x3 ^ x4)"))
+    g = parse_expression(mgr, "x3 ^ x4")
+    dec = bidecompose(f, "AND", g)
+    completion = dec.h_completion()
+    # The completion must be a completion of the full quotient.
+    assert dec.h.is_completion(completion)
+
+
+def test_verify_catches_bad_covers():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "x1 & x2"))
+    g = parse_expression(mgr, "x1")
+    dec = bidecompose(f, "AND", g)
+    # Sabotage the h cover.
+    from repro.spp.pseudocube import Pseudocube
+    from repro.spp.spp_cover import SppCover
+
+    dec.h_cover = SppCover(4, [Pseudocube.tautology(4)])
+    assert not dec.verify()
+
+
+def test_xor_decomposition_of_parity_is_free():
+    # f = x1 ^ x2 ^ x3, g = x1 ^ x2 (a 0<->1 approximation): h must be x3.
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "x1 ^ x2 ^ x3"))
+    g = parse_expression(mgr, "x1 ^ x2")
+    dec = bidecompose(f, "XOR", g)
+    assert dec.verify()
+    assert dec.h.on == mgr.var("x3")

@@ -1,0 +1,74 @@
+"""Unit tests for repro.utils.bitops."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    assignment_to_minterm,
+    bit_count,
+    bit_indices,
+    gray_code,
+    iter_minterms,
+    mask_for,
+    minterm_to_assignment,
+    popcount_below,
+)
+
+
+def test_mask_for_small_sizes():
+    assert mask_for(0) == 0b1
+    assert mask_for(1) == 0b11
+    assert mask_for(2) == 0b1111
+    assert mask_for(3) == 0xFF
+
+
+def test_bit_count_matches_python():
+    for value in (0, 1, 0b1011, 0xFFFF, 123456789):
+        assert bit_count(value) == bin(value).count("1")
+
+
+@given(st.integers(min_value=0, max_value=2**40 - 1))
+def test_bit_indices_reconstructs_value(value):
+    rebuilt = 0
+    previous = -1
+    for index in bit_indices(value):
+        assert index > previous  # ascending order
+        previous = index
+        rebuilt |= 1 << index
+    assert rebuilt == value
+
+
+@given(
+    st.integers(min_value=0, max_value=2**30 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+def test_popcount_below(value, limit):
+    expected = sum(1 for i in range(limit) if (value >> i) & 1)
+    assert popcount_below(value, limit) == expected
+
+
+def test_iter_minterms_is_exhaustive():
+    assert list(iter_minterms(3)) == list(range(8))
+
+
+def test_minterm_assignment_roundtrip_examples():
+    assert minterm_to_assignment(0b1011, 4) == (1, 0, 1, 1)
+    assert assignment_to_minterm((1, 0, 1, 1)) == 0b1011
+
+
+@given(st.integers(min_value=1, max_value=10), st.data())
+def test_minterm_assignment_roundtrip(n_vars, data):
+    minterm = data.draw(st.integers(min_value=0, max_value=(1 << n_vars) - 1))
+    bits = minterm_to_assignment(minterm, n_vars)
+    assert len(bits) == n_vars
+    assert assignment_to_minterm(bits) == minterm
+
+
+def test_gray_code_adjacent_codes_differ_by_one_bit():
+    for i in range(63):
+        assert bin(gray_code(i) ^ gray_code(i + 1)).count("1") == 1
+
+
+def test_gray_code_is_permutation():
+    codes = {gray_code(i) for i in range(16)}
+    assert codes == set(range(16))

@@ -1,0 +1,65 @@
+"""Tests for truth-table <-> BDD conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.convert import (
+    MAX_DENSE_VARS,
+    function_to_truthtable,
+    truthtable_to_function,
+)
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import fresh_manager
+
+
+@given(st.integers(min_value=1, max_value=6), st.data())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip(n_vars, data):
+    bits = data.draw(st.integers(min_value=0, max_value=(1 << (1 << n_vars)) - 1))
+    mgr = fresh_manager(n_vars)
+    table = TruthTable(n_vars, bits)
+    function = truthtable_to_function(mgr, table)
+    assert function_to_truthtable(function) == table
+    # Pointwise agreement too.
+    for m in range(1 << n_vars):
+        assert function(m) == table(m)
+
+
+def test_bit_order_convention():
+    # Variable 0 is the MSB of the minterm index on both sides.
+    mgr = fresh_manager(3)
+    table = TruthTable.variable(3, 0)
+    function = truthtable_to_function(mgr, table)
+    assert function == mgr.var("x1")
+
+
+def test_constants():
+    mgr = fresh_manager(3)
+    assert truthtable_to_function(mgr, TruthTable.zeros(3)).is_false
+    assert truthtable_to_function(mgr, TruthTable.ones(3)).is_true
+    assert function_to_truthtable(mgr.true) == TruthTable.ones(3)
+
+
+def test_arity_mismatch_rejected():
+    mgr = fresh_manager(3)
+    with pytest.raises(ValueError):
+        truthtable_to_function(mgr, TruthTable.zeros(4))
+
+
+def test_dense_limit_guard():
+    mgr = fresh_manager(2)
+    assert MAX_DENSE_VARS >= 16
+    # Small managers are fine.
+    function_to_truthtable(mgr.true)
+
+
+def test_structure_sharing_produces_small_bdds():
+    # Parity has a linear-size BDD even though its truth table is dense.
+    mgr = fresh_manager(8)
+    bits = 0
+    for m in range(256):
+        if bin(m).count("1") % 2:
+            bits |= 1 << m
+    parity = truthtable_to_function(mgr, TruthTable(8, bits))
+    assert parity.size() <= 2 * 8 + 2

@@ -1,0 +1,119 @@
+"""Tests for SOP covers, including the unate-recursion tautology check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+from tests.conftest import fresh_manager
+
+cover_strategy = st.builds(
+    lambda rows: Cover(4, [Cube.from_string("".join(r)) for r in rows]),
+    st.lists(
+        st.lists(st.sampled_from("01-"), min_size=4, max_size=4),
+        min_size=0,
+        max_size=6,
+    ),
+)
+
+
+def brute_on_set(cover: Cover) -> set[int]:
+    return {m for m in range(1 << cover.n_vars) if cover.contains_minterm(m)}
+
+
+def test_empty_cover_is_constant_zero():
+    cover = Cover(3, [])
+    assert brute_on_set(cover) == set()
+    assert not cover.is_tautology()
+    assert cover.literal_count() == 0
+
+
+def test_from_strings():
+    cover = Cover.from_strings(["1--0", "01--"])
+    assert cover.cube_count() == 2
+    assert cover.n_vars == 4
+
+
+def test_from_strings_empty_rejected():
+    with pytest.raises(ValueError):
+        Cover.from_strings([])
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Cover(3, [Cube.from_string("10-1")])
+
+
+@given(cover_strategy)
+@settings(max_examples=80, deadline=None)
+def test_tautology_matches_brute_force(cover):
+    assert cover.is_tautology() == (len(brute_on_set(cover)) == 16)
+
+
+@given(cover_strategy)
+@settings(max_examples=60, deadline=None)
+def test_to_function_matches_contains(cover):
+    mgr = fresh_manager(4)
+    function = cover.to_function(mgr)
+    assert {m for m in function.minterms()} == brute_on_set(cover)
+    assert cover.to_truthtable().bits == sum(
+        1 << m for m in brute_on_set(cover)
+    )
+
+
+@given(cover_strategy, st.lists(st.sampled_from("01-"), min_size=4, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_covers_cube_matches_brute_force(cover, pattern):
+    cube = Cube.from_string("".join(pattern))
+    cube_minterms = {m for m in range(16) if cube.contains_minterm(m)}
+    assert cover.covers_cube(cube) == (cube_minterms <= brute_on_set(cover))
+
+
+def test_covers_cover():
+    big = Cover.from_strings(["1---", "0---"])
+    small = Cover.from_strings(["10-1", "01--"])
+    assert big.covers_cover(small)
+    assert not small.covers_cover(big)
+
+
+def test_cofactor_cube():
+    cover = Cover.from_strings(["11--", "0-1-"])
+    positive = cover.cofactor_cube(Cube.from_string("1---"))
+    assert {m for m in range(16) if positive.contains_minterm(m)} == {
+        m for m in range(16) if cover.contains_minterm(m | 0b1000)
+    } | {m | 0b1000 for m in range(16) if cover.contains_minterm(m | 0b1000)}
+
+
+def test_single_cube_containment():
+    cover = Cover.from_strings(["1---", "10--", "1011"])
+    cleaned = cover.single_cube_containment()
+    assert cleaned.cube_count() == 1
+    assert cleaned.cubes[0].to_string() == "1---"
+
+
+def test_single_cube_containment_keeps_incomparable():
+    cover = Cover.from_strings(["1---", "0--1"])
+    assert cover.single_cube_containment().cube_count() == 2
+
+
+def test_merged_with():
+    a = Cover.from_strings(["1---"])
+    b = Cover.from_strings(["0---"])
+    assert a.merged_with(b).is_tautology()
+    with pytest.raises(ValueError):
+        a.merged_with(Cover(3, []))
+
+
+def test_expression_rendering():
+    cover = Cover.from_strings(["1-0-", "---1"])
+    names = ("a", "b", "c", "d")
+    assert cover.to_expression(names) == "a & ~c | d"
+    assert Cover(4, []).to_expression(names) == "0"
+
+
+def test_copy_is_independent():
+    cover = Cover.from_strings(["1---"])
+    clone = cover.copy()
+    clone.cubes.append(Cube.tautology(4))
+    assert cover.cube_count() == 1

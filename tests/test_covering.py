@@ -1,0 +1,109 @@
+"""Tests for the branch-and-bound unate covering solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel.covering import CoveringProblem, solve_covering
+
+
+def brute_force_best(problem: CoveringProblem) -> float:
+    """Minimum cover cost by exhaustive subset enumeration."""
+    best = float("inf")
+    indices = range(len(problem.columns))
+    all_rows = set(range(problem.n_rows))
+    for size in range(len(problem.columns) + 1):
+        for subset in itertools.combinations(indices, size):
+            covered = set()
+            for j in subset:
+                covered |= problem.columns[j]
+            if covered >= all_rows:
+                cost = sum(problem.costs[j] for j in subset)
+                best = min(best, cost)
+        if best < float("inf"):
+            # Smaller subsets were all checked; cheaper covers can still
+            # exist with more columns only if costs are not uniform, so
+            # keep scanning one extra size for safety.
+            continue
+    return best
+
+
+def make_problem(n_rows, column_sets, costs=None):
+    columns = [frozenset(s) for s in column_sets]
+    if costs is None:
+        costs = [1.0] * len(columns)
+    return CoveringProblem(n_rows, columns, costs)
+
+
+def test_essential_column_is_selected():
+    problem = make_problem(2, [{0}, {1}, {1}])
+    chosen = solve_covering(problem)
+    assert 0 in chosen
+    covered = set().union(*(problem.columns[j] for j in chosen))
+    assert covered == {0, 1}
+
+
+def test_infeasible_raises():
+    problem = make_problem(2, [{0}])
+    with pytest.raises(ValueError):
+        solve_covering(problem)
+
+
+def test_cost_validation():
+    with pytest.raises(ValueError):
+        make_problem(1, [{0}], costs=[0.0])
+    with pytest.raises(ValueError):
+        CoveringProblem(1, [frozenset({0})], [1.0, 2.0])
+
+
+def test_prefers_cheap_cover():
+    # One expensive column covers everything; two cheap ones do too.
+    problem = make_problem(
+        4, [{0, 1, 2, 3}, {0, 1}, {2, 3}], costs=[5.0, 2.0, 2.0]
+    )
+    chosen = solve_covering(problem)
+    assert sorted(chosen) == [1, 2]
+
+
+def test_prefers_single_column_when_cheaper():
+    problem = make_problem(
+        4, [{0, 1, 2, 3}, {0, 1}, {2, 3}], costs=[3.0, 2.0, 2.0]
+    )
+    assert solve_covering(problem) == [0]
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_optimality_against_brute_force(data):
+    n_rows = data.draw(st.integers(min_value=1, max_value=6))
+    n_cols = data.draw(st.integers(min_value=1, max_value=7))
+    columns = []
+    for _ in range(n_cols):
+        rows = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n_rows - 1), max_size=n_rows)
+        )
+        columns.append(rows)
+    # Ensure feasibility: add a column covering everything at high cost.
+    columns.append(set(range(n_rows)))
+    costs = [
+        float(data.draw(st.integers(min_value=1, max_value=9)))
+        for _ in range(len(columns))
+    ]
+    problem = make_problem(n_rows, columns, costs)
+    chosen = solve_covering(problem)
+    covered = set().union(*(problem.columns[j] for j in chosen))
+    assert covered >= set(range(n_rows))
+    got = sum(problem.costs[j] for j in chosen)
+    assert got == pytest.approx(brute_force_best(problem))
+
+
+def test_budget_exhaustion_falls_back_to_greedy():
+    # A large-ish instance with a tiny node budget still returns a valid
+    # (possibly suboptimal) cover.
+    columns = [{i} for i in range(12)] + [set(range(12))]
+    problem = make_problem(12, columns, costs=[1.0] * 12 + [20.0])
+    chosen = solve_covering(problem, max_nodes=1)
+    covered = set().union(*(problem.columns[j] for j in chosen))
+    assert covered == set(range(12))

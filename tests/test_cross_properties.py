@@ -1,0 +1,145 @@
+"""Cross-module property tests: deeper invariants of the theory.
+
+These go beyond per-module unit tests and check consequences the paper
+relies on implicitly: linearity of the XOR family, duality between
+operator pairs, stability of the full quotient under re-decomposition,
+and the interaction of minimization with quotient flexibility.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.generic import approximation_for_operator
+from repro.boolfunc.isf import ISF
+from repro.core.bidecomposition import apply_operator, bidecompose
+from repro.core.operators import OPERATORS
+from repro.core.quotient import full_quotient
+from repro.spp.synthesis import minimize_spp
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager, isf_from_masks
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+@given(tt_bits, tt_bits)
+@settings(max_examples=40, deadline=None)
+def test_xor_quotient_is_linear(f_bits, g_bits):
+    """For XOR the quotient is literally f ^ g on the care set."""
+    mgr = fresh_manager(4)
+    from repro.boolfunc.convert import truthtable_to_function
+    from repro.boolfunc.truthtable import TruthTable
+
+    f_fn = truthtable_to_function(mgr, TruthTable(4, f_bits))
+    g = truthtable_to_function(mgr, TruthTable(4, g_bits))
+    f = ISF.completely_specified(f_fn)
+    h = full_quotient(f, g, "XOR")
+    assert h.on == (f_fn ^ g)
+    assert h.dc.is_false
+    # And XNOR is its complement.
+    h2 = full_quotient(f, g, "XNOR")
+    assert h2.on == ~(f_fn ^ g)
+
+
+@given(tt_bits, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, deadline=None)
+def test_and_or_duality(on_bits, seed):
+    """AND-decomposing f with g is OR-decomposing ~f with ~g:
+    the quotients are complements of each other."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    rng = make_rng(seed)
+    g = approximation_for_operator(f, "AND", 0.3, rng)
+    h_and = full_quotient(f, g, "AND")
+    h_or = full_quotient(~f, ~g, "OR")
+    assert h_or.on == h_and.off
+    assert h_or.dc == h_and.dc
+
+
+@given(tt_bits, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_quotient_of_quotient_chain(on_bits, seed):
+    """Decompose f = g1 . h1, then decompose a completion of h1 again:
+    f = g1 . (g2 . h2) — a two-level AND chain, still exact."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    rng = make_rng(seed)
+    g1 = approximation_for_operator(f, "AND", 0.25, rng)
+    h1 = full_quotient(f, g1, "AND")
+    # Re-decompose h1 (an ISF) the same way.
+    g2 = approximation_for_operator(h1, "AND", 0.25, rng)
+    h2 = full_quotient(h1, g2, "AND")
+    # Compose back with arbitrary completions of h2.
+    for completion in (h2.on, h2.upper):
+        inner = g2 & completion
+        rebuilt = g1 & inner
+        assert (rebuilt & f.care) == (f.on & f.care)
+
+
+@given(tt_bits, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_minimized_quotient_is_a_completion(on_bits, seed):
+    """2-SPP minimization of the quotient always returns a completion
+    (the minimizer may not leave the [on, on|dc] interval)."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    rng = make_rng(seed)
+    for op_name in ("AND", "OR", "NOT_IMPLIES", "XNOR"):
+        op = OPERATORS[op_name]
+        g = approximation_for_operator(f, op, 0.3, rng)
+        h = full_quotient(f, g, op)
+        cover = minimize_spp(h)
+        assert h.is_completion(cover.to_function(mgr))
+
+
+@given(tt_bits)
+@settings(max_examples=30, deadline=None)
+def test_more_flexible_quotient_never_costs_more(on_bits):
+    """Shrinking g's error (AND) can only shrink h's dc-set; the
+    minimized cover cost with the larger dc-set is never worse."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    if f.on.is_false:
+        return
+    rng = make_rng(13)
+    g_accurate = approximation_for_operator(f, "AND", 0.1, rng)
+    g_sloppy = g_accurate | approximation_for_operator(f, "AND", 0.5, rng)
+    h_accurate = full_quotient(f, g_accurate, "AND")
+    h_sloppy = full_quotient(f, g_sloppy, "AND")
+    assert h_sloppy.dc <= h_accurate.dc
+    cost_accurate = minimize_spp(h_accurate).cost()
+    cost_sloppy = minimize_spp(h_sloppy).cost()
+    assert cost_accurate <= cost_sloppy
+
+
+@given(tt_bits, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_operator_symmetry_of_commutative_ops(on_bits, seed):
+    """For commutative operators, g op h == h op g as functions."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    rng = make_rng(seed)
+    for op_name in ("AND", "OR", "XOR", "XNOR", "NAND", "NOR"):
+        op = OPERATORS[op_name]
+        g = approximation_for_operator(f, op, 0.2, rng)
+        h = full_quotient(f, g, op)
+        completion = h.on
+        assert apply_operator(op, g, completion) == apply_operator(
+            op, completion, g
+        )
+
+
+@given(tt_bits)
+@settings(max_examples=20, deadline=None)
+def test_decomposition_sequence_cost_endpoints(on_bits):
+    """The sequence g0=f .. gn=1 of the introduction: endpoints cost what
+    the theory says (h0 free to be tautology; hn forced to equal f)."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    if f.on.is_false or f.off.is_false:
+        return
+    start = bidecompose(f, "AND", f.on)
+    assert start.h_cover.pseudoproduct_count() <= 1  # tautology completion
+    end = bidecompose(f, "AND", mgr.true)
+    # h must be exactly f: same cost as synthesizing f itself.
+    f_cost = minimize_spp(f).cost()
+    assert end.h_cover.cost() == f_cost

@@ -1,0 +1,161 @@
+"""Tests for positional-cube product terms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cover.cube import Cube
+from tests.conftest import fresh_manager
+
+
+def random_cube(draw, n_vars=4):
+    pattern = draw(
+        st.lists(
+            st.sampled_from("01-"), min_size=n_vars, max_size=n_vars
+        )
+    )
+    return Cube.from_string("".join(pattern))
+
+
+cube_strategy = st.builds(
+    lambda s: Cube.from_string("".join(s)),
+    st.lists(st.sampled_from("01-"), min_size=4, max_size=4),
+)
+
+
+def minterm_set(cube: Cube) -> set[int]:
+    return {m for m in range(1 << cube.n_vars) if cube.contains_minterm(m)}
+
+
+def test_string_roundtrip():
+    for text in ("10-1", "----", "0000", "1111", "-01-"):
+        assert Cube.from_string(text).to_string() == text
+
+
+def test_from_string_rejects_bad_characters():
+    with pytest.raises(ValueError):
+        Cube.from_string("10x1")
+
+
+def test_contradictory_literals_rejected():
+    with pytest.raises(ValueError):
+        Cube(3, pos=0b001, neg=0b001)
+
+
+def test_tautology():
+    cube = Cube.tautology(4)
+    assert cube.literal_count == 0
+    assert cube.minterm_count() == 16
+    assert all(cube.contains_minterm(m) for m in range(16))
+
+
+def test_from_minterm():
+    cube = Cube.from_minterm(4, 0b1011)
+    assert cube.to_string() == "1011"
+    assert minterm_set(cube) == {0b1011}
+
+
+def test_literal_iteration():
+    cube = Cube.from_string("1-0-")
+    assert sorted(cube.literals()) == [(0, True), (2, False)]
+
+
+def test_to_expression():
+    names = ("a", "b", "c")
+    assert Cube.from_string("1-0").to_expression(names) == "a & ~c"
+    assert Cube.tautology(3).to_expression(names) == "1"
+
+
+@given(cube_strategy)
+@settings(max_examples=50, deadline=None)
+def test_minterm_count_matches_enumeration(cube):
+    assert cube.minterm_count() == len(minterm_set(cube))
+    assert sorted(cube.minterms()) == sorted(minterm_set(cube))
+
+
+@given(cube_strategy, cube_strategy)
+@settings(max_examples=80, deadline=None)
+def test_intersection_matches_set_semantics(a, b):
+    result = a.intersect(b)
+    expected = minterm_set(a) & minterm_set(b)
+    if result is None:
+        assert expected == set()
+    else:
+        assert minterm_set(result) == expected
+
+
+@given(cube_strategy, cube_strategy)
+@settings(max_examples=80, deadline=None)
+def test_containment_matches_set_semantics(a, b):
+    assert a.contains_cube(b) == (minterm_set(b) <= minterm_set(a))
+
+
+@given(cube_strategy, cube_strategy)
+@settings(max_examples=50, deadline=None)
+def test_supercube_is_smallest_container(a, b):
+    union = minterm_set(a) | minterm_set(b)
+    super_ab = a.supercube(b)
+    assert union <= minterm_set(super_ab)
+    # Minimality: dropping any literal of the supercube is forced; adding
+    # any literal of a or b that the supercube dropped would exclude part
+    # of the union.
+    for var, polarity in list(a.literals()) + list(b.literals()):
+        bit = 1 << var
+        if not (super_ab.pos | super_ab.neg) & bit:
+            candidate = Cube(
+                4,
+                super_ab.pos | (bit if polarity else 0),
+                super_ab.neg | (0 if polarity else bit),
+            )
+            assert not union <= minterm_set(candidate)
+
+
+@given(cube_strategy, cube_strategy)
+@settings(max_examples=50, deadline=None)
+def test_distance_zero_iff_intersecting(a, b):
+    assert (a.distance(b) == 0) == (a.intersect(b) is not None)
+
+
+def test_consensus():
+    a = Cube.from_string("11-0")
+    b = Cube.from_string("10-0")
+    result = a.consensus(b)
+    assert result is not None
+    assert result.to_string() == "1--0"
+    # Distance 0 or >= 2: no consensus.
+    assert a.consensus(a) is None
+    assert Cube.from_string("11--").consensus(Cube.from_string("00--")) is None
+
+
+@given(cube_strategy)
+@settings(max_examples=40, deadline=None)
+def test_consensus_is_implied_by_union(a):
+    b_pattern = list(a.to_string())
+    # Flip one bound literal to get a distance-1 partner.
+    for i, ch in enumerate(b_pattern):
+        if ch in "01":
+            b_pattern[i] = "0" if ch == "1" else "1"
+            break
+    else:
+        return  # tautology cube: nothing to flip
+    b = Cube.from_string("".join(b_pattern))
+    result = a.consensus(b)
+    assert result is not None
+    assert minterm_set(result) <= (minterm_set(a) | minterm_set(b))
+
+
+def test_without_variable_and_cofactor():
+    cube = Cube.from_string("10-1")
+    assert cube.without_variable(0).to_string() == "-0-1"
+    assert cube.cofactor(0, 1).to_string() == "-0-1"
+    assert cube.cofactor(0, 0) is None
+    assert cube.cofactor(2, 0).to_string() == "10-1".replace("-", "-", 1)
+
+
+@given(cube_strategy)
+@settings(max_examples=40, deadline=None)
+def test_to_function_matches_contains(cube):
+    mgr = fresh_manager(4)
+    function = cube.to_function(mgr)
+    for m in range(16):
+        assert function(m) == cube.contains_minterm(m)

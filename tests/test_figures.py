@@ -1,0 +1,84 @@
+"""Tests for Karnaugh rendering and the regenerated paper figures."""
+
+import pytest
+
+from repro.bdd.expr import parse_expression
+from repro.boolfunc.isf import ISF
+from repro.harness.figures import render_figure1, render_figure2, render_karnaugh
+from tests.conftest import fresh_manager
+
+
+def test_karnaugh_layout():
+    mgr = fresh_manager(4)
+    f = ISF.from_sets(mgr, on_minterms=[0b0111], dc_minterms=[0b0000])
+    text = render_karnaugh(f, "test")
+    lines = text.splitlines()
+    assert lines[0] == "test"
+    assert "00  01  11  10" in lines[1]
+    # Row 00 column 00 is the dc minterm.
+    row00 = lines[2]
+    assert row00.strip().startswith("00")
+    assert "-" in row00
+    # Minterm 0111 = row (x1x2) 01, column (x3x4) 11.
+    row01 = lines[3]
+    cells = row01.split()[1:]
+    assert cells[2] == "1"  # third Gray column is 11
+
+
+def test_karnaugh_requires_four_variables():
+    mgr = fresh_manager(3)
+    with pytest.raises(ValueError):
+        render_karnaugh(ISF.completely_specified(mgr.false))
+
+
+def test_karnaugh_accepts_plain_function():
+    mgr = fresh_manager(4)
+    text = render_karnaugh(mgr.true)
+    assert text.count("1") >= 16
+
+
+class TestFigure1:
+    def test_exact_paper_artifacts(self):
+        data = render_figure1()
+        assert data.f_text == "x1 & x2 & x4 | x2 & x3 & x4"
+        assert data.g_text == "x2 & x4"
+        assert set(data.h_text.split(" | ")) == {"x1", "x3"}
+        # f has 3 on-set minterms; g adds exactly one.
+        assert data.f.on.satcount() == 3
+        assert (data.g - data.f.on).satcount() == 1
+
+    def test_quotient_flexibility(self):
+        data = render_figure1()
+        assert data.h.dc.satcount() == 12  # g_off
+        assert sorted(data.h.off.minterms()) == [5]
+
+    def test_rendering_contains_three_maps(self):
+        text = render_figure1().rendering
+        assert text.count("(a)") == 1
+        assert text.count("(b)") == 1
+        assert text.count("(c)") == 1
+        assert "6 literals" in text
+        assert "2 literals" in text
+
+
+class TestFigure2:
+    def test_exact_paper_artifacts(self):
+        data = render_figure2()
+        assert "x3 ^ x4" in data.g_text
+        assert set(data.h_text.split(" | ")) == {"x1", "x2"}
+        # The 2-SPP of f has 6 literals; the SOP needs 12.
+        assert "6 literals" in data.rendering
+
+    def test_expansion_introduces_two_errors(self):
+        data = render_figure2()
+        flipped = data.g - data.f.on
+        assert sorted(flipped.minterms()) == [0b0001, 0b0010]
+
+    def test_sop_baseline_is_twelve_literals(self):
+        from repro.twolevel.quine_mccluskey import minimize_exact
+
+        mgr = fresh_manager(4)
+        f = parse_expression(mgr, "(x1 | x2) & (x3 ^ x4)")
+        sop = minimize_exact(4, list(f.minterms()))
+        assert sop.cube_count() == 4
+        assert sop.literal_count() == 12

@@ -1,0 +1,120 @@
+"""Tests for quotient maximality (Corollaries 1-4 of the paper)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.generic import approximation_for_operator
+from repro.boolfunc.isf import ISF
+from repro.core.flexibility import (
+    is_full_quotient,
+    is_valid_quotient,
+    semantic_full_quotient,
+)
+from repro.core.operators import OPERATORS
+from repro.core.quotient import full_quotient
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager, isf_from_masks
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+op_names = st.sampled_from(sorted(OPERATORS))
+
+
+@given(tt_bits, tt_bits, op_names)
+@settings(max_examples=80, deadline=None)
+def test_full_quotient_is_recognized(on_bits, dc_bits, op_name):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, dc_bits)
+    op = OPERATORS[op_name]
+    rng = make_rng(op_name + str(on_bits))
+    g = approximation_for_operator(f, op, rate=0.35, rng=rng)
+    h = full_quotient(f, g, op)
+    assert is_full_quotient(f, g, op, h)
+    assert is_valid_quotient(f, g, op, h)
+
+
+@given(tt_bits, op_names, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=80, deadline=None)
+def test_shrinking_flexibility_stays_valid_but_not_full(on_bits, op_name, seed):
+    """Corollaries 1-4: any ISF refining the full quotient is still a
+    valid quotient; strictly refining it is no longer *the* full one."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0b0101_0011)
+    op = OPERATORS[op_name]
+    rng = make_rng(seed)
+    g = approximation_for_operator(f, op, rate=0.3, rng=rng)
+    h = full_quotient(f, g, op)
+    if h.dc.is_false:
+        return  # nothing to refine
+    # Move a random nonempty subset of the dc-set into on or off.
+    moved_on = mgr.false
+    moved_off = mgr.false
+    dc_minterms = list(h.dc.minterms())
+    chosen = dc_minterms[:: 2] or dc_minterms
+    for m in chosen:
+        if rng.random() < 0.5:
+            moved_on = moved_on | mgr.minterm(m)
+        else:
+            moved_off = moved_off | mgr.minterm(m)
+    refined = ISF(h.on | moved_on, h.dc - (moved_on | moved_off))
+    assert is_valid_quotient(f, g, op, refined)
+    assert not is_full_quotient(f, g, op, refined)
+
+
+@given(tt_bits, op_names)
+@settings(max_examples=80, deadline=None)
+def test_violating_a_forced_value_is_invalid(on_bits, op_name):
+    """Flipping any forced (on/off) minterm of the quotient breaks it."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)
+    op = OPERATORS[op_name]
+    rng = make_rng(op_name + "viol")
+    g = approximation_for_operator(f, op, rate=0.3, rng=rng)
+    h = full_quotient(f, g, op)
+    on_minterms = list(h.on.minterms())
+    if on_minterms:
+        m = on_minterms[0]
+        broken = ISF(h.on - mgr.minterm(m), h.dc)  # forced-1 becomes 0
+        assert not is_valid_quotient(f, g, op, broken)
+    off_minterms = list(h.off.minterms())
+    if off_minterms:
+        m = off_minterms[0]
+        broken = ISF(h.on | mgr.minterm(m), h.dc)  # forced-0 becomes 1
+        assert not is_valid_quotient(f, g, op, broken)
+
+
+@given(tt_bits, op_names)
+@settings(max_examples=60, deadline=None)
+def test_smallest_on_set_among_valid_quotients(on_bits, op_name):
+    """The full quotient's on-set is contained in every valid quotient's."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0b0011)
+    op = OPERATORS[op_name]
+    rng = make_rng(op_name + "min")
+    g = approximation_for_operator(f, op, rate=0.25, rng=rng)
+    h = full_quotient(f, g, op)
+    # Any valid candidate must contain h.on and exclude h.off; hence h has
+    # the smallest on-set and the biggest dc-set.
+    candidate = ISF(h.on | (h.dc & mgr.var("x1")), h.dc - mgr.var("x1"))
+    if is_valid_quotient(f, g, op, candidate):
+        assert h.on <= candidate.on
+        assert candidate.dc <= h.dc
+
+
+def test_invalid_divisor_is_reported_by_checks():
+    mgr = fresh_manager(3)
+    f = ISF.completely_specified(mgr.var("x1") & mgr.var("x2"))
+    bad_g = mgr.var("x1") & mgr.var("x2") & mgr.var("x3")  # not an over-approx
+    candidate = ISF.completely_specified(mgr.true)
+    assert not is_valid_quotient(f, bad_g, "AND", candidate)
+    assert not is_full_quotient(f, bad_g, "AND", candidate)
+
+
+def test_semantic_quotient_rejects_invalid_divisor():
+    import pytest
+
+    from repro.core.quotient import InvalidDivisorError
+
+    mgr = fresh_manager(3)
+    f = ISF.completely_specified(mgr.var("x1"))
+    with pytest.raises(InvalidDivisorError):
+        semantic_full_quotient(f, mgr.false, "AND")

@@ -1,0 +1,144 @@
+"""Tests for the genlib parser and the embedded library."""
+
+import itertools
+
+import pytest
+
+from repro.techmap.genlib import (
+    Gate,
+    GenlibError,
+    evaluate_pattern,
+    parse_expression_tree,
+    parse_genlib,
+    pattern_inputs,
+)
+from repro.techmap.library_data import MCNC_LIKE_GENLIB, default_library
+
+
+def test_parse_simple_gate():
+    library = parse_genlib("GATE inv 1.0 O=!a; PIN a INV 1 999 1 0 1 0\n")
+    assert len(library) == 1
+    gate = library["inv"]
+    assert gate.area == 1.0
+    assert gate.pattern == ("not", ("var", "a"))
+
+
+def test_expression_precedence():
+    tree = parse_expression_tree("a+b*c")
+    assert tree == ("or", ("var", "a"), ("and", ("var", "b"), ("var", "c")))
+    tree = parse_expression_tree("!(a*b)+c")
+    assert tree[0] == "or"
+
+
+def test_expression_left_deep_binarization():
+    tree = parse_expression_tree("a*b*c")
+    assert tree == (
+        "and",
+        ("and", ("var", "a"), ("var", "b")),
+        ("var", "c"),
+    )
+
+
+def test_constants():
+    assert parse_expression_tree("CONST0") == ("const", 0)
+    assert parse_expression_tree("CONST1") == ("const", 1)
+
+
+def test_expression_errors():
+    with pytest.raises(GenlibError):
+        parse_expression_tree("a +")
+    with pytest.raises(GenlibError):
+        parse_expression_tree("(a + b")
+    with pytest.raises(GenlibError):
+        parse_genlib("no gates here")
+
+
+def test_pattern_inputs_order():
+    tree = parse_expression_tree("!(c*a+b)")
+    assert pattern_inputs(tree) == ["c", "a", "b"]
+
+
+def test_evaluate_pattern_all_ops():
+    tree = parse_expression_tree("!(a*b)^c")
+    for a, b, c in itertools.product((False, True), repeat=3):
+        expected = (not (a and b)) != c
+        assert evaluate_pattern(tree, {"a": a, "b": b, "c": c}) == expected
+
+
+def test_default_library_contents():
+    library = default_library()
+    names = {gate.name for gate in library}
+    for expected in (
+        "inv1",
+        "nand2",
+        "nand3",
+        "nand4",
+        "nor2",
+        "and2",
+        "or2",
+        "xor2",
+        "xnor2",
+        "aoi21",
+        "oai21",
+        "zero",
+        "one",
+    ):
+        assert expected in names
+
+
+def test_default_library_functions_are_correct():
+    library = default_library()
+    cases = {
+        "nand2": lambda a, b: not (a and b),
+        "nor2": lambda a, b: not (a or b),
+        "xor2": lambda a, b: a != b,
+        "xnor2": lambda a, b: a == b,
+        "and2": lambda a, b: a and b,
+        "or2": lambda a, b: a or b,
+    }
+    for name, fn in cases.items():
+        gate = library[name]
+        inputs = pattern_inputs(gate.pattern)
+        assert len(inputs) == 2
+        for a, b in itertools.product((False, True), repeat=2):
+            assignment = dict(zip(inputs, (a, b)))
+            assert evaluate_pattern(gate.pattern, assignment) == fn(a, b)
+
+
+def test_aoi_gates():
+    library = default_library()
+    aoi21 = library["aoi21"]
+    inputs = pattern_inputs(aoi21.pattern)
+    for a, b, c in itertools.product((False, True), repeat=3):
+        assignment = dict(zip(inputs, (a, b, c)))
+        assert evaluate_pattern(aoi21.pattern, assignment) == (
+            not ((a and b) or c)
+        )
+
+
+def test_area_ladder_is_monotone():
+    library = default_library()
+    assert library["inv1"].area < library["nand2"].area
+    assert library["nand2"].area < library["nand3"].area < library["nand4"].area
+    assert library["nand2"].area < library["xor2"].area
+
+
+def test_gate_n_inputs():
+    library = default_library()
+    assert library["inv1"].n_inputs == 1
+    assert library["nand3"].n_inputs == 3
+    assert library["aoi22"].n_inputs == 4
+
+
+def test_duplicate_names_rejected():
+    gate = Gate("dup", 1.0, "O", ("var", "a"))
+    from repro.techmap.genlib import GateLibrary
+
+    with pytest.raises(ValueError):
+        GateLibrary([gate, gate])
+
+
+def test_cheapest_diagnostic():
+    library = default_library()
+    cheapest = library.cheapest()
+    assert cheapest["not"] == 1.0  # the inverter

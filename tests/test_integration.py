@@ -1,0 +1,99 @@
+"""Cross-module integration tests: PLA in -> verified decompositions out."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.expansion import approximate_expand_full
+from repro.approx.generic import approximation_for_operator
+from repro.benchgen.synthetic import SyntheticSpec, generate_pla
+from repro.core.bidecomposition import apply_operator, bidecompose
+from repro.core.operators import OPERATORS
+from repro.core.quotient import full_quotient
+from repro.cover.pla import parse_pla, write_pla
+from repro.spp.synthesis import minimize_spp
+from repro.techmap.area import area_of_bidecomposition, area_of_spp_covers
+from repro.utils.rng import make_rng
+
+
+def test_pla_roundtrip_through_full_flow():
+    """Generate -> serialize -> parse -> decompose -> verify, end to end."""
+    spec = SyntheticSpec("integration", 6, 3, 10, 0.6, 1.5)
+    pla = parse_pla(write_pla(generate_pla(spec)))
+    mgr = pla.make_manager()
+    f_covers = []
+    pairs = []
+    for output in range(pla.n_outputs):
+        f = pla.output_isf(mgr, output)
+        f_cover = minimize_spp(f)
+        f_covers.append(f_cover)
+        approx = approximate_expand_full(f, initial=f_cover)
+        h = full_quotient(f, approx.g, "AND")
+        h_cover = minimize_spp(h)
+        rebuilt = apply_operator("AND", approx.g, h_cover.to_function(mgr))
+        assert (rebuilt & f.care) == (f.on & f.care)
+        pairs.append((approx.g_cover, h_cover))
+    area_f = area_of_spp_covers(f_covers, mgr.var_names)
+    area_dec = area_of_bidecomposition(pairs, "AND", mgr.var_names)
+    assert area_f > 0 and area_dec > 0
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=10, deadline=None)
+def test_all_operators_full_pipeline_on_random_function(seed):
+    """The paper's future work: all ten operators, one random function."""
+    rng = make_rng(seed)
+    from tests.conftest import fresh_manager, isf_from_masks
+
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, rng.getrandbits(16), rng.getrandbits(4))
+    for op in OPERATORS.values():
+
+        def approximator(isf, operator):
+            return approximation_for_operator(isf, operator, 0.25, rng)
+
+        dec = bidecompose(f, op, approximator)
+        assert dec.verify(), op.name
+
+
+def test_decomposition_chain_endpoints():
+    """The paper's introduction: the sequence from (g0=f, h0=1) to
+    (gn=1, hn=f) — both endpoints are valid AND bi-decompositions."""
+    from tests.conftest import fresh_manager
+
+    mgr = fresh_manager(4)
+    from repro.bdd.expr import parse_expression
+    from repro.boolfunc.isf import ISF
+
+    f_fn = parse_expression(mgr, "x1 & (x2 | x3) ^ x4")
+    f = ISF.completely_specified(f_fn)
+    # g0 = f: h gets maximal flexibility (dc = g_off).
+    start = bidecompose(f, "AND", f_fn)
+    assert start.verify()
+    assert start.h.dc == ~f_fn
+    # gn = 1: h must be exactly f.
+    end = bidecompose(f, "AND", mgr.true)
+    assert end.verify()
+    assert end.h.on == f_fn and end.h.dc.is_false
+
+
+def test_accuracy_controls_quotient_flexibility():
+    """Paper Section III-A: "the more accurate is the approximation g,
+    the smaller is the off-set of the function h and the largest is
+    h_dc" — for AND, rising error rates shrink the quotient's dc-set."""
+    from tests.conftest import fresh_manager
+    from repro.bdd.expr import parse_expression
+    from repro.boolfunc.isf import ISF
+
+    mgr = fresh_manager(4)
+    f_fn = parse_expression(mgr, "x1 & x2 | x3 & x4")
+    f = ISF.completely_specified(f_fn)
+    previous_dc = 1 << 30
+    previous_off = -1
+    for rate in (0.0, 0.3, 0.8):
+        g = approximation_for_operator(f, "AND", rate, make_rng(7))
+        h = full_quotient(f, g, "AND")
+        dc_count = h.dc.satcount()
+        off_count = h.off.satcount()
+        assert dc_count <= previous_dc
+        assert off_count >= previous_off
+        previous_dc, previous_off = dc_count, off_count

@@ -1,0 +1,130 @@
+"""Tests for incompletely specified functions (ISF)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.isf import ISF
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager, isf_from_masks
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def test_disjointness_enforced():
+    mgr = fresh_manager(3)
+    f = mgr.var("x1")
+    with pytest.raises(ValueError):
+        ISF(f, f)
+
+
+def test_mixed_managers_rejected():
+    mgr_a = fresh_manager(2)
+    mgr_b = fresh_manager(2)
+    with pytest.raises(ValueError):
+        ISF(mgr_a.var("x1"), mgr_b.var("x2"))
+
+
+def test_completely_specified():
+    mgr = fresh_manager(3)
+    f = ISF.completely_specified(mgr.var("x1"))
+    assert f.is_completely_specified
+    assert f.dc.is_false
+    assert f.off == ~mgr.var("x1")
+
+
+def test_from_sets():
+    mgr = fresh_manager(3)
+    f = ISF.from_sets(mgr, on_minterms=[1, 2], dc_minterms=[5])
+    assert f(1) == 1 and f(2) == 1
+    assert f(5) is None
+    assert f(0) == 0
+    assert f.counts() == (2, 1, 5)
+
+
+@given(tt_bits, tt_bits)
+@settings(max_examples=40, deadline=None)
+def test_partition_of_space(on_bits, dc_bits):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, dc_bits)
+    # on, dc, off partition the space.
+    assert (f.on & f.dc).is_false
+    assert (f.on & f.off).is_false
+    assert (f.dc & f.off).is_false
+    assert (f.on | f.dc | f.off).is_true
+    assert f.care == (f.on | f.off)
+    assert f.upper == (f.on | f.dc)
+
+
+def test_complement_swaps_on_off():
+    mgr = fresh_manager(3)
+    f = isf_from_masks(mgr, 0b10110100, 0b00000011)
+    g = ~f
+    assert g.on == f.off
+    assert g.off == f.on
+    assert g.dc == f.dc
+
+
+def test_is_completion():
+    mgr = fresh_manager(3)
+    f = ISF.from_sets(mgr, [1, 3], [0])
+    assert f.is_completion(mgr.minterm(1) | mgr.minterm(3))
+    assert f.is_completion(mgr.minterm(0) | mgr.minterm(1) | mgr.minterm(3))
+    assert not f.is_completion(mgr.minterm(1))  # misses on-set 3
+    assert not f.is_completion(
+        mgr.minterm(1) | mgr.minterm(3) | mgr.minterm(5)
+    )  # hits the off-set
+
+
+def test_accepts_refinement():
+    mgr = fresh_manager(3)
+    loose = ISF.from_sets(mgr, [1], [0, 2])
+    tight = ISF.from_sets(mgr, [1, 2], [0])
+    assert loose.accepts(tight)
+    assert not tight.accepts(loose)
+
+
+def test_restrict_flexibility():
+    mgr = fresh_manager(3)
+    f = ISF.from_sets(mgr, [1], [0, 2, 4])
+    keep = mgr.minterm(0) | mgr.minterm(2)
+    g = f.restrict_flexibility(keep)
+    assert g.on == f.on
+    assert g.dc == keep
+    assert g(4) == 0  # left the dc-set, became off
+
+
+def test_cofactor():
+    mgr = fresh_manager(3)
+    f = ISF.from_sets(mgr, [0b100, 0b101], [0b000])
+    pos = f.cofactor("x1", 1)
+    assert pos.on.satcount() >= 2  # x2'x3' and x2'x3 patterns, both halves
+
+
+def test_random_isf_is_consistent(rng):
+    mgr = fresh_manager(4)
+    f = ISF.random(mgr, rng)
+    assert (f.on & f.dc).is_false
+    on, dc, off = f.counts()
+    assert on + dc + off == 16
+
+
+def test_eq_and_hash():
+    mgr = fresh_manager(3)
+    a = ISF.from_sets(mgr, [1], [2])
+    b = ISF.from_sets(mgr, [1], [2])
+    assert a == b and hash(a) == hash(b)
+    assert a != ISF.from_sets(mgr, [1], [])
+
+
+def test_repr_contains_counts():
+    mgr = fresh_manager(3)
+    f = ISF.from_sets(mgr, [1, 2], [3])
+    assert "on=2" in repr(f) and "dc=1" in repr(f)
+
+
+def test_minterm_iterators():
+    mgr = fresh_manager(3)
+    f = ISF.from_sets(mgr, [5, 1], [7])
+    assert sorted(f.on_minterms()) == [1, 5]
+    assert sorted(f.dc_minterms()) == [7]

@@ -1,0 +1,113 @@
+"""Tests for the multi-level logic network."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+from repro.spp.pseudocube import Pseudocube, make_xor_factor
+from repro.spp.spp_cover import SppCover
+from repro.techmap.network import LogicNetwork
+from tests.conftest import fresh_manager
+
+cover_strategy = st.builds(
+    lambda rows: Cover(4, [Cube.from_string("".join(r)) for r in rows]),
+    st.lists(
+        st.lists(st.sampled_from("01-"), min_size=4, max_size=4),
+        min_size=0,
+        max_size=5,
+    ),
+)
+
+
+def assignment_of(minterm: int, names) -> dict[str, bool]:
+    n = len(names)
+    return {name: bool((minterm >> (n - 1 - i)) & 1) for i, name in enumerate(names)}
+
+
+def test_structural_hashing_shares_nodes():
+    net = LogicNetwork(["a", "b"])
+    left = net.binary("and", net.input_id("a"), net.input_id("b"))
+    right = net.binary("and", net.input_id("a"), net.input_id("b"))
+    assert left == right
+
+
+def test_double_negation_collapses():
+    net = LogicNetwork(["a"])
+    a = net.input_id("a")
+    assert net.negate(net.negate(a)) == a
+
+
+def test_constant_simplifications():
+    net = LogicNetwork(["a"])
+    a = net.input_id("a")
+    one = net.const(1)
+    zero = net.const(0)
+    assert net.binary("and", a, one) == a
+    assert net.binary("and", a, zero) == zero
+    assert net.binary("or", a, zero) == a
+    assert net.binary("or", a, one) == one
+    assert net.binary("xor", a, zero) == a
+    assert net.nodes[net.binary("xor", a, one)].kind == "not"
+    assert net.negate(zero) == one
+
+
+def test_chain_empty_operands():
+    net = LogicNetwork(["a"])
+    assert net.nodes[net.chain("and", [])].kind == "const1"
+    assert net.nodes[net.chain("or", [])].kind == "const0"
+
+
+@given(cover_strategy)
+@settings(max_examples=50, deadline=None)
+def test_cover_network_matches_semantics(cover):
+    names = ["x1", "x2", "x3", "x4"]
+    net = LogicNetwork(names)
+    net.add_cover(cover, "f")
+    for m in range(16):
+        got = net.evaluate(assignment_of(m, names))["f"]
+        assert got == cover.contains_minterm(m)
+
+
+def test_spp_network_matches_semantics():
+    mgr = fresh_manager(4)
+    names = list(mgr.var_names)
+    pc1 = Pseudocube(4, pos=0b0001, xors=frozenset({make_xor_factor(2, 3, 1)}))
+    pc2 = Pseudocube(4, neg=0b0010, xors=frozenset({make_xor_factor(2, 3, 0)}))
+    cover = SppCover(4, [pc1, pc2])
+    net = LogicNetwork(names)
+    net.add_spp_cover(cover, "f")
+    reference = cover.to_function(mgr)
+    for m in range(16):
+        assert net.evaluate(assignment_of(m, names))["f"] == reference(m)
+
+
+def test_fanout_counts():
+    net = LogicNetwork(["a", "b"])
+    a, b = net.input_id("a"), net.input_id("b")
+    both = net.binary("and", a, b)
+    net.set_output("f", net.binary("or", both, net.negate(both)))
+    counts = net.fanout_counts()
+    assert counts[both] == 2  # used by the OR and the NOT
+
+
+def test_gate_count_excludes_inputs_and_constants():
+    net = LogicNetwork(["a", "b"])
+    net.set_output("f", net.binary("and", net.input_id("a"), net.input_id("b")))
+    assert net.gate_count() == 1
+
+
+def test_empty_cover_output_is_constant():
+    net = LogicNetwork(["x1", "x2", "x3", "x4"])
+    net.add_cover(Cover(4, []), "f")
+    assert not net.evaluate(assignment_of(0, ["x1", "x2", "x3", "x4"]))["f"]
+
+
+def test_shared_cubes_across_outputs_share_structure():
+    cover = Cover.from_strings(["11--"])
+    net = LogicNetwork(["x1", "x2", "x3", "x4"])
+    first_root = net.add_cover(cover, "f")
+    node_count = len(net.nodes)
+    second_root = net.add_cover(cover, "g")
+    assert first_root == second_root
+    assert len(net.nodes) == node_count  # nothing new allocated

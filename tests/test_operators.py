@@ -1,0 +1,106 @@
+"""Tests for the operator registry (paper Table I)."""
+
+import pytest
+
+from repro.core.operators import (
+    EXPERIMENT_OPERATORS,
+    OPERATORS,
+    TABLE_I_ORDER,
+    ApproximationKind,
+    operator_by_name,
+)
+
+
+def test_registry_has_exactly_ten_operators():
+    assert len(OPERATORS) == 10
+    assert set(TABLE_I_ORDER) == set(OPERATORS)
+
+
+def test_all_operators_depend_on_both_inputs():
+    for op in OPERATORS.values():
+        row = op.truth_row()  # (00, 01, 10, 11)
+        # Depends on h: some g where flipping h changes the output.
+        assert row[0] != row[1] or row[2] != row[3]
+        # Depends on g: some h where flipping g changes the output.
+        assert row[0] != row[2] or row[1] != row[3]
+        # Not constant.
+        assert len(set(row)) > 1
+
+
+def test_truth_rows_are_distinct():
+    rows = {op.truth_row() for op in OPERATORS.values()}
+    assert len(rows) == 10
+
+
+def test_known_truth_tables():
+    assert OPERATORS["AND"].truth_row() == (False, False, False, True)
+    assert OPERATORS["OR"].truth_row() == (False, True, True, True)
+    assert OPERATORS["XOR"].truth_row() == (False, True, True, False)
+    assert OPERATORS["NAND"].truth_row() == (True, True, True, False)
+    assert OPERATORS["NOR"].truth_row() == (True, False, False, False)
+    assert OPERATORS["XNOR"].truth_row() == (True, False, False, True)
+    assert OPERATORS["IMPLIES"].truth_row() == (True, True, False, True)
+    assert OPERATORS["IMPLIED_BY"].truth_row() == (True, False, True, True)
+    assert OPERATORS["NOT_IMPLIES"].truth_row() == (False, False, True, False)
+    assert OPERATORS["NOT_IMPLIED_BY"].truth_row() == (False, True, False, False)
+
+
+def test_de_morgan_families():
+    """Section III: 4 AND-like, 4 OR-like, 2 XOR-like operators."""
+    and_like = {"AND", "NOT_IMPLIED_BY", "NOT_IMPLIES", "NOR"}
+    or_like = {"OR", "IMPLIES", "IMPLIED_BY", "NAND"}
+    xor_like = {"XOR", "XNOR"}
+    for name in and_like:
+        # Exactly one output-1 row: an AND of (possibly complemented) inputs.
+        assert sum(OPERATORS[name].truth_row()) == 1
+    for name in or_like:
+        assert sum(OPERATORS[name].truth_row()) == 3
+    for name in xor_like:
+        assert sum(OPERATORS[name].truth_row()) == 2
+
+
+def test_approximation_kinds_match_table2():
+    assert OPERATORS["AND"].approximation is ApproximationKind.OVER_F
+    assert OPERATORS["NOT_IMPLIES"].approximation is ApproximationKind.OVER_F
+    assert (
+        OPERATORS["NOT_IMPLIED_BY"].approximation
+        is ApproximationKind.UNDER_COMPLEMENT
+    )
+    assert OPERATORS["NOR"].approximation is ApproximationKind.UNDER_COMPLEMENT
+    assert OPERATORS["OR"].approximation is ApproximationKind.UNDER_F
+    assert OPERATORS["IMPLIED_BY"].approximation is ApproximationKind.UNDER_F
+    assert OPERATORS["IMPLIES"].approximation is ApproximationKind.OVER_COMPLEMENT
+    assert OPERATORS["NAND"].approximation is ApproximationKind.OVER_COMPLEMENT
+    assert OPERATORS["XOR"].approximation is ApproximationKind.ANY
+    assert OPERATORS["XNOR"].approximation is ApproximationKind.ANY
+
+
+def test_error_set_location_annotations():
+    # Table II: per operator, the error set appears in h_on or h_off.
+    assert OPERATORS["AND"].error_in == "off"
+    assert OPERATORS["OR"].error_in == "on"
+    assert OPERATORS["NOT_IMPLIES"].error_in == "on"
+    assert OPERATORS["XOR"].error_in == "on"
+
+
+def test_operator_call_applies_truth():
+    op = OPERATORS["NOT_IMPLIES"]
+    assert op(1, 0) is True
+    assert op(1, 1) is False
+    assert op(0, 0) is False
+
+
+def test_lookup_aliases():
+    assert operator_by_name("and") is OPERATORS["AND"]
+    assert operator_by_name("NIMPLY") is OPERATORS["NOT_IMPLIES"]
+    assert operator_by_name("=>") is OPERATORS["IMPLIES"]
+    assert operator_by_name("<=") is OPERATORS["IMPLIED_BY"]
+
+
+def test_lookup_unknown():
+    with pytest.raises(KeyError):
+        operator_by_name("MAJORITY")
+
+
+def test_experiment_operators_are_the_papers():
+    assert EXPERIMENT_OPERATORS == ("AND", "NOT_IMPLIES")

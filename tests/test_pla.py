@@ -1,0 +1,120 @@
+"""Tests for the PLA reader/writer."""
+
+import pytest
+
+from repro.cover.pla import PLAError, parse_pla, pla_from_covers, write_pla
+from repro.cover.cover import Cover
+
+EXAMPLE = """\
+# a small fd-type PLA
+.i 4
+.o 2
+.ilb a b c d
+.ob f g
+.type fd
+.p 3
+10-1 1~
+-01- d1
+0000 01
+.e
+"""
+
+
+def test_parse_basic_structure():
+    pla = parse_pla(EXAMPLE)
+    assert pla.n_inputs == 4
+    assert pla.n_outputs == 2
+    assert pla.input_labels == ["a", "b", "c", "d"]
+    assert pla.output_labels == ["f", "g"]
+    assert len(pla.rows) == 3
+
+
+def test_output_covers_fd_semantics():
+    pla = parse_pla(EXAMPLE)
+    on0, dc0 = pla.output_covers(0)
+    assert [c.to_string() for c in on0] == ["10-1"]
+    assert [c.to_string() for c in dc0] == ["-01-"]
+    on1, dc1 = pla.output_covers(1)
+    assert [c.to_string() for c in on1] == ["-01-", "0000"]
+    assert len(dc1) == 0
+
+
+def test_output_covers_bounds():
+    pla = parse_pla(EXAMPLE)
+    with pytest.raises(IndexError):
+        pla.output_covers(2)
+
+
+def test_output_isf_resolves_overlap():
+    text = """\
+.i 2
+.o 1
+11 1
+1- d
+.e
+"""
+    pla = parse_pla(text)
+    mgr = pla.make_manager()
+    f = pla.output_isf(mgr, 0)
+    assert f(0b11) == 1  # on wins over dc
+    assert f(0b10) is None
+    assert f(0b00) == 0
+
+
+def test_roundtrip():
+    pla = parse_pla(EXAMPLE)
+    text = write_pla(pla)
+    again = parse_pla(text)
+    assert again.n_inputs == pla.n_inputs
+    assert again.n_outputs == pla.n_outputs
+    assert [(c.to_string(), o) for c, o in again.rows] == [
+        (c.to_string(), o) for c, o in pla.rows
+    ]
+
+
+def test_default_labels():
+    pla = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+    assert pla.input_labels == ["x1", "x2"]
+    assert pla.output_labels == ["f0"]
+
+
+def test_whitespace_between_parts_is_tolerated():
+    pla = parse_pla(".i 3\n.o 1\n1 0 -  1\n.e\n")
+    assert pla.rows[0][0].to_string() == "10-"
+
+
+def test_errors():
+    with pytest.raises(PLAError):
+        parse_pla("10-1 1\n")  # cube before .i
+    with pytest.raises(PLAError):
+        parse_pla(".i 4\n.o 1\n1-1 1\n")  # short input part
+    with pytest.raises(PLAError):
+        parse_pla(".i 2\n.o 2\n11 1\n")  # short output part
+    with pytest.raises(PLAError):
+        parse_pla(".o 2\n.e\n")  # missing .i
+    with pytest.raises(PLAError):
+        parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e\n")  # label count
+
+
+def test_unknown_directives_ignored():
+    pla = parse_pla(".i 2\n.o 1\n.phase 10\n11 1\n.e\n")
+    assert len(pla.rows) == 1
+
+
+def test_pla_from_covers_roundtrip():
+    on_a = Cover.from_strings(["11--", "0--1"])
+    dc_a = Cover.from_strings(["--00"])
+    on_b = Cover.from_strings(["1---"])
+    pla = pla_from_covers([(on_a, dc_a), (on_b, Cover(4, []))])
+    assert pla.n_outputs == 2
+    got_on_a, got_dc_a = pla.output_covers(0)
+    assert {c.to_string() for c in got_on_a} == {"11--", "0--1"}
+    assert {c.to_string() for c in got_dc_a} == {"--00"}
+    got_on_b, got_dc_b = pla.output_covers(1)
+    assert {c.to_string() for c in got_on_b} == {"1---"}
+    assert len(got_dc_b) == 0
+
+
+def test_pla_from_covers_empty_rejected():
+    with pytest.raises(ValueError):
+        pla_from_covers([])

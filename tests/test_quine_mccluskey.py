@@ -1,0 +1,113 @@
+"""Tests for exact Quine-McCluskey minimization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cover.cube import Cube
+from repro.twolevel.quine_mccluskey import generate_primes, minimize_exact
+from tests.conftest import fresh_manager
+
+
+def minterm_set(cube: Cube) -> set[int]:
+    return set(cube.minterms())
+
+
+def is_implicant(cube: Cube, allowed: set[int]) -> bool:
+    return minterm_set(cube) <= allowed
+
+
+def brute_force_primes(n_vars: int, allowed: set[int]) -> set[Cube]:
+    """All prime implicants by enumeration of every cube."""
+    primes = set()
+    patterns = ["0", "1", "-"]
+
+    def all_cubes(prefix: str):
+        if len(prefix) == n_vars:
+            yield Cube.from_string(prefix)
+            return
+        for ch in patterns:
+            yield from all_cubes(prefix + ch)
+
+    implicants = [c for c in all_cubes("") if minterm_set(c) and is_implicant(c, allowed)]
+    for cube in implicants:
+        is_prime = True
+        for other in implicants:
+            if other != cube and other.contains_cube(cube):
+                is_prime = False
+                break
+        if is_prime:
+            primes.add(cube)
+    return primes
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=0, max_value=2**16 - 1))
+@settings(max_examples=25, deadline=None)
+def test_primes_match_brute_force(on_bits, dc_bits):
+    on = {m for m in range(16) if (on_bits >> m) & 1}
+    dc = {m for m in range(16) if (dc_bits >> m) & 1} - on
+    allowed = on | dc
+    expected = brute_force_primes(4, allowed)
+    got = set(generate_primes(4, on, dc))
+    assert got == expected
+
+
+def test_primes_of_full_space():
+    assert generate_primes(3, range(8)) == [Cube.tautology(3)]
+
+
+def test_primes_empty():
+    assert generate_primes(3, []) == []
+
+
+@given(st.integers(min_value=1, max_value=2**16 - 1), st.integers(min_value=0, max_value=2**16 - 1))
+@settings(max_examples=25, deadline=None)
+def test_minimize_exact_is_correct_and_prime(on_bits, dc_bits):
+    on = {m for m in range(16) if (on_bits >> m) & 1}
+    dc = {m for m in range(16) if (dc_bits >> m) & 1} - on
+    cover = minimize_exact(4, on, dc)
+    covered = set()
+    for cube in cover:
+        covered |= minterm_set(cube)
+    assert on <= covered
+    assert covered <= on | dc
+
+
+def test_minimize_exact_empty_on_set():
+    assert minimize_exact(3, []).cube_count() == 0
+
+
+def test_known_minimal_example():
+    # f = majority(a, b, c): minimum SOP is ab + ac + bc.
+    on = [0b011, 0b101, 0b110, 0b111]
+    cover = minimize_exact(3, on)
+    assert cover.cube_count() == 3
+    assert cover.literal_count() == 6
+
+
+def test_paper_figure1_function():
+    # f = x1 x2 x4 + x2 x3 x4 -> 2 products, 6 literals.
+    on = [7, 13, 15]
+    cover = minimize_exact(4, on)
+    assert cover.cube_count() == 2
+    assert cover.literal_count() == 6
+
+
+def test_dc_enables_smaller_cover():
+    # With the dc-set of the paper's Figure 1 quotient, h = x1 + x3.
+    mgr = fresh_manager(4)
+    on = [7, 13, 15]
+    dc = [m for m in range(16) if m not in on and m != 5]
+    cover = minimize_exact(4, on, dc)
+    assert cover.literal_count() == 2
+    function = cover.to_function(mgr)
+    assert all(function(m) for m in on)
+    assert not function(5)
+
+
+def test_product_count_is_primary_cost():
+    # Two products of 3 literals beat three products of 2 literals under
+    # the default weighting.
+    on = list(range(8))
+    cover = minimize_exact(3, on)
+    assert cover.cube_count() == 1
+    assert cover.cubes[0].literal_count == 0

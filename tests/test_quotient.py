@@ -1,0 +1,161 @@
+"""Tests for Table II full-quotient formulas (Lemmas 1-5).
+
+The central property: for every operator and every valid divisor, the
+Table II quotient equals the semantically derived full quotient, and any
+completion of it reconstructs f on the care set.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.generic import approximation_for_operator
+from repro.bdd.expr import parse_expression
+from repro.boolfunc.isf import ISF
+from repro.core.bidecomposition import apply_operator
+from repro.core.flexibility import semantic_full_quotient
+from repro.core.operators import OPERATORS
+from repro.core.quotient import (
+    InvalidDivisorError,
+    divisor_error_set,
+    full_quotient,
+    validate_divisor,
+)
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager, isf_from_masks
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+op_names = st.sampled_from(sorted(OPERATORS))
+
+
+@given(tt_bits, tt_bits, op_names, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=120, deadline=None)
+def test_table2_equals_semantic_quotient(on_bits, dc_bits, op_name, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, dc_bits)
+    op = OPERATORS[op_name]
+    rng = make_rng(seed)
+    g = approximation_for_operator(f, op, rate=rng.random() * 0.6, rng=rng)
+    h_table = full_quotient(f, g, op)
+    h_semantic = semantic_full_quotient(f, g, op)
+    assert h_table == h_semantic
+
+
+@given(tt_bits, tt_bits, op_names, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=120, deadline=None)
+def test_every_completion_reconstructs_f(on_bits, dc_bits, op_name, seed):
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, dc_bits)
+    op = OPERATORS[op_name]
+    rng = make_rng(seed)
+    g = approximation_for_operator(f, op, rate=rng.random() * 0.6, rng=rng)
+    h = full_quotient(f, g, op)
+    # Three representative completions: minimum, maximum, and a random one.
+    completions = [h.on, h.upper]
+    random_dc = mgr.false
+    for m in h.dc.minterms():
+        if rng.random() < 0.5:
+            random_dc = random_dc | mgr.minterm(m)
+    completions.append(h.on | random_dc)
+    for completion in completions:
+        rebuilt = apply_operator(op, g, completion)
+        assert (rebuilt & f.care) == (f.on & f.care)
+
+
+@given(tt_bits, op_names)
+@settings(max_examples=60, deadline=None)
+def test_paper_h_off_expression_matches(on_bits, op_name):
+    """The printed h_off column agrees with on/dc up to dc priority."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0b1010)  # fixed small dc-set
+    op = OPERATORS[op_name]
+    rng = make_rng(op_name)
+    g = approximation_for_operator(f, op, rate=0.3, rng=rng)
+    h = full_quotient(f, g, op)
+    printed_off = op.quotient_off_printed(f, g)
+    assert (printed_off - h.dc) == h.off
+
+
+def test_exact_divisor_gives_maximum_flexibility_and():
+    # g == f (exact): dc of h is everything except f_on -> h on-set = f_on,
+    # and the error set is empty.
+    mgr = fresh_manager(4)
+    f_fn = parse_expression(mgr, "x1 & x2 | x3 & x4")
+    f = ISF.completely_specified(f_fn)
+    h = full_quotient(f, f_fn, "AND")
+    assert h.on == f_fn
+    assert h.dc == ~f_fn
+    assert divisor_error_set(f, f_fn, "AND").is_false
+
+
+def test_trivial_divisor_and():
+    # g == 1: f = 1 * h forces h == f exactly (no flexibility).
+    mgr = fresh_manager(4)
+    f_fn = parse_expression(mgr, "x1 ^ x2")
+    f = ISF.completely_specified(f_fn)
+    h = full_quotient(f, mgr.true, "AND")
+    assert h.on == f_fn
+    assert h.dc.is_false
+
+
+def test_validate_divisor_rejections():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "x1 & x2"))
+    # AND needs an over-approximation; x1&x2&x3 is an under-approximation.
+    bad = parse_expression(mgr, "x1 & x2 & x3")
+    with pytest.raises(InvalidDivisorError):
+        validate_divisor(f, bad, "AND")
+    with pytest.raises(InvalidDivisorError):
+        full_quotient(f, bad, "AND")
+    # OR needs an under-approximation; x1 is an over-approximation.
+    with pytest.raises(InvalidDivisorError):
+        validate_divisor(f, parse_expression(mgr, "x1"), "OR")
+    # XOR accepts anything.
+    validate_divisor(f, parse_expression(mgr, "x3"), "XOR")
+
+
+def test_validate_divisor_dc_freedom():
+    # Divisors may take any value on the dc-set of f.
+    mgr = fresh_manager(4)
+    f = ISF.from_sets(mgr, on_minterms=[3], dc_minterms=[5, 6])
+    g = mgr.minterm(3) | mgr.minterm(5)  # raises a dc minterm: allowed
+    validate_divisor(f, g, "AND")
+    validate_divisor(f, g, "OR")
+
+
+@given(tt_bits, op_names)
+@settings(max_examples=60, deadline=None)
+def test_error_set_matches_annotated_quotient_set(on_bits, op_name):
+    """Table II observation: h_on or h_off equals the approximation error."""
+    mgr = fresh_manager(4)
+    f = isf_from_masks(mgr, on_bits, 0)  # completely specified
+    op = OPERATORS[op_name]
+    rng = make_rng(op_name + "err")
+    g = approximation_for_operator(f, op, rate=0.4, rng=rng)
+    h = full_quotient(f, g, op)
+    errors = divisor_error_set(f, g, op)
+    target = h.on if op.error_in == "on" else h.off
+    if op.approximation.name == "ANY":
+        assert target == errors
+    else:
+        assert target == errors
+
+
+def test_figure1_quotient_values():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(
+        parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    )
+    g = parse_expression(mgr, "x2 & x4")
+    h = full_quotient(f, g, "AND")
+    assert sorted(h.on.minterms()) == [7, 13, 15]
+    assert sorted(h.off.minterms()) == [5]  # the single introduced error
+    assert h.dc.satcount() == 12
+
+
+def test_mixed_manager_rejected():
+    mgr_a = fresh_manager(3)
+    mgr_b = fresh_manager(3)
+    f = ISF.completely_specified(mgr_a.var("x1"))
+    with pytest.raises(ValueError):
+        full_quotient(f, mgr_b.var("x1"), "XOR")

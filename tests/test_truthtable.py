@@ -1,0 +1,119 @@
+"""Tests for the dense truth-table backend."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils.rng import make_rng
+
+tt_bits = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def test_constants():
+    assert TruthTable.zeros(3).is_false
+    assert TruthTable.ones(3).is_true
+    assert TruthTable.ones(3).count() == 8
+
+
+def test_variable_msb_convention():
+    x0 = TruthTable.variable(3, 0)
+    assert [x0(m) for m in range(8)] == [False] * 4 + [True] * 4
+    x2 = TruthTable.variable(3, 2)
+    assert [x2(m) for m in range(8)] == [False, True] * 4
+
+
+def test_variable_bounds():
+    with pytest.raises(ValueError):
+        TruthTable.variable(3, 3)
+    with pytest.raises(ValueError):
+        TruthTable.variable(3, -1)
+
+
+def test_from_function_majority():
+    maj = TruthTable.from_function(3, lambda a, b, c: a + b + c >= 2)
+    assert maj.count() == 4
+    assert maj(0b110) and maj(0b011) and not maj(0b100)
+
+
+def test_from_minterms_roundtrip():
+    table = TruthTable.from_minterms(4, [1, 5, 9])
+    assert list(table.minterms()) == [1, 5, 9]
+    assert table.count() == 3
+
+
+@given(tt_bits, tt_bits)
+@settings(max_examples=60, deadline=None)
+def test_boolean_algebra(bits_a, bits_b):
+    a = TruthTable(4, bits_a)
+    b = TruthTable(4, bits_b)
+    for m in range(16):
+        assert (a & b)(m) == (a(m) and b(m))
+        assert (a | b)(m) == (a(m) or b(m))
+        assert (a ^ b)(m) == (a(m) != b(m))
+        assert (a - b)(m) == (a(m) and not b(m))
+        assert (~a)(m) == (not a(m))
+
+
+@given(tt_bits, tt_bits)
+@settings(max_examples=40, deadline=None)
+def test_order_and_disjoint(bits_a, bits_b):
+    a = TruthTable(4, bits_a)
+    b = TruthTable(4, bits_b)
+    assert (a <= b) == all(not a(m) or b(m) for m in range(16))
+    assert a.disjoint(b) == all(not (a(m) and b(m)) for m in range(16))
+    assert a.error_count(b) == sum(a(m) != b(m) for m in range(16))
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        _ = TruthTable.zeros(3) & TruthTable.zeros(4)
+    with pytest.raises(TypeError):
+        _ = TruthTable.zeros(3) & 7  # type: ignore[operator]
+
+
+@given(tt_bits)
+@settings(max_examples=40, deadline=None)
+def test_cofactor_is_independent_of_variable(bits):
+    table = TruthTable(4, bits)
+    for index in range(4):
+        for value in (0, 1):
+            cofactor = table.cofactor(index, value)
+            var = TruthTable.variable(4, index)
+            # Independence: both halves agree.
+            assert cofactor.cofactor(index, 0) == cofactor.cofactor(index, 1)
+            # Agreement with original on the selected half.
+            half = var if value else ~var
+            assert (cofactor & half) == (table & half)
+
+
+@given(tt_bits)
+@settings(max_examples=30, deadline=None)
+def test_shannon_expansion(bits):
+    table = TruthTable(4, bits)
+    for index in range(4):
+        var = TruthTable.variable(4, index)
+        rebuilt = (var & table.cofactor(index, 1)) | (
+            ~var & table.cofactor(index, 0)
+        )
+        assert rebuilt == table
+
+
+def test_random_density_is_reproducible():
+    rng_a = make_rng(7)
+    rng_b = make_rng(7)
+    assert TruthTable.random(6, rng_a) == TruthTable.random(6, rng_b)
+
+
+def test_repr_small_and_large():
+    small = TruthTable(2, 0b1010)
+    assert "0b" in repr(small)
+    large = TruthTable(8, 7)
+    assert "count=3" in repr(large)
+
+
+def test_hash_consistency():
+    a = TruthTable(3, 0b10110100)
+    b = TruthTable(3, 0b10110100)
+    assert a == b and hash(a) == hash(b)
+    assert a != TruthTable(3, 0)

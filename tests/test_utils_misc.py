@@ -1,0 +1,47 @@
+"""Unit tests for the RNG and stopwatch utilities."""
+
+import time
+
+from repro.utils.rng import DEFAULT_SEED, make_rng
+from repro.utils.timing import Stopwatch
+
+
+def test_default_seed_rng_is_deterministic():
+    first = [make_rng().random() for _ in range(5)]
+    second = [make_rng().random() for _ in range(5)]
+    assert first == second
+
+
+def test_integer_seeds_differ():
+    assert make_rng(1).random() != make_rng(2).random()
+
+
+def test_string_seeds_are_stable_and_distinct():
+    a1 = make_rng("alpha").random()
+    a2 = make_rng("alpha").random()
+    b = make_rng("beta").random()
+    assert a1 == a2
+    assert a1 != b
+
+
+def test_none_seed_uses_default():
+    assert make_rng(None).random() == make_rng(DEFAULT_SEED).random()
+
+
+def test_stopwatch_accumulates():
+    watch = Stopwatch()
+    with watch:
+        time.sleep(0.01)
+    first = watch.elapsed
+    assert first >= 0.005
+    with watch:
+        time.sleep(0.01)
+    assert watch.elapsed > first
+
+
+def test_stopwatch_reset():
+    watch = Stopwatch()
+    with watch:
+        pass
+    watch.reset()
+    assert watch.elapsed == 0.0
