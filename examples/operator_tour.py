@@ -1,9 +1,12 @@
 """Tour of all ten operators (paper Tables I and II).
 
-For one target function, build a valid divisor of the kind each operator
-requires (0->1 / 1->0 approximation of f or of its complement, or an
-arbitrary 0<->1 approximation for the XOR family), compute the full
-quotient with the Table II formulas, and verify f = g op h.
+For one target function, run the strategy engine once per operator with
+the ``random:<rate>`` approximator — the engine builds a valid divisor
+of the kind each operator requires (0->1 / 1->0 approximation of f or of
+its complement, or an arbitrary 0<->1 approximation for the XOR family),
+computes the full quotient with the Table II formulas, minimizes it, and
+verifies f = g op h.  A final ``op="auto"`` request searches the same
+ten operators and reports the ranking winner.
 
 This exercises the part of the paper beyond its own experiments, which
 only evaluate AND and not-implies (the paper's Section V lists the other
@@ -12,17 +15,7 @@ operators as future work).
 Run:  python examples/operator_tour.py
 """
 
-from repro import (
-    BDD,
-    ISF,
-    OPERATORS,
-    apply_operator,
-    approximation_for_operator,
-    full_quotient,
-    minimize_spp,
-    parse_expression,
-)
-from repro.utils import make_rng
+from repro import BDD, ISF, OPERATORS, Decomposer, parse_expression
 
 
 def main() -> None:
@@ -31,7 +24,7 @@ def main() -> None:
     f = ISF.completely_specified(
         parse_expression(mgr, "x1 & (x2 ^ x3) | ~x1 & x4 & x5")
     )
-    rng = make_rng("operator-tour")
+    engine = Decomposer(approximator="random:0.25", minimizer="spp")
 
     print(f"f = x1 (x2 ^ x3) + x1' x4 x5   ({f.on.satcount()} on-set minterms)")
     print()
@@ -43,26 +36,34 @@ def main() -> None:
     print("-" * len(header))
 
     for name, op in OPERATORS.items():
-        g = approximation_for_operator(f, op, rate=0.25, rng=rng)
-        h = full_quotient(f, g, op)
-        h_cover = minimize_spp(h)
-
-        # Verify the decomposition with the minimized completion.
-        rebuilt = apply_operator(op, g, h_cover.to_function(mgr))
-        assert (rebuilt & f.care) == (f.on & f.care), name
-
-        errors = (g ^ f.on).satcount()
+        result = engine.decompose(f, op)  # verifies f = g op h
+        decomposition = result.decomposition
+        errors = (decomposition.g ^ f.on).satcount()
         kind = op.approximation.value
-        expression = h_cover.to_expression(names)
+        expression = decomposition.h_cover.to_expression(names)
         if len(expression) > 40:
             expression = expression[:37] + "..."
         print(
-            f"{name:<16} {kind:<28} {errors:>4} {h.dc.satcount():>6}"
-            f" {expression:<40}"
+            f"{name:<16} {kind:<28} {errors:>4}"
+            f" {decomposition.h.dc.satcount():>6} {expression:<40}"
         )
 
     print()
     print("all ten decompositions verified: f = g op h on the care set")
+
+    auto = engine.decompose(f, op="auto")
+    ranked = sorted(
+        (c for c in auto.candidates if c.verified),
+        key=lambda c: (c.literal_cost, c.error_rate),
+    )
+    print()
+    line = (
+        f"auto search winner: {auto.op_name}"
+        f" ({auto.literal_cost} literals, {100 * auto.error_rate:.1f}% errors)"
+    )
+    if len(ranked) > 1:
+        line += f"; runner-up: {ranked[1].op_name}"
+    print(line)
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ that f = g · h (paper Table II, row AND).
 Run:  python examples/quickstart.py
 """
 
-from repro import BDD, ISF, bidecompose, full_quotient, parse_expression
+from repro import BDD, ISF, Decomposer, full_quotient, parse_expression
 from repro.harness.figures import render_karnaugh
 from repro.twolevel import espresso_minimize
 
@@ -36,13 +36,23 @@ def main() -> None:
     h_cover = espresso_minimize(h)
     print(f"h minimizes to: {h_cover.to_expression(mgr.var_names)}")
 
-    # 5. Or let the library drive the whole flow and verify f = g . h.
-    decomposition = bidecompose(f, "AND", g)
-    assert decomposition.verify()
+    # 5. Or let the engine drive the whole flow (it verifies f = g . h).
+    engine = Decomposer(minimizer="spp")
+    result = engine.decompose(f, "AND", approximator=g)
+    decomposition = result.decomposition
     g_text = decomposition.g_cover.to_expression(mgr.var_names)
     h_text = decomposition.h_cover.to_expression(mgr.var_names)
     print(f"f = g . h = ({g_text}) & ({h_text})")
-    print(f"total literals: {decomposition.literal_cost()} (f alone needs 6)")
+    print(f"total literals: {result.literal_cost} (f alone needs 6)")
+
+    # 6. Don't know which operator fits best?  Let the engine search all
+    #    ten of Table I and rank verified candidates by literal cost.
+    auto = engine.decompose(f, op="auto")
+    print(
+        f"auto search picked {auto.op_name} via {auto.approximator_name}:"
+        f" {auto.literal_cost} literals,"
+        f" {100 * auto.error_rate:.1f}% error rate"
+    )
 
 
 if __name__ == "__main__":

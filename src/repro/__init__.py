@@ -11,15 +11,26 @@ I/O, exact and heuristic two-level minimization, 2-SPP (XOR-AND-OR)
 synthesis, expansion-based approximation, a genlib technology mapper,
 and the paper's benchmark suite and experiment harness.
 
-Quickstart::
+The primary entry point is the strategy-driven engine::
 
-    from repro import BDD, ISF, bidecompose, approximate_expand_full
+    from repro import BDD, ISF, Decomposer, parse_expression
 
     mgr = BDD(["x1", "x2", "x3", "x4"])
     f = ISF.completely_specified(
-        mgr.var("x1") & mgr.var("x2") & mgr.var("x4")
-        | mgr.var("x2") & mgr.var("x3") & mgr.var("x4")
+        parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
     )
+    engine = Decomposer(approximator="expand-full", minimizer="spp")
+    result = engine.decompose(f, op="auto")   # searches all 10 operators
+    assert result.verified
+    print(result.op_name, result.literal_cost, result.timings["total"])
+
+    # Batches share one BDD manager and memoize sub-results:
+    results = engine.decompose_many([("f", f)], op="AND")
+
+The classic one-shot driver remains available::
+
+    from repro import bidecompose, approximate_expand_full
+
     approx = approximate_expand_full(f)
     dec = bidecompose(f, "AND", approx.g)
     assert dec.verify()
@@ -31,7 +42,7 @@ from repro.approx import (
     approximation_for_operator,
     error_rate,
 )
-from repro.bdd import BDD, Function, isop, parse_expression
+from repro.bdd import BDD, Function, isop, parse_expression, transfer
 from repro.boolfunc import ISF, TruthTable
 from repro.core import (
     OPERATORS,
@@ -46,18 +57,34 @@ from repro.core import (
     validate_divisor,
 )
 from repro.cover import PLA, Cover, Cube, parse_pla, write_pla
+from repro.engine import (
+    APPROXIMATORS,
+    MINIMIZERS,
+    Decomposer,
+    DecomposeRequest,
+    DecomposeResult,
+    Divisor,
+    register_approximator,
+    register_minimizer,
+)
 from repro.spp import Pseudocube, SppCover, minimize_spp
 from repro.twolevel import espresso_minimize, minimize_exact
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "APPROXIMATORS",
     "BDD",
     "BiDecomposition",
     "Cover",
     "Cube",
+    "Decomposer",
+    "DecomposeRequest",
+    "DecomposeResult",
+    "Divisor",
     "Function",
     "ISF",
+    "MINIMIZERS",
     "OPERATORS",
     "PLA",
     "Pseudocube",
@@ -80,7 +107,10 @@ __all__ = [
     "operator_by_name",
     "parse_expression",
     "parse_pla",
+    "register_approximator",
+    "register_minimizer",
     "semantic_full_quotient",
+    "transfer",
     "validate_divisor",
     "write_pla",
 ]

@@ -17,6 +17,6 @@ provides:
 
 from repro.bdd.expr import parse_expression
 from repro.bdd.manager import BDD, Function
-from repro.bdd.ops import isop
+from repro.bdd.ops import isop, transfer
 
-__all__ = ["BDD", "Function", "isop", "parse_expression"]
+__all__ = ["BDD", "Function", "isop", "parse_expression", "transfer"]

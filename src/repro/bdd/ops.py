@@ -81,6 +81,50 @@ def cube_to_function(mgr: BDD, cube: dict[str, bool]) -> Function:
     return mgr.cube(cube)
 
 
+def transfer(function: Function, target: BDD) -> Function:
+    """Rebuild ``function`` inside another manager, matching variables by name.
+
+    Every variable in the source manager must be declared in ``target``,
+    and the relative order of the shared variables must agree (the
+    structural copy below preserves levels, so an order inversion would
+    produce an unordered diagram).  Extra variables in ``target`` are
+    simply unused.  This is the primitive behind batch decomposition over
+    a single shared manager.
+    """
+    src = function.mgr
+    if target is src:
+        return function
+    level_map: dict[int, int] = {}
+    for name in src.var_names:
+        try:
+            level_map[src.level_of(name)] = target.level_of(name)
+        except KeyError:
+            raise ValueError(
+                f"target manager does not declare variable {name!r}"
+            ) from None
+    mapped = [level_map[level] for level in sorted(level_map)]
+    if mapped != sorted(mapped):
+        raise ValueError(
+            "variable orders of source and target managers are incompatible"
+        )
+
+    cache: dict[int, int] = {0: 0, 1: 1}
+
+    def rec(node: int) -> int:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        result = target._mk(
+            level_map[src._level[node]],
+            rec(src._low[node]),
+            rec(src._high[node]),
+        )
+        cache[node] = result
+        return result
+
+    return Function(target, rec(function.node))
+
+
 def count_nodes_dag(functions: list[Function]) -> int:
     """Number of distinct BDD nodes used by a set of functions (shared DAG)."""
     if not functions:
@@ -99,4 +143,10 @@ def count_nodes_dag(functions: list[Function]) -> int:
     return len(seen)
 
 
-__all__ = ["isop", "cube_to_function", "count_nodes_dag", "TERMINAL_LEVEL"]
+__all__ = [
+    "isop",
+    "cube_to_function",
+    "count_nodes_dag",
+    "transfer",
+    "TERMINAL_LEVEL",
+]

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: paper tables/figures and the decompose engine.
 
 Usage::
 
@@ -8,12 +8,17 @@ Usage::
     python -m repro.cli table4 [--names z4]
     python -m repro.cli fig1
     python -m repro.cli fig2
-    python -m repro.cli bench <name> [...]
+    python -m repro.cli bench <name> [...] [--json]
+    python -m repro.cli decompose <name> [...] [--op auto] [--approx expand-full]
+                                  [--minimizer spp] [--json]
+
+Installed as the ``repro-bidec`` console script.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -69,13 +74,65 @@ def _cmd_fig2(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_result_dict(result) -> dict:
+    """JSON-friendly view of a harness BenchmarkResult (no artifacts)."""
+    return {
+        "name": result.name,
+        "n_inputs": result.n_inputs,
+        "n_outputs": result.n_outputs,
+        "time_s": round(result.time_s, 6),
+        "area_f": result.area_f,
+        "area_g": result.area_g,
+        "pct_errors": result.pct_errors,
+        "pct_reduction": result.pct_reduction,
+        "op_areas": result.op_areas,
+        "op_gains": result.op_gains,
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.experiment import run_benchmark
     from repro.harness.tables import render_table_results
 
     results = [run_benchmark(name) for name in args.names]
+    if args.json:
+        print(json.dumps([_bench_result_dict(r) for r in results], indent=2))
+        return 0
     table = "III/IV"
     print(render_table_results(results, table, with_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import decompose_suite
+
+    results = decompose_suite(
+        args.names,
+        op=args.op,
+        approximator=args.approx,
+        minimizer=args.minimizer,
+    )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+        return 0
+    header = (
+        f"{'output':<16} {'op':<14} {'lits':>5} {'err%':>6} {'ok':>3}"
+        f" {'time(s)':>8}"
+    )
+    print(f"strategies: approx={args.approx} minimizer={args.minimizer}"
+          f" op={args.op}")
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(
+            f"{result.name:<16} {result.op_name:<14}"
+            f" {result.literal_cost:>5} {100 * result.error_rate:>6.2f}"
+            f" {'yes' if result.verified else 'NO':>3}"
+            f" {result.timings['total']:>8.3f}"
+        )
+    total_lits = sum(r.literal_cost for r in results)
+    print("-" * len(header))
+    print(f"{len(results)} outputs, {total_lits} literals total")
     return 0
 
 
@@ -112,7 +169,43 @@ def main(argv: list[str] | None = None) -> int:
     bench = subparsers.add_parser("bench", help="run named benchmarks")
     bench.add_argument("names", nargs="+")
     bench.add_argument("--no-paper", action="store_true")
+    bench.add_argument(
+        "--json", action="store_true", help="emit results as JSON"
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    decompose = subparsers.add_parser(
+        "decompose",
+        help="decompose benchmark outputs with the strategy engine",
+        description=(
+            "Batch-decompose every output of the named benchmarks through"
+            " the Decomposer engine (one shared BDD manager, memoized"
+            " sub-results)."
+        ),
+    )
+    decompose.add_argument("names", nargs="+", help="benchmark names")
+    decompose.add_argument(
+        "--op",
+        default="auto",
+        help="operator name, or 'auto' to search all ten (default)",
+    )
+    decompose.add_argument(
+        "--approx",
+        default="expand-full",
+        help=(
+            "approximator strategy, e.g. expand-full, expand-bounded:0.05,"
+            " random:0.3 (default: expand-full)"
+        ),
+    )
+    decompose.add_argument(
+        "--minimizer",
+        default="spp",
+        help="minimizer strategy: spp, espresso, exact, none (default: spp)",
+    )
+    decompose.add_argument(
+        "--json", action="store_true", help="emit DecomposeResult metrics as JSON"
+    )
+    decompose.set_defaults(handler=_cmd_decompose)
 
     args = parser.parse_args(argv)
     return args.handler(args)

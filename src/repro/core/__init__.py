@@ -11,7 +11,7 @@
   2-SPP (or SOP) form and verifies ``f = g op h``.
 """
 
-from repro.core.bidecomposition import BiDecomposition, apply_operator, bidecompose
+from repro.core.bidecomposition import BiDecomposition, bidecompose
 from repro.core.flexibility import (
     is_full_quotient,
     is_valid_quotient,
@@ -19,8 +19,10 @@ from repro.core.flexibility import (
 )
 from repro.core.operators import (
     OPERATORS,
+    TABLE_I_ORDER,
     ApproximationKind,
     BinaryOperator,
+    apply_operator,
     operator_by_name,
 )
 from repro.core.quotient import (
@@ -32,6 +34,7 @@ from repro.core.quotient import (
 
 __all__ = [
     "OPERATORS",
+    "TABLE_I_ORDER",
     "ApproximationKind",
     "BiDecomposition",
     "BinaryOperator",

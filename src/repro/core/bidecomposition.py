@@ -10,6 +10,10 @@ paper describes:
 3. minimize ``g`` and ``h`` (2-SPP by default, plain SOP optionally);
 4. return a :class:`BiDecomposition` whose :meth:`~BiDecomposition.verify`
    re-checks ``f = g op h`` on the care set.
+
+It is kept as a thin wrapper over the strategy-driven engine
+(:class:`repro.engine.Decomposer`), which is the richer entry point for
+multi-operator, multi-strategy, and batch workloads.
 """
 
 from __future__ import annotations
@@ -19,28 +23,10 @@ from typing import Callable
 
 from repro.bdd.manager import Function
 from repro.boolfunc.isf import ISF
-from repro.core.operators import BinaryOperator, operator_by_name
-from repro.core.quotient import divisor_error_set, full_quotient
+from repro.core.operators import BinaryOperator, apply_operator
+from repro.core.quotient import divisor_error_set
 from repro.spp.spp_cover import SppCover
 from repro.spp.synthesis import minimize_spp
-
-
-def apply_operator(op: BinaryOperator | str, g: Function, h: Function) -> Function:
-    """Combine two completely specified functions with a binary operator."""
-    if isinstance(op, str):
-        op = operator_by_name(op)
-    out00, out01, out10, out11 = op.truth_row()
-    mgr = g.mgr
-    result = mgr.false
-    if out11:
-        result = result | (g & h)
-    if out10:
-        result = result | (g - h)
-    if out01:
-        result = result | (h - g)
-    if out00:
-        result = result | ~(g | h)
-    return result
 
 
 @dataclass
@@ -90,12 +76,16 @@ class BiDecomposition:
         return apply_operator(self.op, self.g_realized(), self.h_completion())
 
     def verify(self) -> bool:
-        """Check ``f = g op h`` on the care set of ``f`` (Lemmas 1–5)."""
-        rebuilt = self.reconstruct()
+        """Check ``f = g op h`` on the care set of ``f`` (Lemmas 1–5).
+
+        Also checks that the realized ``g_cover`` round-trips to the
+        divisor the quotient was computed for — a sound quotient for a
+        different ``g`` would otherwise go unnoticed.
+        """
+        g_real = self.g_realized()  # realize once for both checks
+        rebuilt = apply_operator(self.op, g_real, self.h_completion())
         care = self.f.care
-        return (rebuilt & care) == (self.f.on & care) and (
-            self.f.on <= rebuilt
-        )
+        return (rebuilt & care) == (self.f.on & care) and g_real == self.g
 
     def literal_cost(self) -> int:
         """Total 2-SPP literal cost of the g and h covers."""
@@ -123,19 +113,12 @@ def bidecompose(
     callable ``(f, op) -> g`` producing one; it must deliver the
     approximation kind the operator requires (see
     :func:`repro.core.quotient.validate_divisor`).
+
+    Back-compat wrapper: the work happens in the strategy-driven engine
+    (:class:`repro.engine.Decomposer`), which additionally offers named
+    strategies, ``op="auto"`` search, and batch execution.
     """
-    if isinstance(op, str):
-        op = operator_by_name(op)
-    if isinstance(approximator, Function):
-        g = approximator
-    else:
-        g = approximator(f, op)
-    h = full_quotient(f, g, op)
-    g_cover = minimize(ISF.completely_specified(g))
-    h_cover = minimize(h)
-    result = BiDecomposition(f=f, op=op, g=g, h=h, g_cover=g_cover, h_cover=h_cover)
-    if verify and not result.verify():
-        raise AssertionError(
-            f"bi-decomposition verification failed for operator {op.name}"
-        )
-    return result
+    from repro.engine.decomposer import Decomposer
+
+    engine = Decomposer(minimizer=minimize, verify=verify)
+    return engine.decompose(f, op, approximator=approximator).decomposition

@@ -73,6 +73,21 @@ class BinaryOperator:
             self.truth(True, True),
         )
 
+    def apply(self, g: Function, h: Function) -> Function:
+        """Combine two completely specified functions with this operator."""
+        out00, out01, out10, out11 = self.truth_row()
+        mgr = g.mgr
+        result = mgr.false
+        if out11:
+            result = result | (g & h)
+        if out10:
+            result = result | (g - h)
+        if out01:
+            result = result | (h - g)
+        if out00:
+            result = result | ~(g | h)
+        return result
+
     def __repr__(self) -> str:
         return f"BinaryOperator({self.name})"
 
@@ -260,3 +275,10 @@ def operator_by_name(name: str) -> BinaryOperator:
             f"unknown operator {name!r}; choose from {sorted(OPERATORS)}"
         )
     return OPERATORS[key]
+
+
+def apply_operator(op: BinaryOperator | str, g: Function, h: Function) -> Function:
+    """Combine two completely specified functions with a binary operator."""
+    if isinstance(op, str):
+        op = operator_by_name(op)
+    return op.apply(g, h)

@@ -1,0 +1,45 @@
+"""Strategy-driven decomposition engine (the primary public API).
+
+* :class:`~repro.engine.decomposer.Decomposer` — configurable front end
+  over the paper's approximate → full-quotient → minimize → verify flow,
+  with ``op="auto"`` operator search and batch execution over a shared
+  BDD manager;
+* :mod:`~repro.engine.registry` — named approximator and minimizer
+  registries, extensible with :func:`register_approximator` and
+  :func:`register_minimizer`;
+* :mod:`~repro.engine.request` — :class:`DecomposeRequest` /
+  :class:`DecomposeResult` artifacts carrying strategy provenance,
+  per-stage timings, and literal/error metrics.
+"""
+
+from repro.engine.decomposer import AutoSearchError, Decomposer, VerificationError
+from repro.engine.registry import (
+    APPROXIMATORS,
+    MINIMIZERS,
+    StrategyRegistry,
+    UnknownStrategyError,
+    register_approximator,
+    register_minimizer,
+)
+from repro.engine.request import (
+    CandidateOutcome,
+    DecomposeRequest,
+    DecomposeResult,
+    Divisor,
+)
+
+__all__ = [
+    "APPROXIMATORS",
+    "AutoSearchError",
+    "CandidateOutcome",
+    "Decomposer",
+    "DecomposeRequest",
+    "DecomposeResult",
+    "Divisor",
+    "MINIMIZERS",
+    "StrategyRegistry",
+    "UnknownStrategyError",
+    "VerificationError",
+    "register_approximator",
+    "register_minimizer",
+]

@@ -1,0 +1,447 @@
+"""The strategy-driven decomposition engine.
+
+:class:`Decomposer` packages the paper's flow — approximate, compute the
+full quotient with the Table II formulas, minimize, verify — behind a
+configurable front end:
+
+* strategies are looked up in the named registries of
+  :mod:`repro.engine.registry` (or passed as callables / ready divisors);
+* ``op="auto"`` searches all ten operators of Table I, validating the
+  divisor kind per operator and ranking verified candidates by literal
+  cost, then error rate;
+* :meth:`Decomposer.decompose_many` runs a batch over one shared BDD
+  manager, memoizing approximation and minimization sub-results across
+  requests.
+
+Example::
+
+    from repro import Decomposer
+
+    engine = Decomposer(approximator="expand-full", minimizer="spp")
+    result = engine.decompose(f, op="auto")
+    result.decomposition.verify()   # already checked by the engine
+    result.op_name, result.literal_cost, result.timings["total"]
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Iterable
+
+from repro.bdd.manager import BDD, Function
+from repro.bdd.ops import transfer
+from repro.boolfunc.isf import ISF
+from repro.core.bidecomposition import BiDecomposition
+from repro.core.operators import TABLE_I_ORDER, BinaryOperator, operator_by_name
+from repro.core.quotient import InvalidDivisorError, full_quotient
+from repro.engine.registry import APPROXIMATORS, MINIMIZERS, ResolvedStrategy
+from repro.engine.request import (
+    CandidateOutcome,
+    DecomposeRequest,
+    DecomposeResult,
+    Divisor,
+)
+
+
+class VerificationError(AssertionError):
+    """The decomposition failed the ``f = g op h`` care-set check."""
+
+
+class AutoSearchError(RuntimeError):
+    """No operator produced an acceptable decomposition under ``op="auto"``."""
+
+
+def _as_divisor(raw) -> Divisor:
+    """Normalize an approximator's return value to a :class:`Divisor`."""
+    if isinstance(raw, Divisor):
+        return raw
+    if isinstance(raw, Function):
+        return Divisor(g=raw)
+    g = getattr(raw, "g", None)
+    if isinstance(g, Function):
+        return Divisor(g=g, g_cover=getattr(raw, "g_cover", None))
+    raise TypeError(
+        f"approximator must return a Function, Divisor, or object with a"
+        f" .g attribute, got {raw!r}"
+    )
+
+
+class Decomposer:
+    """Strategy-driven bi-decomposition engine (the primary public API).
+
+    ``approximator`` and ``minimizer`` set the defaults for every
+    request; both accept registry names (``"expand-full"``,
+    ``"expand-bounded:0.05"``, ``"spp"``, ...) or bare callables.
+    ``operators`` bounds the ``op="auto"`` search space (default: all ten
+    operators of Table I, in table order).  ``verify=False`` skips the
+    final care-set check (and, under auto, ranks unverified candidates).
+
+    The engine memoizes divisors per ``(f, approximation kind)`` and
+    covers per ``(isf, minimizer)``, so auto search shares one expansion
+    across every operator of a family and batches share sub-results
+    across requests.  Caches live on the instance; :meth:`clear_caches`
+    drops them, and :attr:`stats` counts hits and misses.
+    """
+
+    def __init__(
+        self,
+        approximator="expand-full",
+        minimizer="spp",
+        operators: Iterable[str | BinaryOperator] | None = None,
+        verify: bool = True,
+    ) -> None:
+        self.default_approximator = approximator
+        self.default_minimizer = minimizer
+        self.operators: tuple[BinaryOperator, ...] = tuple(
+            op if isinstance(op, BinaryOperator) else operator_by_name(op)
+            for op in (operators if operators is not None else TABLE_I_ORDER)
+        )
+        self.verify = verify
+        self._divisor_cache: dict[tuple, Divisor] = {}
+        self._cover_cache: dict[tuple, object] = {}
+        self.stats = {
+            "divisor_hits": 0,
+            "divisor_misses": 0,
+            "cover_hits": 0,
+            "cover_misses": 0,
+        }
+
+    # -- public API -------------------------------------------------------
+
+    def decompose(
+        self,
+        f: ISF | Function,
+        op: str | BinaryOperator = "auto",
+        *,
+        approximator=None,
+        minimizer=None,
+        verify: bool | None = None,
+        name: str = "",
+        metadata: dict | None = None,
+    ) -> DecomposeResult:
+        """Decompose one function; convenience wrapper over :meth:`run`."""
+        if isinstance(f, Function):
+            f = ISF.completely_specified(f)
+        request = DecomposeRequest(
+            f=f,
+            op=op,
+            approximator=approximator,
+            minimizer=minimizer,
+            verify=self.verify if verify is None else verify,
+            name=name,
+            metadata=metadata if metadata is not None else {},
+        )
+        return self.run(request)
+
+    def run(self, request: DecomposeRequest) -> DecomposeResult:
+        """Execute one :class:`DecomposeRequest`."""
+        approx_spec = (
+            request.approximator
+            if request.approximator is not None
+            else self.default_approximator
+        )
+        min_spec = (
+            request.minimizer
+            if request.minimizer is not None
+            else self.default_minimizer
+        )
+        minimizer = MINIMIZERS.resolve(min_spec)
+        timings = {"approximate": 0.0, "quotient": 0.0, "minimize": 0.0, "verify": 0.0}
+        start = perf_counter()
+        if isinstance(request.op, str) and request.op.lower() == "auto":
+            result = self._run_auto(request, approx_spec, minimizer, timings)
+        else:
+            result = self._run_single(request, approx_spec, minimizer, timings)
+        result.timings = timings
+        timings["total"] = perf_counter() - start
+        return result
+
+    def decompose_many(
+        self,
+        functions: Iterable,
+        op: str | BinaryOperator = "auto",
+        *,
+        approximator=None,
+        minimizer=None,
+        verify: bool | None = None,
+        mgr: BDD | None = None,
+    ) -> list[DecomposeResult]:
+        """Decompose a batch of functions over one shared BDD manager.
+
+        ``functions`` yields ``ISF`` / ``Function`` items or
+        ``(name, item)`` pairs.  When the items live in different
+        managers they are transferred (by variable name) into a single
+        shared manager — ``mgr`` if given, else a fresh manager declaring
+        the union of the variables in first-seen order — so the whole
+        batch shares one unique table, one operation cache, and this
+        engine's divisor/cover memos.
+        """
+        labeled: list[tuple[str, ISF]] = []
+        for index, item in enumerate(functions):
+            if isinstance(item, tuple):
+                label, value = item
+            else:
+                label, value = f"f{index}", item
+            if isinstance(value, Function):
+                value = ISF.completely_specified(value)
+            labeled.append((str(label), value))
+
+        shared = self._shared_manager([isf for _, isf in labeled], mgr)
+        return [
+            self.decompose(
+                self._transfer_isf(isf, shared),
+                op,
+                approximator=approximator,
+                minimizer=minimizer,
+                verify=verify,
+                name=label,
+                # The input count of the original function, before the
+                # transfer into the (possibly wider) shared manager.
+                metadata={"n_vars": isf.n_vars},
+            )
+            for label, isf in labeled
+        ]
+
+    def clear_caches(self) -> None:
+        """Drop the divisor and cover memos (stats are kept)."""
+        self._divisor_cache.clear()
+        self._cover_cache.clear()
+
+    # -- batch manager sharing -------------------------------------------
+
+    @staticmethod
+    def _shared_manager(isfs: list[ISF], mgr: BDD | None) -> BDD | None:
+        if mgr is not None:
+            return mgr
+        managers = []
+        for isf in isfs:
+            if isf.mgr not in managers:
+                managers.append(isf.mgr)
+        if len(managers) <= 1:
+            return managers[0] if managers else None
+        # Topologically merge the per-manager variable orders so every
+        # source order embeds in the shared one (a naive first-seen union
+        # would reject compatible interleavings like [x1,x3] + [x1,x2,x3]).
+        successors: dict[str, set[str]] = {}
+        indegree: dict[str, int] = {}
+        first_seen: dict[str, int] = {}
+        for manager in managers:
+            order = manager.var_names
+            for name in order:
+                indegree.setdefault(name, 0)
+                successors.setdefault(name, set())
+                first_seen.setdefault(name, len(first_seen))
+            for above, below in zip(order, order[1:]):
+                if below not in successors[above]:
+                    successors[above].add(below)
+                    indegree[below] += 1
+        names: list[str] = []
+        ready = [name for name in indegree if indegree[name] == 0]
+        while ready:
+            ready.sort(key=first_seen.__getitem__)
+            name = ready.pop(0)
+            names.append(name)
+            for below in successors[name]:
+                indegree[below] -= 1
+                if indegree[below] == 0:
+                    ready.append(below)
+        if len(names) != len(indegree):
+            raise ValueError(
+                "variable orders of the batch managers are incompatible"
+            )
+        return BDD(names)
+
+    @staticmethod
+    def _transfer_isf(isf: ISF, shared: BDD | None) -> ISF:
+        if shared is None or isf.mgr is shared:
+            return isf
+        return ISF(transfer(isf.on, shared), transfer(isf.dc, shared))
+
+    # -- single-operator path --------------------------------------------
+
+    def _run_single(
+        self,
+        request: DecomposeRequest,
+        approx_spec,
+        minimizer: ResolvedStrategy,
+        timings: dict[str, float],
+    ) -> DecomposeResult:
+        op = (
+            operator_by_name(request.op)
+            if isinstance(request.op, str)
+            else request.op
+        )
+        approx_name, decomposition = self._candidate(
+            request.f, op, approx_spec, minimizer, timings
+        )
+        verified = False
+        if request.verify:
+            verified = self._verify(decomposition, timings)
+            if not verified:
+                raise VerificationError(
+                    f"bi-decomposition verification failed for operator"
+                    f" {op.name}"
+                )
+        literal_cost = decomposition.literal_cost()
+        error_rate = decomposition.error_rate()
+        return DecomposeResult(
+            decomposition=decomposition,
+            request=request,
+            op_name=op.name,
+            approximator_name=approx_name,
+            minimizer_name=minimizer.name,
+            literal_cost=literal_cost,
+            error_rate=error_rate,
+            verified=verified,
+            candidates=[
+                CandidateOutcome(op.name, verified, literal_cost, error_rate)
+            ],
+        )
+
+    # -- operator auto-search --------------------------------------------
+
+    def _run_auto(
+        self,
+        request: DecomposeRequest,
+        approx_spec,
+        minimizer: ResolvedStrategy,
+        timings: dict[str, float],
+    ) -> DecomposeResult:
+        outcomes: list[CandidateOutcome] = []
+        best = None  # ((literal_cost, error_rate), outcome, decomposition, name)
+        for op in self.operators:
+            try:
+                approx_name, decomposition = self._candidate(
+                    request.f, op, approx_spec, minimizer, timings
+                )
+            except InvalidDivisorError as exc:
+                outcomes.append(
+                    CandidateOutcome(op.name, False, reason=str(exc))
+                )
+                continue
+            # Mirror the single-operator path: verify=False skips the
+            # care-set check entirely and ranks unverified candidates.
+            verified = (
+                self._verify(decomposition, timings) if request.verify else False
+            )
+            literal_cost = decomposition.literal_cost()
+            error_rate = decomposition.error_rate()
+            outcome = CandidateOutcome(
+                op.name,
+                verified,
+                literal_cost,
+                error_rate,
+                "" if verified or not request.verify else "verification failed",
+            )
+            outcomes.append(outcome)
+            if request.verify and not verified:
+                continue
+            rank = (literal_cost, error_rate)
+            if best is None or rank < best[0]:
+                best = (rank, outcome, decomposition, approx_name)
+        if best is None:
+            raise AutoSearchError(
+                f"op='auto': none of {[op.name for op in self.operators]}"
+                f" produced a"
+                f"{' verified' if request.verify else 'n acceptable'}"
+                f" decomposition with approximator {approx_spec!r}"
+            )
+        _rank, outcome, decomposition, approx_name = best
+        return DecomposeResult(
+            decomposition=decomposition,
+            request=request,
+            op_name=outcome.op_name,
+            approximator_name=approx_name,
+            minimizer_name=minimizer.name,
+            literal_cost=outcome.literal_cost,
+            error_rate=outcome.error_rate,
+            verified=outcome.verified,
+            candidates=outcomes,
+        )
+
+    # -- stages -----------------------------------------------------------
+
+    def _candidate(
+        self,
+        f: ISF,
+        op: BinaryOperator,
+        approx_spec,
+        minimizer: ResolvedStrategy,
+        timings: dict[str, float],
+    ) -> tuple[str, BiDecomposition]:
+        approx_name, divisor = self._divisor(f, op, approx_spec, timings)
+
+        t0 = perf_counter()
+        h = full_quotient(f, divisor.g, op)
+        timings["quotient"] += perf_counter() - t0
+
+        t0 = perf_counter()
+        g_cover = divisor.g_cover
+        if g_cover is None:
+            g_cover = self._minimize(
+                ISF.completely_specified(divisor.g), minimizer
+            )
+        h_cover = self._minimize(h, minimizer)
+        timings["minimize"] += perf_counter() - t0
+
+        decomposition = BiDecomposition(
+            f=f,
+            op=op,
+            g=divisor.g,
+            h=h,
+            g_cover=g_cover,
+            h_cover=h_cover,
+            metadata={
+                "approximator": approx_name,
+                "minimizer": minimizer.name,
+            },
+        )
+        return approx_name, decomposition
+
+    def _divisor(
+        self,
+        f: ISF,
+        op: BinaryOperator,
+        approx_spec,
+        timings: dict[str, float],
+    ) -> tuple[str, Divisor]:
+        if isinstance(approx_spec, Function):
+            approx_spec = Divisor(g=approx_spec)
+        if isinstance(approx_spec, Divisor):
+            # A ready divisor: validated per-operator by full_quotient.
+            return approx_spec.name or "<given>", approx_spec
+        resolved = APPROXIMATORS.resolve(approx_spec)
+        # Key on the resolved callable (stable per registry spec), not the
+        # display name: distinct ad-hoc callables may share a __name__.
+        key = (
+            f,
+            op.approximation if resolved.kind_pure else op.name,
+            resolved.func,
+        )
+        cached = self._divisor_cache.get(key)
+        if cached is not None:
+            self.stats["divisor_hits"] += 1
+            return resolved.name, cached
+        self.stats["divisor_misses"] += 1
+        t0 = perf_counter()
+        divisor = _as_divisor(resolved.func(f, op))
+        timings["approximate"] += perf_counter() - t0
+        self._divisor_cache[key] = divisor
+        return resolved.name, divisor
+
+    def _minimize(self, isf: ISF, minimizer: ResolvedStrategy):
+        key = (isf, minimizer.func)
+        if key in self._cover_cache:
+            self.stats["cover_hits"] += 1
+            return self._cover_cache[key]
+        self.stats["cover_misses"] += 1
+        cover = minimizer.func(isf)
+        self._cover_cache[key] = cover
+        return cover
+
+    @staticmethod
+    def _verify(decomposition: BiDecomposition, timings: dict[str, float]) -> bool:
+        t0 = perf_counter()
+        verified = decomposition.verify()
+        timings["verify"] += perf_counter() - t0
+        return verified

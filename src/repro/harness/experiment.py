@@ -11,8 +11,11 @@ For every output of a benchmark:
 5. map the three-level forms of ``f``, ``g`` and the bi-decompositions
    onto the gate library and report areas and gains.
 
-Every decomposition is verified (``f = g op h`` on the care set) before
-areas are reported.
+Steps 3–4 (and verification) run through the strategy-driven engine
+(:class:`repro.engine.Decomposer`), with the expansion of step 2 handed
+over as a ready :class:`~repro.engine.request.Divisor` so its minimized
+cover is reused.  Every decomposition is verified (``f = g op h`` on the
+care set) before areas are reported.
 """
 
 from __future__ import annotations
@@ -23,9 +26,8 @@ from repro.approx.error import output_error_rate
 from repro.approx.expansion import approximate_expand_full
 from repro.benchgen.registry import BenchmarkInstance, load_benchmark
 from repro.boolfunc.isf import ISF
-from repro.core.bidecomposition import apply_operator
-from repro.core.operators import operator_by_name
-from repro.core.quotient import full_quotient
+from repro.engine.decomposer import Decomposer, VerificationError
+from repro.engine.request import Divisor
 from repro.spp.spp_cover import SppCover
 from repro.spp.synthesis import minimize_spp
 from repro.techmap.area import area_of_bidecomposition, area_of_spp_covers
@@ -97,6 +99,7 @@ def run_benchmark(
     mgr = instance.mgr
     names = mgr.var_names
     watch = Stopwatch()
+    engine = Decomposer(minimizer="spp")
 
     f_covers: list[SppCover] = []
     g_covers: list[SppCover] = []
@@ -123,19 +126,20 @@ def run_benchmark(
                 f, initial=f_cover, policy=policy, rounds=rounds
             )
             g = approx.g
+            divisor = Divisor(g=g, g_cover=approx.g_cover, name="expand-full")
             per_output = OutputArtifacts(f, f_cover, g, approx.g_cover)
             for op_name in operators:
-                op = operator_by_name(op_name)
-                h = full_quotient(f, g, op)
-                h_cover = minimize_spp(h)
-                per_output.h_covers[op_name] = h_cover
-                # Verification (Lemmas 1-5): any completion must rebuild f.
-                rebuilt = apply_operator(op, g, h_cover.to_function(mgr))
-                if (rebuilt & f.care) != (f.on & f.care):
+                # The engine recomputes the quotient, minimizes h, and
+                # verifies f = g op h (Lemmas 1-5) with the realized covers.
+                try:
+                    result = engine.decompose(f, op_name, approximator=divisor)
+                except VerificationError as exc:
                     raise AssertionError(
                         f"{instance.name}: {op_name} bi-decomposition failed"
                         " verification"
-                    )
+                    ) from exc
+                h_cover = result.decomposition.h_cover
+                per_output.h_covers[op_name] = h_cover
                 pairs_by_op[op_name].append((approx.g_cover, h_cover))
         g_covers.append(approx.g_cover)
         error_pairs.append((f, g))
@@ -168,6 +172,33 @@ def run_benchmark(
         op_gains=op_gains,
         artifacts=artifacts if keep_artifacts else None,
     )
+
+
+def decompose_suite(
+    names: list[str],
+    op: str = "auto",
+    approximator: str = "expand-full",
+    minimizer: str = "spp",
+    engine: Decomposer | None = None,
+):
+    """Decompose every output of the named benchmarks in one batch.
+
+    Loads each benchmark, labels its outputs ``<bench>/o<i>``, and hands
+    the whole suite to :meth:`Decomposer.decompose_many`, which merges
+    the per-benchmark managers into one shared manager and memoizes
+    approximation/minimization sub-results across outputs.  Returns the
+    list of :class:`~repro.engine.request.DecomposeResult`.
+
+    When ``engine`` is given, its configured strategies are used and the
+    ``approximator``/``minimizer`` arguments are ignored.
+    """
+    engine = engine or Decomposer(approximator=approximator, minimizer=minimizer)
+    labeled = []
+    for name in names:
+        instance = load_benchmark(name)
+        for index, f in enumerate(instance.outputs):
+            labeled.append((f"{instance.name}/o{index}", f))
+    return engine.decompose_many(labeled, op)
 
 
 def run_table(

@@ -1,0 +1,67 @@
+"""Smoke tests for the engine-backed CLI surface (decompose, --json)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_decompose_text_output(capsys):
+    assert main(["decompose", "z4", "--op", "AND"]) == 0
+    out = capsys.readouterr().out
+    assert "z4/o0" in out
+    assert "AND" in out
+    assert "yes" in out
+    assert "literals total" in out
+
+
+def test_decompose_auto_json(capsys):
+    assert main(["decompose", "z4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 4  # z4 has four outputs
+    for entry in payload:
+        assert entry["verified"] is True
+        assert entry["approximator"] == "expand-full"
+        assert entry["minimizer"] == "spp"
+        assert len(entry["candidates"]) == 10
+        assert entry["timings"]["total"] >= 0.0
+    assert payload[0]["name"] == "z4/o0"
+
+
+def test_decompose_strategy_flags(capsys):
+    assert (
+        main(
+            [
+                "decompose",
+                "z4",
+                "--op",
+                "AND",
+                "--approx",
+                "random:0.1",
+                "--minimizer",
+                "espresso",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert all(entry["approximator"] == "random:0.1" for entry in payload)
+    assert all(entry["minimizer"] == "espresso" for entry in payload)
+
+
+def test_decompose_unknown_strategy_raises():
+    from repro.engine import UnknownStrategyError
+
+    with pytest.raises(UnknownStrategyError):
+        main(["decompose", "z4", "--approx", "bogus"])
+
+
+def test_bench_json(capsys):
+    assert main(["bench", "z4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["name"] == "z4"
+    assert payload[0]["n_inputs"] == 7
+    assert set(payload[0]["op_areas"]) == {"AND", "NOT_IMPLIES"}
+    assert payload[0]["time_s"] >= 0.0

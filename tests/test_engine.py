@@ -1,0 +1,503 @@
+"""Tests for the strategy-driven decomposition engine."""
+
+import pytest
+
+from repro.bdd.expr import parse_expression
+from repro.bdd.manager import BDD
+from repro.bdd.ops import transfer
+from repro.benchgen.registry import load_benchmark
+from repro.boolfunc.isf import ISF
+from repro.core.operators import OPERATORS, TABLE_I_ORDER
+from repro.core.quotient import InvalidDivisorError
+from repro.engine import (
+    APPROXIMATORS,
+    MINIMIZERS,
+    Decomposer,
+    DecomposeResult,
+    Divisor,
+    StrategyRegistry,
+    UnknownStrategyError,
+    VerificationError,
+    register_approximator,
+    register_minimizer,
+)
+from tests.conftest import fresh_manager, isf_from_masks
+
+
+def figure1_isf(mgr):
+    return ISF.completely_specified(
+        parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_strategy_names():
+    assert {"expand-full", "expand-bounded", "random", "exact"} <= set(
+        APPROXIMATORS.names()
+    )
+    assert {"spp", "espresso", "exact", "none"} <= set(MINIMIZERS.names())
+
+
+def test_unknown_strategy_errors():
+    with pytest.raises(UnknownStrategyError, match="no-such-strategy"):
+        APPROXIMATORS.resolve("no-such-strategy")
+    with pytest.raises(UnknownStrategyError, match="registered"):
+        MINIMIZERS.resolve("no-such-minimizer")
+    # Unknown-name errors are KeyErrors, like operator_by_name's.
+    assert issubclass(UnknownStrategyError, KeyError)
+
+
+def test_unknown_strategy_error_from_decomposer():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    engine = Decomposer()
+    with pytest.raises(UnknownStrategyError):
+        engine.decompose(f, "AND", approximator="bogus")
+    with pytest.raises(UnknownStrategyError):
+        engine.decompose(f, "AND", minimizer="bogus")
+
+
+def test_parameterized_specs():
+    bounded = APPROXIMATORS.resolve("expand-bounded:0.1")
+    assert bounded.name == "expand-bounded:0.1"
+    with pytest.raises(UnknownStrategyError, match="error budget"):
+        APPROXIMATORS.resolve("expand-bounded")
+    # Non-parameterized names reject a parameter.
+    with pytest.raises(UnknownStrategyError, match="no parameter"):
+        MINIMIZERS.resolve("spp:fast")
+    # Resolution is memoized: same spec, same strategy object.
+    assert APPROXIMATORS.resolve("random:0.3").func is APPROXIMATORS.resolve(
+        "random:0.3"
+    ).func
+
+
+def test_register_decorator_and_replacement():
+    registry = StrategyRegistry("test")
+
+    @registry.register("mine")
+    def mine(f, op):
+        return f.on
+
+    assert registry.resolve("mine").func is mine
+    assert "mine" in registry.names()
+
+    def other(f, op):
+        return f.on
+
+    registry.register("mine", other)  # replacement drops the stale resolution
+    assert registry.resolve("mine").func is other
+
+    with pytest.raises(ValueError, match="may not contain"):
+        registry.register("bad:name", other)
+
+
+def test_registered_approximator_usable_by_name():
+    name = "test-upper-bound"
+
+    @register_approximator(name, kind_pure=True)
+    def upper(f, op):
+        from repro.core.operators import ApproximationKind
+
+        if op.approximation in (
+            ApproximationKind.UNDER_F,
+            ApproximationKind.UNDER_COMPLEMENT,
+        ):
+            return f.mgr.false
+        return f.mgr.true
+
+    try:
+        mgr = fresh_manager(4)
+        f = figure1_isf(mgr)
+        result = Decomposer().decompose(f, "AND", approximator=name)
+        assert result.verified
+        assert result.approximator_name == name
+        assert result.decomposition.g == mgr.true
+    finally:
+        APPROXIMATORS._entries.pop(name, None)
+        APPROXIMATORS._resolved.pop(name, None)
+
+
+def test_registered_minimizer_usable_by_name():
+    name = "test-espresso-alias"
+
+    @register_minimizer(name)
+    def alias(isf):
+        from repro.twolevel.espresso import espresso_minimize
+
+        return espresso_minimize(isf)
+
+    try:
+        mgr = fresh_manager(4)
+        f = figure1_isf(mgr)
+        result = Decomposer().decompose(f, "AND", minimizer=name)
+        assert result.verified
+        assert result.minimizer_name == name
+    finally:
+        MINIMIZERS._entries.pop(name, None)
+        MINIMIZERS._resolved.pop(name, None)
+
+
+# ---------------------------------------------------------------------------
+# Single-operator decomposition
+# ---------------------------------------------------------------------------
+
+
+def test_decompose_named_strategies_figure1():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    result = Decomposer().decompose(f, "AND")
+    assert result.verified
+    assert result.op_name == "AND"
+    assert result.approximator_name == "expand-full"
+    assert result.minimizer_name == "spp"
+    assert result.literal_cost == result.decomposition.literal_cost()
+    assert set(result.timings) == {
+        "approximate",
+        "quotient",
+        "minimize",
+        "verify",
+        "total",
+    }
+    assert result.timings["total"] >= 0.0
+
+
+def test_decompose_all_builtin_minimizers():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    engine = Decomposer()
+    for minimizer in ("spp", "espresso", "exact", "none"):
+        result = engine.decompose(f, "AND", minimizer=minimizer)
+        assert result.verified, minimizer
+    none_result = engine.decompose(f, "AND", minimizer="none")
+    # The requested minimizer is authoritative for g and h alike: the
+    # built-in expansion strategies hand over only the bare divisor.
+    assert none_result.decomposition.g_cover is None
+    assert none_result.decomposition.h_cover is None
+    assert none_result.literal_cost == 0
+    # And a non-default minimizer produces its own framework's cover for
+    # both g and h (no 2-SPP pass-through from the expansion).
+    from repro.cover.cover import Cover
+
+    espresso_result = engine.decompose(f, "AND", minimizer="espresso")
+    assert isinstance(espresso_result.decomposition.g_cover, Cover)
+    assert isinstance(espresso_result.decomposition.h_cover, Cover)
+
+
+def test_decompose_every_operator_with_expansion():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "(x1 | x2) & (x3 ^ x4)"))
+    engine = Decomposer()
+    for op_name in TABLE_I_ORDER:
+        result = engine.decompose(f, op_name)
+        assert result.verified, op_name
+
+
+def test_decompose_accepts_function_input_and_ready_divisor():
+    mgr = fresh_manager(4)
+    f_fn = parse_expression(mgr, "x1 & x2 & x4 | x2 & x3 & x4")
+    g = parse_expression(mgr, "x2 & x4")
+    result = Decomposer().decompose(f_fn, "AND", approximator=g)
+    assert result.verified
+    assert result.decomposition.g == g
+    assert result.literal_cost == 4  # paper Figure 1
+
+
+def test_invalid_ready_divisor_raises():
+    mgr = fresh_manager(4)
+    f = ISF.completely_specified(parse_expression(mgr, "x1 | x2"))
+    with pytest.raises(InvalidDivisorError):
+        Decomposer().decompose(f, "AND", approximator=mgr.false)
+
+
+def test_verification_error_is_assertion_error():
+    assert issubclass(VerificationError, AssertionError)
+
+
+def test_verify_false_skips_check_on_both_paths():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    engine = Decomposer(verify=False)
+    single = engine.decompose(f, "AND")
+    auto = engine.decompose(f, op="auto")
+    # Neither path ran the care-set check: no verify time, verified=False.
+    assert single.verified is False and single.timings["verify"] == 0.0
+    assert auto.verified is False and auto.timings["verify"] == 0.0
+    assert all(not c.verified and not c.reason for c in auto.candidates)
+    # The decompositions themselves are still sound.
+    assert single.decomposition.verify() and auto.decomposition.verify()
+
+
+def test_malformed_numeric_parameter_errors():
+    with pytest.raises(UnknownStrategyError, match="must be a number"):
+        APPROXIMATORS.resolve("expand-bounded:5%")
+    with pytest.raises(UnknownStrategyError, match="must be a number"):
+        APPROXIMATORS.resolve("random:abc")
+
+
+def test_decompose_suite_honors_configured_engine():
+    from repro.harness.experiment import decompose_suite
+
+    engine = Decomposer(approximator="random:0.1", minimizer="espresso")
+    results = decompose_suite(["z4"], op="AND", engine=engine)
+    assert all(r.approximator_name == "random:0.1" for r in results)
+    assert all(r.minimizer_name == "espresso" for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Operator auto-search
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bench_name", ["z4", "newtpla2", "radd"])
+def test_auto_search_verified_on_paper_benchmarks(bench_name):
+    instance = load_benchmark(bench_name)
+    f = instance.outputs[0]
+    result = Decomposer().decompose(f, op="auto")
+    assert isinstance(result, DecomposeResult)
+    assert result.verified
+    assert result.op_name in OPERATORS
+    assert result.decomposition.verify()
+    # Every Table I operator was tried (the expansion adapter covers all
+    # five approximation kinds), and the pick is cost-minimal.
+    tried = [c.op_name for c in result.candidates]
+    assert tried == list(TABLE_I_ORDER)
+    eligible = [c for c in result.candidates if c.verified]
+    assert result.literal_cost == min(c.literal_cost for c in eligible)
+
+
+def test_auto_shares_divisors_within_operator_family():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    engine = Decomposer()
+    engine.decompose(f, op="auto")
+    # Ten operators, but only one divisor computation per approximation
+    # kind: the second operator of each Table I family hits the memo.
+    assert engine.stats["divisor_misses"] == 5
+    assert engine.stats["divisor_hits"] == 5
+
+
+def test_auto_with_ready_divisor_skips_incompatible_operators():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    g = parse_expression(mgr, "x2 & x4")  # a strict over-approximation of f
+    result = Decomposer().decompose(f, op="auto", approximator=g)
+    assert result.verified
+    by_op = {c.op_name: c for c in result.candidates}
+    # g violates the UNDER_F requirement of OR, so that candidate was
+    # rejected at divisor validation, with the reason recorded.
+    assert not by_op["OR"].verified
+    assert by_op["OR"].reason
+    assert by_op["AND"].verified
+
+
+def test_auto_restricted_operator_pool():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    engine = Decomposer(operators=("XOR", "XNOR"))
+    result = engine.decompose(f, op="auto")
+    assert result.verified
+    assert result.op_name in ("XOR", "XNOR")
+    assert len(result.candidates) == 2
+
+
+def test_result_to_dict_round_trips_to_json():
+    import json
+
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    result = Decomposer().decompose(f, op="auto", name="fig1")
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert payload["name"] == "fig1"
+    assert payload["op"] == result.op_name
+    assert payload["verified"] is True
+    assert len(payload["candidates"]) == len(TABLE_I_ORDER)
+    assert payload["timings"]["total"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Batch execution
+# ---------------------------------------------------------------------------
+
+
+def test_decompose_many_shares_one_manager_across_benchmarks():
+    # Outputs of two Table III suite benchmarks live in distinct managers;
+    # the batch runs them over one shared manager.
+    instances = [load_benchmark("newtpla2"), load_benchmark("br1")]
+    assert instances[0].mgr is not instances[1].mgr
+    labeled = [
+        (f"{instance.name}/o{i}", f)
+        for instance in instances
+        for i, f in enumerate(instance.outputs[:2])
+    ]
+    engine = Decomposer()
+    results = engine.decompose_many(labeled, op="AND")
+    assert len(results) == 4
+    shared = results[0].decomposition.f.mgr
+    assert all(r.decomposition.f.mgr is shared for r in results)
+    assert all(r.verified for r in results)
+    # The shared manager declares the union of the variables.
+    assert set(shared.var_names) >= set(instances[0].mgr.var_names)
+    assert set(shared.var_names) >= set(instances[1].mgr.var_names)
+
+
+def test_decompose_many_matches_per_call_results():
+    instance = load_benchmark("z4")
+    engine = Decomposer()
+    batch = engine.decompose_many(
+        [(f"o{i}", f) for i, f in enumerate(instance.outputs)], op="auto"
+    )
+    for result, f in zip(batch, instance.outputs):
+        solo = Decomposer().decompose(f, op="auto")
+        assert result.op_name == solo.op_name
+        assert result.literal_cost == solo.literal_cost
+        assert result.error_rate == solo.error_rate
+        assert result.decomposition.g == solo.decomposition.g
+        assert result.decomposition.h == solo.decomposition.h
+
+
+def test_decompose_many_memoizes_repeated_functions():
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    engine = Decomposer()
+    engine.decompose_many([("a", f), ("b", f)], op="AND")
+    assert engine.stats["divisor_hits"] >= 1
+    assert engine.stats["cover_hits"] >= 1
+    engine.clear_caches()
+    assert not engine._divisor_cache and not engine._cover_cache
+
+
+def test_decompose_many_merges_interleaved_compatible_orders():
+    # [x1, x3] embeds in [x1, x2, x3]: the merged order must respect both.
+    a = BDD(["x1", "x3"])
+    b = BDD(["x1", "x2", "x3"])
+    f_a = a.var("x1") & a.var("x3")
+    f_b = parse_expression(b, "x1 | x2 & x3")
+    results = Decomposer().decompose_many([f_a, f_b], op="AND")
+    shared = results[0].decomposition.f.mgr
+    assert list(shared.var_names) == ["x1", "x2", "x3"]
+    assert all(r.verified for r in results)
+
+
+def test_decompose_many_rejects_conflicting_orders():
+    a = BDD(["p", "q"])
+    b = BDD(["q", "p"])
+    with pytest.raises(ValueError, match="incompatible"):
+        Decomposer().decompose_many(
+            [a.var("p") & a.var("q"), b.var("q") | b.var("p")], op="AND"
+        )
+
+
+def test_decompose_many_reports_original_n_vars():
+    # br1 has 12 inputs; batched next to a wider benchmark it must still
+    # report 12, not the shared manager's variable count.
+    instances = [load_benchmark("newtpla2"), load_benchmark("br1")]
+    labeled = [
+        (instance.name, instance.outputs[0]) for instance in instances
+    ]
+    results = Decomposer().decompose_many(labeled, op="AND")
+    by_name = {r.name: r.to_dict() for r in results}
+    assert by_name["newtpla2"]["n_vars"] == 10
+    assert by_name["br1"]["n_vars"] == 12
+
+
+def test_decompose_many_accepts_bare_functions_and_explicit_manager():
+    mgr = fresh_manager(3)
+    shared = fresh_manager(3)
+    fns = [parse_expression(mgr, "x1 & x2"), parse_expression(mgr, "x2 | x3")]
+    results = Decomposer().decompose_many(fns, op="AND", mgr=shared)
+    assert [r.name for r in results] == ["f0", "f1"]
+    assert all(r.decomposition.f.mgr is shared for r in results)
+    assert all(r.verified for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Manager transfer primitive
+# ---------------------------------------------------------------------------
+
+
+def test_transfer_preserves_semantics():
+    source = fresh_manager(3)
+    target = fresh_manager(5)  # superset of variables
+    f = parse_expression(source, "x1 & x2 | ~x3")
+    moved = transfer(f, target)
+    assert moved.mgr is target
+    for m in range(1 << 3):
+        # Pad the minterm: x4, x5 are unused by the moved function.
+        for pad in range(1 << 2):
+            assert moved((m << 2) | pad) == f(m)
+
+
+def test_transfer_rejects_missing_variable():
+    source = fresh_manager(4)
+    target = BDD(["x1", "x2"])
+    f = parse_expression(source, "x3 & x4")
+    with pytest.raises(ValueError, match="does not declare"):
+        transfer(f, target)
+
+
+def test_transfer_rejects_incompatible_order():
+    source = BDD(["a", "b"])
+    target = BDD(["b", "a"])
+    f = source.var("a") & source.var("b")
+    with pytest.raises(ValueError, match="incompatible"):
+        transfer(f, target)
+
+
+def test_transfer_same_manager_is_identity():
+    mgr = fresh_manager(2)
+    f = mgr.var("x1")
+    assert transfer(f, mgr) is f
+
+
+# ---------------------------------------------------------------------------
+# Divisor passthrough and wrapper compatibility
+# ---------------------------------------------------------------------------
+
+
+def test_divisor_cover_passthrough_skips_reminimization():
+    from repro.spp.synthesis import minimize_spp
+
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    g = parse_expression(mgr, "x2 & x4")
+    g_cover = minimize_spp(ISF.completely_specified(g))
+    divisor = Divisor(g=g, g_cover=g_cover, name="precomputed")
+    result = Decomposer().decompose(f, "AND", approximator=divisor)
+    assert result.decomposition.g_cover is g_cover
+    assert result.approximator_name == "precomputed"
+    assert result.verified
+
+
+def test_bidecompose_wrapper_still_works():
+    from repro.core.bidecomposition import BiDecomposition, bidecompose
+
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    g = parse_expression(mgr, "x2 & x4")
+    dec = bidecompose(f, "AND", g)
+    assert isinstance(dec, BiDecomposition)
+    assert dec.verify()
+    assert dec.literal_cost() == 4
+
+
+def test_verify_checks_g_cover_round_trip():
+    from repro.spp.pseudocube import Pseudocube
+    from repro.spp.spp_cover import SppCover
+
+    mgr = fresh_manager(4)
+    f = figure1_isf(mgr)
+    g = parse_expression(mgr, "x2 & x4")
+    result = Decomposer().decompose(f, "AND", approximator=g)
+    dec = result.decomposition
+    assert dec.verify()
+    # A g_cover realizing a different function than g must be caught even
+    # if the rebuilt function happens to match f on the care set.
+    dec.g_cover = SppCover(4, [Pseudocube.tautology(4)])
+    dec.h_cover = None
+    dec.h = ISF(f.on, mgr.false)
+    assert dec.reconstruct() == f.on  # care-set equality alone would pass
+    assert not dec.verify()
