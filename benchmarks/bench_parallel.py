@@ -1,0 +1,95 @@
+"""Parallel batch decomposition: speedup and cache-hit-rate report.
+
+Times ``decompose_many`` over a synthetic batch in three execution
+modes — in-process, worker pool, and warm persistent cache — and writes
+a small report (speedup over serial, cache hit rate) to
+``benchmarks/output/bench_parallel.txt``.  On a single-core runner the
+pool adds overhead rather than speedup; the report records whatever the
+hardware gives, the correctness contract (identical results) is enforced
+by ``tests/test_engine_parallel.py``.
+"""
+
+from time import perf_counter
+
+from conftest import write_output
+
+from repro.boolfunc.isf import ISF
+from repro.bdd.manager import BDD
+from repro.engine import Decomposer, ResultCache
+from repro.utils.rng import make_rng
+
+JOBS = 2
+
+
+def _batch(count: int = 10, n_vars: int = 5):
+    mgr = BDD([f"x{i + 1}" for i in range(n_vars)])
+    rng = make_rng("bench-parallel")
+    return [(f"r{i}", ISF.random(mgr, rng)) for i in range(count)]
+
+
+def test_decompose_many_serial(benchmark):
+    batch = _batch()
+    results = benchmark.pedantic(
+        lambda: Decomposer().decompose_many(batch, op="AND"), rounds=1
+    )
+    assert all(r.verified for r in results)
+
+
+def test_decompose_many_parallel(benchmark):
+    batch = _batch()
+    results = benchmark.pedantic(
+        lambda: Decomposer().decompose_many(batch, op="AND", jobs=JOBS),
+        rounds=1,
+    )
+    assert all(r.verified for r in results)
+
+
+def test_decompose_many_warm_cache(benchmark, tmp_path):
+    batch = _batch()
+    Decomposer().decompose_many(batch, op="AND", cache=tmp_path)  # cold fill
+    cache = ResultCache(tmp_path)
+    results = benchmark.pedantic(
+        lambda: Decomposer().decompose_many(batch, op="AND", cache=cache),
+        rounds=1,
+    )
+    assert all(r.verified for r in results)
+    assert cache.hit_rate() == 1.0
+
+
+def test_parallel_report(tmp_path):
+    """Measure all three modes once and persist the comparison."""
+    batch = _batch()
+
+    t0 = perf_counter()
+    serial = Decomposer().decompose_many(batch, op="AND")
+    serial_s = perf_counter() - t0
+
+    t0 = perf_counter()
+    parallel = Decomposer().decompose_many(batch, op="AND", jobs=JOBS)
+    parallel_s = perf_counter() - t0
+
+    t0 = perf_counter()
+    Decomposer().decompose_many(batch, op="AND", jobs=JOBS, cache=tmp_path)
+    cold_s = perf_counter() - t0
+
+    cache = ResultCache(tmp_path)
+    t0 = perf_counter()
+    warm = Decomposer().decompose_many(batch, op="AND", cache=cache)
+    warm_s = perf_counter() - t0
+
+    assert [r.literal_cost for r in parallel] == [r.literal_cost for r in serial]
+    assert [r.literal_cost for r in warm] == [r.literal_cost for r in serial]
+    assert cache.hit_rate() == 1.0
+
+    lines = [
+        f"batch: {len(batch)} functions, op=AND, jobs={JOBS}",
+        f"serial            : {serial_s:8.3f} s",
+        f"parallel (jobs={JOBS}) : {parallel_s:8.3f} s"
+        f"  speedup x{serial_s / parallel_s:.2f}",
+        f"cache cold (store): {cold_s:8.3f} s",
+        f"cache warm (hits) : {warm_s:8.3f} s"
+        f"  speedup x{serial_s / warm_s:.2f}",
+        f"cache hit rate    : {100 * cache.hit_rate():.0f}%"
+        f"  ({cache.stats['hits']} hits, {cache.stats['misses']} misses)",
+    ]
+    write_output("bench_parallel.txt", "\n".join(lines))

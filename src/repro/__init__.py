@@ -24,8 +24,10 @@ The primary entry point is the strategy-driven engine::
     assert result.verified
     print(result.op_name, result.literal_cost, result.timings["total"])
 
-    # Batches share one BDD manager and memoize sub-results:
-    results = engine.decompose_many([("f", f)], op="AND")
+    # Batches share one BDD manager and memoize sub-results; jobs=N runs
+    # them on a worker pool and cache=<dir> persists results on disk:
+    results = engine.decompose_many([("f", f)], op="AND", jobs=2,
+                                    cache=".decompose-cache")
 
 The classic one-shot driver remains available::
 
@@ -64,6 +66,7 @@ from repro.engine import (
     DecomposeRequest,
     DecomposeResult,
     Divisor,
+    ResultCache,
     register_approximator,
     register_minimizer,
 )
@@ -88,6 +91,7 @@ __all__ = [
     "OPERATORS",
     "PLA",
     "Pseudocube",
+    "ResultCache",
     "SppCover",
     "TruthTable",
     "__version__",

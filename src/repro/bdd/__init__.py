@@ -13,10 +13,24 @@ provides:
   bridge from BDDs to cube covers.
 * :func:`~repro.bdd.expr.parse_expression` — a small Boolean expression
   parser (``~ & ^ | => <=>``) for tests and examples.
+* :mod:`~repro.bdd.serialize` — canonical ``dump``/``load`` of functions
+  to a compact, manager-free dict form with stable node numbering; the
+  substrate for cross-process batches and persistent caching.
 """
 
 from repro.bdd.expr import parse_expression
 from repro.bdd.manager import BDD, Function
 from repro.bdd.ops import isop, transfer
+from repro.bdd.serialize import canonical_hash, dump, function_fingerprint, load
 
-__all__ = ["BDD", "Function", "isop", "parse_expression", "transfer"]
+__all__ = [
+    "BDD",
+    "Function",
+    "canonical_hash",
+    "dump",
+    "function_fingerprint",
+    "isop",
+    "load",
+    "parse_expression",
+    "transfer",
+]

@@ -8,9 +8,10 @@ Usage::
     python -m repro.cli table4 [--names z4]
     python -m repro.cli fig1
     python -m repro.cli fig2
-    python -m repro.cli bench <name> [...] [--json]
+    python -m repro.cli bench <name> [...] [--json] [--jobs N] [--cache-dir DIR]
     python -m repro.cli decompose <name> [...] [--op auto] [--approx expand-full]
                                   [--minimizer spp] [--json]
+                                  [--jobs N] [--cache-dir DIR]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -91,10 +92,12 @@ def _bench_result_dict(result) -> dict:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.experiment import run_benchmark
+    from repro.harness.experiment import run_benchmarks
     from repro.harness.tables import render_table_results
 
-    results = [run_benchmark(name) for name in args.names]
+    results = run_benchmarks(
+        args.names, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     if args.json:
         print(json.dumps([_bench_result_dict(r) for r in results], indent=2))
         return 0
@@ -111,6 +114,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         op=args.op,
         approximator=args.approx,
         minimizer=args.minimizer,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     if args.json:
         print(json.dumps([r.to_dict() for r in results], indent=2))
@@ -166,12 +171,32 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("fig2", help="regenerate Figure 2").set_defaults(
         handler=_cmd_fig2
     )
+    def add_execution_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the batch (default: 1, in-process)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help=(
+                "persistent result cache directory; results are keyed by"
+                " serialized function + strategy + operator, so warm"
+                " re-runs complete without recomputation"
+            ),
+        )
+
     bench = subparsers.add_parser("bench", help="run named benchmarks")
     bench.add_argument("names", nargs="+")
     bench.add_argument("--no-paper", action="store_true")
     bench.add_argument(
         "--json", action="store_true", help="emit results as JSON"
     )
+    add_execution_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
 
     decompose = subparsers.add_parser(
@@ -205,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     decompose.add_argument(
         "--json", action="store_true", help="emit DecomposeResult metrics as JSON"
     )
+    add_execution_flags(decompose)
     decompose.set_defaults(handler=_cmd_decompose)
 
     args = parser.parse_args(argv)

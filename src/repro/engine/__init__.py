@@ -9,9 +9,15 @@
   :func:`register_minimizer`;
 * :mod:`~repro.engine.request` — :class:`DecomposeRequest` /
   :class:`DecomposeResult` artifacts carrying strategy provenance,
-  per-stage timings, and literal/error metrics.
+  per-stage timings, and literal/error metrics;
+* :mod:`~repro.engine.cache` — :class:`ResultCache`, the persistent
+  on-disk result store consulted before any batch work is dispatched;
+* :mod:`~repro.engine.parallel` / :mod:`~repro.engine.wire` — the
+  ``multiprocessing`` executor and the serialized request/result forms
+  it shares with the cache.
 """
 
+from repro.engine.cache import ResultCache
 from repro.engine.decomposer import AutoSearchError, Decomposer, VerificationError
 from repro.engine.registry import (
     APPROXIMATORS,
@@ -37,6 +43,7 @@ __all__ = [
     "DecomposeResult",
     "Divisor",
     "MINIMIZERS",
+    "ResultCache",
     "StrategyRegistry",
     "UnknownStrategyError",
     "VerificationError",

@@ -1,0 +1,145 @@
+"""Persistent on-disk result cache for batch decomposition.
+
+A :class:`ResultCache` maps a canonical key — the SHA-256 of the
+serialized function, operator, strategy specs, and verification flag —
+to a JSON payload on disk.  :meth:`~repro.engine.decomposer.Decomposer.decompose_many`
+consults it before any worker dispatch, so a warm re-run of a benchmark
+suite completes without recomputing (or even forking) anything.
+
+Robustness contract: a corrupted, truncated, or foreign file under the
+cache directory is treated as a *miss* (and counted in
+``stats["corrupt"]``), never as an error — a shared cache directory must
+not be able to break a run.  Writes are atomic (temp file + ``os.replace``)
+so concurrent writers at worst waste work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bdd.serialize import canonical_hash
+
+#: On-disk entry wrapper identifier; bump on any incompatible change.
+ENTRY_FORMAT = "repro-cache-entry/1"
+
+
+class ResultCache:
+    """Content-addressed JSON store under one directory.
+
+    Entries live at ``<cache_dir>/<key[:2]>/<key>.json`` wrapped as
+    ``{"format": ENTRY_FORMAT, "payload": ...}``.  ``stats`` counts
+    ``hits``, ``misses``, ``stores``, and ``corrupt`` entries seen.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+
+    # -- keys -------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        f_payload: dict,
+        op: str,
+        approximator: str,
+        minimizer: str,
+        verify: bool,
+        operators: tuple[str, ...] = (),
+    ) -> str:
+        """Canonical cache key of one decomposition request.
+
+        ``f_payload`` is the :func:`repro.engine.wire.isf_to_payload` dump
+        of the (already transferred) function, so the key covers the
+        declared variable slice along with the function semantics; ``op``
+        is a canonical operator name or ``"auto"``.  ``operators`` — the
+        engine's search space — participates only under ``"auto"``, where
+        it determines which candidates were ranked; for a named operator
+        it cannot affect the result.
+        """
+        return canonical_hash(
+            {
+                "format": ENTRY_FORMAT,
+                "f": f_payload,
+                "op": op,
+                "approximator": approximator,
+                "minimizer": minimizer,
+                "verify": bool(verify),
+                "operators": list(operators) if op == "auto" else None,
+            }
+        )
+
+    @staticmethod
+    def bench_key_for(benchmark: str, operators: tuple[str, ...]) -> str:
+        """Canonical key of a full harness benchmark run."""
+        return canonical_hash(
+            {
+                "format": ENTRY_FORMAT,
+                "benchmark": benchmark,
+                "operators": list(operators),
+            }
+        )
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key (two-level fan-out)."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, key: str):
+        """Return the stored payload, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(entry, dict) or entry.get("format") != ENTRY_FORMAT:
+                raise ValueError(f"unexpected entry format in {path}")
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except (OSError, ValueError, KeyError):
+            # Unreadable or malformed: ignore, count, treat as a miss.
+            self.stats["corrupt"] += 1
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return payload
+
+    def put(self, key: str, payload) -> None:
+        """Store a JSON-ready payload under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(
+            {"format": ENTRY_FORMAT, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats["stores"] += 1
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none yet)."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.cache_dir)!r}, stats={self.stats})"
+
+
+def as_result_cache(cache: "ResultCache | str | os.PathLike | None") -> ResultCache | None:
+    """Normalize a cache argument (instance, directory path, or ``None``)."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+__all__ = ["ENTRY_FORMAT", "ResultCache", "as_result_cache"]

@@ -11,7 +11,10 @@ configurable front end:
   cost, then error rate;
 * :meth:`Decomposer.decompose_many` runs a batch over one shared BDD
   manager, memoizing approximation and minimization sub-results across
-  requests.
+  requests; ``jobs=N`` fans the batch out to a ``multiprocessing``
+  worker pool (requests cross the boundary in canonical serialized
+  form), and ``cache=<dir>`` layers a persistent on-disk result cache
+  consulted before any dispatch.
 
 Example::
 
@@ -34,6 +37,7 @@ from repro.boolfunc.isf import ISF
 from repro.core.bidecomposition import BiDecomposition
 from repro.core.operators import TABLE_I_ORDER, BinaryOperator, operator_by_name
 from repro.core.quotient import InvalidDivisorError, full_quotient
+from repro.engine.cache import ResultCache, as_result_cache
 from repro.engine.registry import APPROXIMATORS, MINIMIZERS, ResolvedStrategy
 from repro.engine.request import (
     CandidateOutcome,
@@ -104,6 +108,9 @@ class Decomposer:
             "divisor_misses": 0,
             "cover_hits": 0,
             "cover_misses": 0,
+            "result_cache_hits": 0,
+            "result_cache_misses": 0,
+            "dispatched": 0,
         }
 
     # -- public API -------------------------------------------------------
@@ -165,6 +172,8 @@ class Decomposer:
         minimizer=None,
         verify: bool | None = None,
         mgr: BDD | None = None,
+        jobs: int = 1,
+        cache: "ResultCache | str | None" = None,
     ) -> list[DecomposeResult]:
         """Decompose a batch of functions over one shared BDD manager.
 
@@ -175,7 +184,19 @@ class Decomposer:
         the union of the variables in first-seen order — so the whole
         batch shares one unique table, one operation cache, and this
         engine's divisor/cover memos.
+
+        ``jobs > 1`` ships the requests (in canonical serialized form) to
+        a ``multiprocessing`` worker pool and reassembles the results in
+        input order; the covers and metrics are identical to a ``jobs=1``
+        run.  ``cache`` — a :class:`~repro.engine.cache.ResultCache` or a
+        directory path — is consulted *before* any work is dispatched and
+        updated with every computed result, so a warm re-run completes
+        from disk alone.  Both features require registry-name strategies
+        and a named (or ``"auto"``) operator; with callables the cache is
+        bypassed and ``jobs > 1`` raises :class:`ValueError`.
         """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         labeled: list[tuple[str, ISF]] = []
         for index, item in enumerate(functions):
             if isinstance(item, tuple):
@@ -187,20 +208,144 @@ class Decomposer:
             labeled.append((str(label), value))
 
         shared = self._shared_manager([isf for _, isf in labeled], mgr)
-        return [
-            self.decompose(
-                self._transfer_isf(isf, shared),
-                op,
-                approximator=approximator,
-                minimizer=minimizer,
-                verify=verify,
-                name=label,
-                # The input count of the original function, before the
-                # transfer into the (possibly wider) shared manager.
-                metadata={"n_vars": isf.n_vars},
-            )
+        # The input counts of the original functions, before the transfer
+        # into the (possibly wider) shared manager.
+        batch = [
+            (label, self._transfer_isf(isf, shared), isf.n_vars)
             for label, isf in labeled
         ]
+
+        approx_spec = (
+            approximator if approximator is not None else self.default_approximator
+        )
+        min_spec = minimizer if minimizer is not None else self.default_minimizer
+        verify_flag = self.verify if verify is None else verify
+        op_spec = self._wire_op(op)
+        wire_safe = (
+            op_spec is not None
+            and isinstance(approx_spec, str)
+            and isinstance(min_spec, str)
+        )
+        if jobs > 1 and not wire_safe:
+            raise ValueError(
+                "decompose_many(jobs>1) needs registry-name strategies and a"
+                " named (or 'auto') operator — callables and ready divisors"
+                " cannot cross process boundaries"
+            )
+        result_cache = as_result_cache(cache) if wire_safe else None
+        # The auto-search space is part of a result's identity: forward it
+        # to workers and (for op="auto") into the cache key, so engines
+        # configured with different operator sets never share results.
+        operator_names = tuple(o.name for o in self.operators)
+
+        from repro.bdd.serialize import SerializationError
+        from repro.engine import wire
+
+        results: list[DecomposeResult | None] = [None] * len(batch)
+        keys: list[str | None] = [None] * len(batch)
+        payloads: list[dict | None] = [None] * len(batch)
+        pending: list[int] = []
+        for index, (label, isf, _) in enumerate(batch):
+            if result_cache is None and jobs == 1:
+                pending.append(index)
+                continue
+            payloads[index] = wire.isf_to_payload(isf)
+            if result_cache is None:
+                pending.append(index)
+                continue
+            keys[index] = result_cache.key_for(
+                payloads[index], op_spec, approx_spec, min_spec, verify_flag,
+                operators=operator_names,
+            )
+            hit = result_cache.get(keys[index])
+            if hit is not None:
+                try:
+                    results[index] = wire.result_from_payload(
+                        hit, self._batch_request(batch[index], op_spec,
+                                                 approx_spec, min_spec,
+                                                 verify_flag)
+                    )
+                    self.stats["result_cache_hits"] += 1
+                    continue
+                except SerializationError:
+                    # Stale or corrupt inner payload: a miss, not an error.
+                    result_cache.stats["hits"] -= 1
+                    result_cache.stats["misses"] += 1
+                    result_cache.stats["corrupt"] += 1
+            self.stats["result_cache_misses"] += 1
+            pending.append(index)
+
+        if pending and jobs > 1:
+            from repro.engine.parallel import make_work_item, run_parallel
+
+            items = [
+                make_work_item(
+                    batch[index][0],
+                    payloads[index],
+                    op_spec,
+                    approx_spec,
+                    min_spec,
+                    verify_flag,
+                    operator_names,
+                )
+                for index in pending
+            ]
+            self.stats["dispatched"] += len(items)
+            for index, payload in zip(pending, run_parallel(items, jobs)):
+                results[index] = wire.result_from_payload(
+                    payload, self._batch_request(batch[index], op_spec,
+                                                 approx_spec, min_spec,
+                                                 verify_flag)
+                )
+                if result_cache is not None:
+                    result_cache.put(keys[index], payload)
+        else:
+            for index in pending:
+                label, isf, original_n_vars = batch[index]
+                result = self.decompose(
+                    isf,
+                    op,
+                    approximator=approximator,
+                    minimizer=minimizer,
+                    verify=verify,
+                    name=label,
+                    metadata={"n_vars": original_n_vars},
+                )
+                results[index] = result
+                if result_cache is not None:
+                    result_cache.put(keys[index], wire.result_to_payload(result))
+        return results
+
+    @staticmethod
+    def _wire_op(op: str | BinaryOperator) -> str | None:
+        """Canonical operator name for cache keys and work items."""
+        if isinstance(op, BinaryOperator):
+            return op.name
+        if not isinstance(op, str):
+            return None
+        if op.lower() == "auto":
+            return "auto"
+        return operator_by_name(op).name
+
+    @staticmethod
+    def _batch_request(
+        entry: tuple[str, ISF, int],
+        op_spec: str,
+        approx_spec: str,
+        min_spec: str,
+        verify_flag: bool,
+    ) -> DecomposeRequest:
+        """Parent-side request for a result computed off-process or cached."""
+        label, isf, original_n_vars = entry
+        return DecomposeRequest(
+            f=isf,
+            op=op_spec,
+            approximator=approx_spec,
+            minimizer=min_spec,
+            verify=verify_flag,
+            name=label,
+            metadata={"n_vars": original_n_vars},
+        )
 
     def clear_caches(self) -> None:
         """Drop the divisor and cover memos (stats are kept)."""

@@ -1,0 +1,83 @@
+"""Multiprocessing worker pool for batch decomposition.
+
+Work items cross the process boundary as plain dicts: the function in
+canonical :mod:`repro.bdd.serialize` form plus registry-name strategy
+specs.  Each worker rebuilds the function in a fresh BDD manager that
+declares exactly the variables of the parent's shared manager, runs a
+fresh :class:`~repro.engine.decomposer.Decomposer`, and returns the
+result as a :mod:`repro.engine.wire` payload.  Because every strategy is
+deterministic (seeded RNGs, deterministic heuristics) and the managers
+agree on the variable slice, a worker's payload is identical to what the
+in-process path would produce — ``jobs=1`` and ``jobs=N`` runs yield the
+same covers and metrics, in the same input order.
+
+Worker exceptions (e.g. :class:`~repro.engine.decomposer.VerificationError`)
+propagate to the parent and fail the batch, matching the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def make_work_item(
+    name: str,
+    f_payload: dict,
+    op: str,
+    approximator: str,
+    minimizer: str,
+    verify: bool,
+    operators: tuple[str, ...],
+) -> dict:
+    """Bundle one request as a picklable work item.
+
+    ``operators`` is the parent engine's search space (canonical names),
+    forwarded so a worker's ``op="auto"`` ranks the same candidate set.
+    """
+    return {
+        "name": name,
+        "f": f_payload,
+        "op": op,
+        "approximator": approximator,
+        "minimizer": minimizer,
+        "verify": verify,
+        "operators": list(operators),
+    }
+
+
+def decompose_work_item(item: dict) -> dict:
+    """Worker entry point: run one decomposition, return its payload."""
+    from repro.engine import wire
+    from repro.engine.decomposer import Decomposer
+
+    f = wire.isf_from_payload(item["f"])
+    engine = Decomposer(
+        approximator=item["approximator"],
+        minimizer=item["minimizer"],
+        operators=item["operators"],
+        verify=item["verify"],
+    )
+    result = engine.decompose(f, item["op"], name=item["name"])
+    return wire.result_to_payload(result)
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, POSIX) and fall back to the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_parallel(items: list[dict], jobs: int) -> list[dict]:
+    """Execute work items on a pool of ``jobs`` workers.
+
+    ``Pool.map`` returns results in submission order regardless of
+    worker scheduling, so reassembly is deterministic by construction.
+    """
+    if not items:
+        return []
+    jobs = min(jobs, len(items))
+    with pool_context().Pool(processes=jobs) as pool:
+        return pool.map(decompose_work_item, items, chunksize=1)
+
+
+__all__ = ["decompose_work_item", "make_work_item", "pool_context", "run_parallel"]

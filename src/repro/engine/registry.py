@@ -33,8 +33,11 @@ Built-in approximators
         (a fraction of the Boolean space), likewise adapted per kind.
     ``random:<rate>[:<seed>]``
         Random approximation of the required kind flipping ``rate`` of
-        the eligible minterms (deterministic; mainly for testing and
-        ablations).
+        the eligible minterms (mainly for testing and ablations).  The
+        RNG is seeded explicitly from the spec (or the given seed), the
+        operator's approximation kind, and a canonical fingerprint of
+        the function, so results are bit-identical across call orders,
+        parallel workers, and cache re-runs.
 
 Built-in minimizers
     ``spp`` (2-SPP synthesis), ``espresso`` (heuristic SOP),
@@ -248,11 +251,17 @@ def _random_factory(arg: str | None):
 
     def random_divisor(f: ISF, op: BinaryOperator) -> Function:
         from repro.approx.generic import approximation_for_operator
+        from repro.engine.wire import isf_fingerprint
         from repro.utils.rng import make_rng
 
-        # A fresh, spec-seeded rng keeps the strategy deterministic per
-        # call, so memoized and recomputed divisors agree.
-        rng = make_rng(seed or f"random:{rate}")
+        # Explicit per-call seed: the spec (or user seed) mixed with the
+        # approximation kind and a canonical fingerprint of f.  The rng
+        # stream then depends only on *what* is approximated — never on
+        # call order, process identity, or manager history — so parallel
+        # workers, cache re-runs, and memoized divisors all agree.
+        rng = make_rng(
+            (seed or f"random:{rate}", op.approximation.name, isf_fingerprint(f))
+        )
         return approximation_for_operator(f, op, rate=rate, rng=rng)
 
     return random_divisor

@@ -1,0 +1,197 @@
+"""Wire format for decomposition requests and results.
+
+The parallel executor ships work to ``multiprocessing`` workers as plain
+dicts (no BDD managers cross the process boundary), and the persistent
+result cache stores the same payloads on disk — one serialization layer,
+two consumers.  Everything here round-trips through JSON.
+
+Functions travel in the canonical :mod:`repro.bdd.serialize` form; covers
+travel as their literal masks (``SppCover`` pseudocubes or plain ``Cover``
+cubes), so a reassembled result carries the *same* covers and metrics the
+in-process path would have produced.
+"""
+
+from __future__ import annotations
+
+from repro.bdd import serialize
+from repro.bdd.manager import BDD
+from repro.boolfunc.isf import ISF
+from repro.core.bidecomposition import BiDecomposition
+from repro.core.operators import operator_by_name
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+from repro.engine.request import CandidateOutcome, DecomposeRequest, DecomposeResult
+from repro.spp.pseudocube import Pseudocube, make_xor_factor
+from repro.spp.spp_cover import SppCover
+
+#: Result payload identifier; bump on any incompatible layout change.
+RESULT_FORMAT = "repro-result/1"
+
+
+# ---------------------------------------------------------------------------
+# ISFs
+# ---------------------------------------------------------------------------
+
+
+def isf_to_payload(isf: ISF) -> dict:
+    """Serialize an ISF as a two-root (on/dc) shared dump."""
+    return serialize.dump_many([("on", isf.on), ("dc", isf.dc)])
+
+
+def isf_from_payload(payload: dict, mgr: BDD | None = None) -> ISF:
+    """Rebuild an ISF, optionally into an existing manager."""
+    roots = serialize.load_many(payload, mgr)
+    return ISF(roots["on"], roots["dc"])
+
+
+def isf_fingerprint(isf: ISF) -> str:
+    """Canonical hash of an ISF (both sets, declared variables included)."""
+    return serialize.canonical_hash(isf_to_payload(isf))
+
+
+# ---------------------------------------------------------------------------
+# Covers
+# ---------------------------------------------------------------------------
+
+
+def cover_to_payload(cover) -> dict | None:
+    """Serialize a minimizer's cover (``SppCover``, ``Cover``, or ``None``)."""
+    if cover is None:
+        return None
+    if isinstance(cover, SppCover):
+        return {
+            "kind": "spp",
+            "n_vars": cover.n_vars,
+            "pseudocubes": [
+                [pc.pos, pc.neg, [[x.i, x.j, x.phase] for x in sorted(pc.xors)]]
+                for pc in cover
+            ],
+        }
+    if isinstance(cover, Cover):
+        return {
+            "kind": "sop",
+            "n_vars": cover.n_vars,
+            "cubes": [[cube.pos, cube.neg] for cube in cover],
+        }
+    raise TypeError(
+        f"cannot serialize cover of type {type(cover).__name__}; parallel"
+        f" and cached runs support SppCover, Cover, or None"
+    )
+
+
+def cover_from_payload(payload: dict | None):
+    """Inverse of :func:`cover_to_payload`."""
+    if payload is None:
+        return None
+    if payload["kind"] == "spp":
+        return SppCover(
+            payload["n_vars"],
+            [
+                Pseudocube(
+                    payload["n_vars"],
+                    pos,
+                    neg,
+                    frozenset(make_xor_factor(i, j, phase) for i, j, phase in xors),
+                )
+                for pos, neg, xors in payload["pseudocubes"]
+            ],
+        )
+    if payload["kind"] == "sop":
+        return Cover(
+            payload["n_vars"],
+            [Cube(payload["n_vars"], pos, neg) for pos, neg in payload["cubes"]],
+        )
+    raise serialize.SerializationError(
+        f"unknown cover kind {payload.get('kind')!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+def result_to_payload(result: DecomposeResult) -> dict:
+    """Flatten a :class:`DecomposeResult` to a JSON-ready dict.
+
+    The request itself is *not* serialized — the reassembling side (the
+    batch parent, or a cache consumer) supplies its own request carrying
+    the live ``f``; everything derived (``g``, ``h``, covers, metrics,
+    candidate outcomes) travels in the payload.
+    """
+    decomposition = result.decomposition
+    return {
+        "format": RESULT_FORMAT,
+        "op": result.op_name,
+        "approximator": result.approximator_name,
+        "minimizer": result.minimizer_name,
+        "g": serialize.dump(decomposition.g),
+        "h": isf_to_payload(decomposition.h),
+        "g_cover": cover_to_payload(decomposition.g_cover),
+        "h_cover": cover_to_payload(decomposition.h_cover),
+        "metadata": dict(decomposition.metadata),
+        "literal_cost": result.literal_cost,
+        "error_rate": result.error_rate,
+        "verified": result.verified,
+        "timings": dict(result.timings),
+        "candidates": [c.to_dict() for c in result.candidates],
+    }
+
+
+def result_from_payload(payload: dict, request: DecomposeRequest) -> DecomposeResult:
+    """Reassemble a :class:`DecomposeResult` against ``request.f``'s manager."""
+    if not isinstance(payload, dict) or payload.get("format") != RESULT_FORMAT:
+        raise serialize.SerializationError(
+            f"not a {RESULT_FORMAT} payload:"
+            f" format={payload.get('format') if isinstance(payload, dict) else payload!r}"
+        )
+    mgr = request.f.mgr
+    try:
+        op = operator_by_name(payload["op"])
+        decomposition = BiDecomposition(
+            f=request.f,
+            op=op,
+            g=serialize.load(payload["g"], mgr),
+            h=isf_from_payload(payload["h"], mgr),
+            g_cover=cover_from_payload(payload["g_cover"]),
+            h_cover=cover_from_payload(payload["h_cover"]),
+            metadata=dict(payload["metadata"]),
+        )
+        candidates = [
+            CandidateOutcome(
+                op_name=c["op"],
+                verified=c["verified"],
+                literal_cost=c["literal_cost"],
+                error_rate=c["error_rate"],
+                reason=c["reason"],
+            )
+            for c in payload["candidates"]
+        ]
+        return DecomposeResult(
+            decomposition=decomposition,
+            request=request,
+            op_name=payload["op"],
+            approximator_name=payload["approximator"],
+            minimizer_name=payload["minimizer"],
+            timings=dict(payload["timings"]),
+            literal_cost=payload["literal_cost"],
+            error_rate=payload["error_rate"],
+            verified=payload["verified"],
+            candidates=candidates,
+        )
+    except (KeyError, TypeError) as exc:
+        raise serialize.SerializationError(
+            f"malformed {RESULT_FORMAT} payload: {exc}"
+        ) from None
+
+
+__all__ = [
+    "RESULT_FORMAT",
+    "cover_from_payload",
+    "cover_to_payload",
+    "isf_fingerprint",
+    "isf_from_payload",
+    "isf_to_payload",
+    "result_from_payload",
+    "result_to_payload",
+]

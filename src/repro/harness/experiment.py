@@ -180,14 +180,18 @@ def decompose_suite(
     approximator: str = "expand-full",
     minimizer: str = "spp",
     engine: Decomposer | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ):
     """Decompose every output of the named benchmarks in one batch.
 
     Loads each benchmark, labels its outputs ``<bench>/o<i>``, and hands
     the whole suite to :meth:`Decomposer.decompose_many`, which merges
     the per-benchmark managers into one shared manager and memoizes
-    approximation/minimization sub-results across outputs.  Returns the
-    list of :class:`~repro.engine.request.DecomposeResult`.
+    approximation/minimization sub-results across outputs.  ``jobs``
+    fans the batch out to a worker pool; ``cache_dir`` persists results
+    on disk across runs.  Returns the list of
+    :class:`~repro.engine.request.DecomposeResult`.
 
     When ``engine`` is given, its configured strategies are used and the
     ``approximator``/``minimizer`` arguments are ignored.
@@ -198,7 +202,87 @@ def decompose_suite(
         instance = load_benchmark(name)
         for index, f in enumerate(instance.outputs):
             labeled.append((f"{instance.name}/o{index}", f))
-    return engine.decompose_many(labeled, op)
+    return engine.decompose_many(labeled, op, jobs=jobs, cache=cache_dir)
+
+
+def _benchmark_result_payload(result: BenchmarkResult) -> dict:
+    """JSON-ready form of a result (artifacts are never cached/shipped)."""
+    return {
+        "name": result.name,
+        "n_inputs": result.n_inputs,
+        "n_outputs": result.n_outputs,
+        "time_s": result.time_s,
+        "area_f": result.area_f,
+        "area_g": result.area_g,
+        "pct_errors": result.pct_errors,
+        "pct_reduction": result.pct_reduction,
+        "op_areas": dict(result.op_areas),
+        "op_gains": dict(result.op_gains),
+    }
+
+
+def _run_benchmark_payload(task: tuple[str, tuple[str, ...]]) -> dict:
+    """Worker entry point for parallel benchmark runs."""
+    name, operators = task
+    return _benchmark_result_payload(run_benchmark(name, operators))
+
+
+def run_benchmarks(
+    names: list[str],
+    operators: tuple[str, ...] = DEFAULT_OPERATORS,
+    library: GateLibrary | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[BenchmarkResult]:
+    """Run several benchmarks, optionally in parallel and/or cached.
+
+    Results come back in the order of ``names``.  With ``cache_dir``
+    set, finished rows are stored on disk keyed by ``(benchmark,
+    operators)`` and a warm re-run is served entirely from the cache
+    (the cached ``time_s`` is the original measurement).  A custom
+    ``library`` disables both the cache and the worker pool: the row
+    keys would not describe it, and it may not cross process boundaries.
+    """
+    from repro.engine.cache import ResultCache
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if library is not None:
+        return [run_benchmark(name, operators, library) for name in names]
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: list[BenchmarkResult | None] = [None] * len(names)
+    keys: list[str | None] = [None] * len(names)
+    pending: list[int] = []
+    for index, name in enumerate(names):
+        if cache is not None:
+            keys[index] = cache.bench_key_for(name, operators)
+            payload = cache.get(keys[index])
+            if payload is not None:
+                try:
+                    results[index] = BenchmarkResult(**payload)
+                    continue
+                except TypeError:
+                    # Stale field set (older/newer writer): recompute.
+                    cache.stats["hits"] -= 1
+                    cache.stats["misses"] += 1
+                    cache.stats["corrupt"] += 1
+        pending.append(index)
+
+    if pending:
+        tasks = [(names[index], tuple(operators)) for index in pending]
+        if jobs > 1:
+            from repro.engine.parallel import pool_context
+
+            with pool_context().Pool(processes=min(jobs, len(tasks))) as pool:
+                payloads = pool.map(_run_benchmark_payload, tasks, chunksize=1)
+        else:
+            payloads = [_run_benchmark_payload(task) for task in tasks]
+        for index, payload in zip(pending, payloads):
+            results[index] = BenchmarkResult(**payload)
+            if cache is not None:
+                cache.put(keys[index], payload)
+    return results
 
 
 def run_table(

@@ -15,16 +15,24 @@ import random
 DEFAULT_SEED = 0x2020_DA7E
 
 
-def make_rng(seed: int | str | None = None) -> random.Random:
+def make_rng(seed: int | str | tuple | None = None) -> random.Random:
     """Create a deterministic RNG.
 
-    ``seed`` may be an integer, a string (hashed stably), or ``None`` for
-    the library-wide default seed.
+    ``seed`` may be an integer, a string (hashed stably — ``hash()`` is
+    salted per process and must never leak into a seed), a tuple of such
+    parts (combined stably, for seeds derived from several components,
+    e.g. ``(spec, operator_kind, function_fingerprint)``), or ``None``
+    for the library-wide default seed.  Identical seeds yield identical
+    streams in every process, which is what makes parallel workers and
+    re-runs bit-for-bit reproducible.
     """
     if seed is None:
         seed = DEFAULT_SEED
+    if isinstance(seed, tuple):
+        # Canonical flattening; \x1f keeps ("a", "b") != ("ab",).
+        seed = "\x1f".join(str(part) for part in seed)
     if isinstance(seed, str):
-        # Stable string hashing (hash() is salted per process).
+        # Stable FNV-1a string hashing (hash() is salted per process).
         acc = 0xCBF29CE484222325
         for ch in seed:
             acc ^= ord(ch)

@@ -1,0 +1,204 @@
+"""Round-trip and canonicity tests for the BDD wire format."""
+
+import json
+
+import pytest
+
+from repro.bdd.expr import parse_expression
+from repro.bdd.manager import BDD
+from repro.bdd.ops import transfer
+from repro.bdd.serialize import (
+    FORMAT,
+    SerializationError,
+    canonical_hash,
+    dump,
+    dump_many,
+    dumps,
+    function_fingerprint,
+    load,
+    load_many,
+    loads,
+)
+from repro.boolfunc.isf import ISF
+from repro.utils.rng import make_rng
+from tests.conftest import fresh_manager
+
+
+def _semantically_equal(a, b) -> bool:
+    """Compare two functions from different managers by truth table."""
+    n = max(a.mgr.n_vars, b.mgr.n_vars)
+    assert a.mgr.n_vars == b.mgr.n_vars == n
+    return all(bool(a(m)) == bool(b(m)) for m in range(1 << n))
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+def test_roundtrip_into_fresh_manager(mgr4):
+    f = parse_expression(mgr4, "x1 & x2 & x4 | x2 & x3 & x4")
+    g = load(dump(f))
+    assert g.mgr is not mgr4
+    assert g.mgr.var_names == mgr4.var_names
+    assert _semantically_equal(f, g)
+
+
+def test_roundtrip_constants(mgr4):
+    assert load(dump(mgr4.false)).is_false
+    assert load(dump(mgr4.true)).is_true
+
+
+def test_roundtrip_into_explicit_manager(mgr4):
+    f = parse_expression(mgr4, "x1 ^ x3 | x2 & x4")
+    target = fresh_manager(4)
+    g = load(dump(f), target)
+    assert g.mgr is target
+    assert _semantically_equal(f, g)
+    # Loading into the source manager is the identity on semantics.
+    assert load(dump(f), mgr4) == f
+
+
+def test_roundtrip_matches_transfer_into_wider_manager(mgr4):
+    """Loading into a manager with extra variables agrees with transfer."""
+    f = parse_expression(mgr4, "x1 & ~x3 | x2 & x4")
+    wide = BDD(["x1", "x2", "x3", "x4", "x5"])
+    assert load(dump(f), wide) == transfer(f, wide)
+
+
+def test_roundtrip_random_functions():
+    rng = make_rng("serialize-roundtrip")
+    for n_vars in (1, 2, 3, 5):
+        mgr = fresh_manager(n_vars)
+        for _ in range(10):
+            f = ISF.random(mgr, rng).on
+            assert _semantically_equal(f, load(dump(f)))
+
+
+def test_json_text_roundtrip(mgr4):
+    f = parse_expression(mgr4, "x1 & x2 | ~x3 & x4")
+    text = dumps(f)
+    json.loads(text)  # valid JSON
+    assert _semantically_equal(f, loads(text))
+
+
+def test_dump_many_roundtrips_all_roots(mgr4):
+    f = parse_expression(mgr4, "x1 & x2")
+    g = parse_expression(mgr4, "x1 & x2 | x3")
+    data = dump_many([("f", f), ("g", g)])
+    roots = load_many(data)
+    assert _semantically_equal(f, roots["f"])
+    assert _semantically_equal(g, roots["g"])
+
+
+def test_roundtrip_through_transfer_and_back(mgr4):
+    """dump → load → transfer back to the source manager is the identity."""
+    f = parse_expression(mgr4, "(x1 | x2) & (x3 ^ x4)")
+    rebuilt = load(dump(f))
+    assert transfer(rebuilt, mgr4) == f
+    # And the other way: transfer first, dump from the copy.
+    wide = BDD(["x1", "x2", "x3", "x4"])
+    moved = transfer(f, wide)
+    assert load(dump(moved), mgr4) == f
+
+
+# ---------------------------------------------------------------------------
+# Canonicity / stable hashing
+# ---------------------------------------------------------------------------
+
+
+def test_dump_is_independent_of_construction_history():
+    """Equal functions from differently-grown managers dump identically."""
+    mgr_a = fresh_manager(4)
+    # Build lots of unrelated junk first so node ids diverge.
+    junk = parse_expression(mgr_a, "x1 ^ x2 ^ x3 ^ x4")
+    junk = junk | parse_expression(mgr_a, "x2 & ~x4")
+    f_a = parse_expression(mgr_a, "x1 & x2 | x3 & x4")
+
+    mgr_b = fresh_manager(4)
+    f_b = parse_expression(mgr_b, "x3 & x4 | x1 & x2")  # different clause order
+
+    assert dump(f_a) == dump(f_b)
+    assert function_fingerprint(f_a) == function_fingerprint(f_b)
+
+
+def test_fingerprint_distinguishes_functions_and_vars(mgr4):
+    f = parse_expression(mgr4, "x1 & x2")
+    g = parse_expression(mgr4, "x1 | x2")
+    assert function_fingerprint(f) != function_fingerprint(g)
+    # The declared variable slice is part of the identity.
+    wide = BDD(["x1", "x2", "x3", "x4", "x5"])
+    assert function_fingerprint(f) != function_fingerprint(transfer(f, wide))
+
+
+def test_canonical_hash_is_order_insensitive_for_dicts():
+    assert canonical_hash({"a": 1, "b": 2}) == canonical_hash({"b": 2, "a": 1})
+    assert canonical_hash({"a": 1}) != canonical_hash({"a": 2})
+
+
+def test_shared_subgraphs_are_dumped_once(mgr4):
+    """A shared-DAG dump reuses nodes across roots instead of copying."""
+    f = parse_expression(mgr4, "x2 & x3 | x2 & x4 | x3 & x4")
+    g = f | parse_expression(mgr4, "x1")
+    combined = dump_many([("f", f), ("g", g)])
+    separate = len(dump(f)["nodes"]) + len(dump(g)["nodes"])
+    assert len(combined["nodes"]) < separate
+    # f's root must be an interior reference of g's DAG as well.
+    roots = load_many(combined)
+    assert _semantically_equal(roots["f"], f)
+    assert _semantically_equal(roots["g"], g)
+
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+
+def test_load_rejects_foreign_payloads(mgr4):
+    with pytest.raises(SerializationError, match="format"):
+        load({"format": "something-else/9", "vars": [], "nodes": [], "roots": {}})
+    with pytest.raises(SerializationError):
+        load({"format": FORMAT})  # missing keys
+    with pytest.raises(SerializationError, match="JSON"):
+        loads("{not json")
+
+
+def test_load_rejects_undeclared_variable(mgr4):
+    f = parse_expression(mgr4, "x1 & x4")
+    narrow = BDD(["x1", "x2"])
+    # The dump carries the manager's whole variable slice, so the first
+    # undeclared name (x3) is the one reported.
+    with pytest.raises(SerializationError, match="does not declare"):
+        load(dump(f), narrow)
+
+
+def test_load_rejects_incompatible_order(mgr4):
+    f = parse_expression(mgr4, "x1 & x2 | x3")
+    reordered = BDD(["x4", "x3", "x2", "x1"])
+    with pytest.raises(SerializationError, match="incompatible"):
+        load(dump(f), reordered)
+
+
+def test_load_rejects_corrupt_node_list(mgr4):
+    data = dump(parse_expression(mgr4, "x1 & x2"))
+    bad = dict(data, nodes=[[99, 0, 1]])  # level out of range
+    with pytest.raises(SerializationError, match="out of range"):
+        load(bad)
+    bad = dict(data, nodes=[[0, 57, 1]])  # dangling child reference
+    with pytest.raises(SerializationError):
+        load(bad)
+    # Negative refs must not silently resolve via negative indexing.
+    bad = dict(data, nodes=[[0, -1, 1], [1, 0, 1]])
+    with pytest.raises(SerializationError, match="out of range"):
+        load(bad)
+    bad = dict(data, roots={"f": -2})
+    with pytest.raises(SerializationError, match="root ref"):
+        load(bad)
+
+
+def test_dump_many_rejects_mixed_managers(mgr4):
+    other = fresh_manager(4)
+    with pytest.raises(ValueError, match="share one manager"):
+        dump_many([("a", mgr4.true), ("b", other.true)])
+    with pytest.raises(ValueError, match="at least one"):
+        dump_many([])
