@@ -1,39 +1,142 @@
-"""ROBDD node manager and function handles.
+"""ROBDD node manager and function handles (complemented-edge core).
 
-The design follows the classic Brace–Rudell–Bryant construction:
+The design follows the classic Brace–Rudell–Bryant construction, with
+the representation upgrades of mature packages (CUDD, BuDDy, Sylvan):
 
-* nodes live in parallel arrays (``level``, ``low``, ``high``) indexed by
-  integer ids; ids ``0`` and ``1`` are the constant nodes;
-* a *unique table* maps ``(level, low, high)`` to the node id, enforcing
-  canonicity (two equal functions always share one node);
-* all Boolean connectives reduce to the ternary ``ite`` operator with a
-  computed-table cache.
+* **Complemented edges.**  An *edge* is ``(node_index << 1) | bit``:
+  the low bit says "interpret the pointed-to function negated".  There
+  is a single terminal node (index ``0``), so the constant edges are
+  ``0`` (false) and ``1`` (true) and negation is one integer XOR —
+  ``~f`` no longer walks the graph.  Canonicity is preserved by a
+  normalization rule enforced in :meth:`BDD._mk`: the *high* edge of a
+  stored node is never complemented (the complement is pushed onto the
+  node's own edge instead), so every Boolean function still has exactly
+  one representation.
+* **Iterative algorithms.**  ``ite``, satcount, cofactor/restriction,
+  quantification, composition, and minterm enumeration all run on
+  explicit work stacks, so chain-structured functions over thousands of
+  variables never hit Python's recursion limit.
+* **Per-operation computed tables with eviction.**  Each operation owns
+  a size-bounded :class:`ComputedTable` (LRU-style batch eviction of the
+  oldest half on overflow), so long batch runs stop growing memory
+  without bound; ``stats()`` reports per-table hit rates.
+* **Mark-and-sweep ``gc()``.**  Live roots are found through weak
+  references to every :class:`Function` handle; unreachable nodes are
+  unlinked from the unique table and their slots recycled by later
+  ``_mk`` calls (node indices of live handles are never remapped, so
+  handle hashes stay stable).  Computed tables are invalidated on sweep.
 
 Variable order is the order of :meth:`BDD.add_var` calls.  There is no
-dynamic reordering — benchmark functions in this reproduction use their
-natural variable order, as the paper's flow does.
+dynamic *reordering* — benchmark functions in this reproduction use
+their natural variable order, as the paper's flow does — but the
+manager does reclaim memory: bounded computed tables plus ``gc()`` keep
+long-running batches at their live working-set size.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from itertools import islice
+from weakref import ref as _weakref
 
-#: Level assigned to the two constant nodes; larger than any variable level.
+#: Level assigned to the terminal node; larger than any variable level.
 TERMINAL_LEVEL = 1 << 30
+
+#: Default computed-table capacity (entries) before batch eviction.
+DEFAULT_CACHE_SIZE = 1 << 18
+
+
+class ComputedTable:
+    """Size-bounded operation cache with LRU-style batch eviction.
+
+    A plain dict preserves insertion order, so dropping the first half
+    of the keys on overflow approximates least-recently-*inserted*
+    eviction at a fraction of the bookkeeping cost of true LRU — the
+    right trade for a cache whose entries are always recomputable.
+    """
+
+    __slots__ = ("data", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self.data: dict = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        value = self.data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self.data
+        if len(data) >= self.capacity:
+            for old in list(islice(data, self.capacity // 2)):
+                del data[old]
+            self.evictions += self.capacity // 2
+        data[key] = value
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus the current entry count."""
+        return {
+            "size": len(self.data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 class BDD:
-    """Manager owning the unique table and operation caches."""
+    """Manager owning the unique table and operation caches.
 
-    def __init__(self, var_names: Iterable[str] = ()) -> None:
+    ``cache_size`` bounds each per-operation computed table (see
+    :class:`ComputedTable`); the unique table itself is never evicted —
+    only :meth:`gc` removes nodes, and only unreachable ones.
+    """
+
+    def __init__(
+        self, var_names: Iterable[str] = (), cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> None:
         self._var_names: list[str] = []
         self._var_index: dict[str, int] = {}
-        # Parallel node arrays.  Nodes 0 / 1 are the constants.
-        self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
-        self._low: list[int] = [0, 1]
-        self._high: list[int] = [0, 1]
+        # Parallel node arrays indexed by *node index* (edge >> 1).
+        # Index 0 is the single terminal; children are stored as edges.
+        self._level: list[int] = [TERMINAL_LEVEL]
+        self._low: list[int] = [0]
+        self._high: list[int] = [0]
+        #: (level, low_edge, high_edge) -> node index; high edge regular.
         self._unique: dict[tuple[int, int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        #: Recycled node indices (dead slots from the last :meth:`gc`).
+        self._free: list[int] = []
+        self._cache_size = cache_size
+        self._ite_cache = ComputedTable(cache_size)
+        self._test_cache = ComputedTable(cache_size)
+        self._cofactor_cache = ComputedTable(cache_size // 4)
+        self._exists_cache = ComputedTable(cache_size // 4)
+        self._compose_cache = ComputedTable(cache_size // 4)
+        self._satcount_cache = ComputedTable(cache_size // 4)
+        #: Named auxiliary tables handed out by :meth:`computed_table`.
+        self._user_tables: dict[str, ComputedTable] = {}
+        #: Weak registry of every live Function handle — the gc root set.
+        #: Keyed by ``id(handle)`` with plain (callback-free) weakrefs:
+        #: far cheaper per Function than a WeakSet, at the price of dead
+        #: entries lingering until the amortized compaction below.
+        self._handles: dict[int, _weakref] = {}
+        self._handle_limit = 1 << 16
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        # Scratch stacks reused across _ite calls (the machine is not
+        # reentrant: no manager operation runs inside a running apply).
+        self._ite_tasks: list[tuple] = []
+        self._ite_values: list[int] = []
         for name in var_names:
             self.add_var(name)
 
@@ -57,6 +160,9 @@ class BDD:
         index = len(self._var_names)
         self._var_names.append(name)
         self._var_index[name] = index
+        # Satcounts are relative to the declared space; widening it
+        # invalidates them (the other tables key on edges only).
+        self._satcount_cache.clear()
         return Function(self, self._mk(index, 0, 1))
 
     def var(self, name: str) -> "Function":
@@ -87,16 +193,22 @@ class BDD:
     def cube(self, assignment: dict[str, int | bool]) -> "Function":
         """Build the conjunction of literals described by ``assignment``.
 
-        ``{"x1": 1, "x3": 0}`` yields the function ``x1 & ~x3``.
+        ``{"x1": 1, "x3": 0}`` yields the function ``x1 & ~x3``.  Built
+        bottom-up with ``_mk`` only — no apply calls, no cache traffic.
         """
-        node = 1
         levels = sorted(
             ((self._var_index[name], bool(value)) for name, value in assignment.items()),
             reverse=True,
         )
+        return Function(self, self._cube_edge(levels))
+
+    def _cube_edge(self, levels: list[tuple[int, bool]]) -> int:
+        """Bottom-up cube construction from ``(level, polarity)`` pairs
+        sorted by level descending (deepest literal first)."""
+        edge = 1
         for level, value in levels:
-            node = self._mk(level, 0, node) if value else self._mk(level, node, 0)
-        return Function(self, node)
+            edge = self._mk(level, 0, edge) if value else self._mk(level, edge, 0)
+        return edge
 
     def minterm(self, minterm_index: int) -> "Function":
         """Build the single-minterm function for ``minterm_index``.
@@ -105,58 +217,342 @@ class BDD:
         convention, see :mod:`repro.utils.bitops`).
         """
         n = self.n_vars
-        node = 1
+        edge = 1
         for level in range(n - 1, -1, -1):
             bit = (minterm_index >> (n - 1 - level)) & 1
-            node = self._mk(level, 0, node) if bit else self._mk(level, node, 0)
-        return Function(self, node)
+            edge = self._mk(level, 0, edge) if bit else self._mk(level, edge, 0)
+        return Function(self, edge)
 
     # ------------------------------------------------------------------
     # Core node construction
     # ------------------------------------------------------------------
     def _mk(self, level: int, low: int, high: int) -> int:
+        """The unique-table constructor; returns a canonical *edge*.
+
+        Normalization: a reduced node is stored only with a regular
+        (non-complemented) high edge — ``mk(v, l, ~h)`` is stored as
+        ``~mk(v, ~l, h)`` — so ``f`` and ``~f`` always share one node.
+        """
         if low == high:
             return low
+        if high & 1:
+            # Push the complement onto the resulting edge.
+            key = (level, low ^ 1, high ^ 1)
+            node = self._unique.get(key)
+            if node is None:
+                node = self._new_node(level, low ^ 1, high ^ 1, key)
+            return (node << 1) | 1
         key = (level, low, high)
         node = self._unique.get(key)
         if node is None:
+            node = self._new_node(level, low, high, key)
+        return node << 1
+
+    def _new_node(self, level: int, low: int, high: int, key: tuple) -> int:
+        free = self._free
+        if free:
+            node = free.pop()
+            self._level[node] = level
+            self._low[node] = low
+            self._high[node] = high
+        else:
             node = len(self._level)
             self._level.append(level)
             self._low.append(low)
             self._high.append(high)
-            self._unique[key] = node
+        self._unique[key] = node
         return node
 
+    # -- ite ---------------------------------------------------------------
+
     def _ite(self, f: int, g: int, h: int) -> int:
-        # Terminal cases.
+        """Iterative if-then-else on edges (explicit work stack).
+
+        Each triple is normalized to a canonical *standard triple*
+        before the computed-table lookup: arguments equal to the
+        condition (or its complement) collapse to constants, the
+        condition and then-argument are made regular (complements pushed
+        to the result), and the symmetric forms of and/or/xnor are
+        argument-ordered — all of which raises cache hit rates, exactly
+        as in Brace–Rudell–Bryant.
+        """
+        table = self._ite_cache
+        cache = table.data
+        # Fast path: most calls resolve by normalization or in the
+        # computed table; handle those without allocating the machine.
         if f == 1:
             return g
         if f == 0:
             return h
+        if g == f:
+            g = 1
+        elif g == f ^ 1:
+            g = 0
+        if h == f:
+            h = 0
+        elif h == f ^ 1:
+            h = 1
         if g == h:
             return g
         if g == 1 and h == 0:
             return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._branches(f, level)
-        g0, g1 = self._branches(g, level)
-        h0, h1 = self._branches(h, level)
-        result = self._mk(level, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
-        self._ite_cache[key] = result
-        return result
+        if g == 0 and h == 1:
+            return f ^ 1
+        out = 0
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        if g == 1:
+            if h >> 1 < f >> 1:
+                f, h = h, f
+        elif h == 0:
+            if g >> 1 < f >> 1:
+                f, g = g, f
+        elif h == g ^ 1 and g >> 1 < f >> 1:
+            f, g, h = g, f, f ^ 1
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        if g & 1:
+            out = 1
+            g ^= 1
+            h ^= 1
+        hit = cache.get((f, g, h))
+        if hit is not None:
+            table.hits += 1
+            return hit ^ out
+        capacity = table.capacity
+        level_of = self._level
+        low_of = self._low
+        high_of = self._high
+        unique = self._unique
+        # Task encodings:  (0, f, g, h) — evaluate the triple, push its
+        # result edge onto ``values``; (1, level, key, oc) — pop the
+        # high then low results, rebuild via _mk, memoize under ``key``;
+        # (2, level, key, oc, high) — high child resolved inline, pop
+        # only the low result.  The low spine is descended without a
+        # task round-trip, so an expanded node costs two pushes at most.
+        tasks = self._ite_tasks
+        values = self._ite_values
+        tasks.clear()
+        values.clear()
+        tasks.append((0, f, g, h))
+        while tasks:
+            task = tasks.pop()
+            if task[0] == 0:
+                _, f, g, h = task
+                oc = 0
+                while True:
+                    # Terminal conditions.
+                    if f == 1:
+                        values.append(g ^ oc)
+                        break
+                    if f == 0:
+                        values.append(h ^ oc)
+                        break
+                    # Collapse arguments equal to the condition.
+                    if g == f:
+                        g = 1
+                    elif g == f ^ 1:
+                        g = 0
+                    if h == f:
+                        h = 0
+                    elif h == f ^ 1:
+                        h = 1
+                    if g == h:
+                        values.append(g ^ oc)
+                        break
+                    if g == 1 and h == 0:
+                        values.append(f ^ oc)
+                        break
+                    if g == 0 and h == 1:
+                        values.append(f ^ 1 ^ oc)
+                        break
+                    # Condition must be regular.
+                    if f & 1:
+                        f ^= 1
+                        g, h = h, g
+                    # Symmetric-operator argument ordering.
+                    if g == 1:
+                        if h >> 1 < f >> 1:
+                            f, h = h, f
+                    elif h == 0:
+                        if g >> 1 < f >> 1:
+                            f, g = g, f
+                    elif h == g ^ 1 and g >> 1 < f >> 1:
+                        f, g, h = g, f, f ^ 1
+                    if f & 1:
+                        f ^= 1
+                        g, h = h, g
+                    # Then-argument must be regular; complement the result.
+                    if g & 1:
+                        oc ^= 1
+                        g ^= 1
+                        h ^= 1
+                    key = (f, g, h)
+                    hit = cache.get(key)
+                    if hit is not None:
+                        table.hits += 1
+                        values.append(hit ^ oc)
+                        break
+                    table.misses += 1
+                    fi, gi, hi = f >> 1, g >> 1, h >> 1
+                    level = fl = level_of[fi]
+                    gl = level_of[gi]
+                    if gl < level:
+                        level = gl
+                    hl = level_of[hi]
+                    if hl < level:
+                        level = hl
+                    if fl == level:
+                        fc = f & 1
+                        f0, f1 = low_of[fi] ^ fc, high_of[fi] ^ fc
+                    else:
+                        f0 = f1 = f
+                    if gl == level:
+                        gc = g & 1
+                        g0, g1 = low_of[gi] ^ gc, high_of[gi] ^ gc
+                    else:
+                        g0 = g1 = g
+                    if hl == level:
+                        hc = h & 1
+                        h0, h1 = low_of[hi] ^ hc, high_of[hi] ^ hc
+                    else:
+                        h0 = h1 = h
+                    # Peephole: resolve a trivially-terminal high child
+                    # now and skip its task round-trip entirely.
+                    if f1 == 1:
+                        high = g1
+                    elif f1 == 0:
+                        high = h1
+                    elif g1 == h1:
+                        high = g1
+                    elif g1 == 1 and h1 == 0:
+                        high = f1
+                    elif g1 == 0 and h1 == 1:
+                        high = f1 ^ 1
+                    else:
+                        high = None
+                    if high is None:
+                        tasks.append((1, level, key, oc))
+                        tasks.append((0, f1, g1, h1))
+                    else:
+                        tasks.append((2, level, key, oc, high))
+                    f, g, h, oc = f0, g0, h0, 0
+            else:
+                if task[0] == 1:
+                    _, level, key, oc = task
+                    high = values.pop()
+                else:
+                    _, level, key, oc, high = task
+                low = values.pop()
+                # Inline _mk (this is the single hottest allocation site).
+                if low == high:
+                    result = low
+                elif high & 1:
+                    ukey = (level, low ^ 1, high ^ 1)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = self._new_node(level, low ^ 1, high ^ 1, ukey)
+                    result = (node << 1) | 1
+                else:
+                    ukey = (level, low, high)
+                    node = unique.get(ukey)
+                    if node is None:
+                        node = self._new_node(level, low, high, ukey)
+                    result = node << 1
+                if len(cache) >= capacity:
+                    for old in list(islice(cache, capacity // 2)):
+                        del cache[old]
+                    table.evictions += capacity // 2
+                cache[key] = result
+                values.append(result ^ oc)
+        return values[-1] ^ out
 
-    def _branches(self, node: int, level: int) -> tuple[int, int]:
-        if self._level[node] == level:
-            return self._low[node], self._high[node]
-        return node, node
+    def _and_is_false(self, f: int, g: int) -> bool:
+        """Emptiness test for ``f & g`` without building the conjunction.
+
+        The workhorse behind subset (``f <= g`` is ``f & ~g == 0``) and
+        disjointness queries: a plain depth-first sweep that allocates no
+        BDD nodes, exits on the first shared minterm, and memoizes
+        definite verdicts per unordered edge pair.  Minimizer expansion
+        loops issue these tests in huge numbers; skipping the unique
+        table makes them several times cheaper than a full apply.
+        """
+        if f == 0 or g == 0:
+            return True
+        if f == 1 or g == 1 or f == g:
+            return False
+        if f == g ^ 1:
+            return True
+        table = self._test_cache
+        cache = table.data
+        level_of = self._level
+        low_of = self._low
+        high_of = self._high
+        # Frame: [f, g, next_branch] — branch 0 (low pair) then 1 (high).
+        root = [f, g, 0] if f <= g else [g, f, 0]
+        hit = cache.get((root[0], root[1]))
+        if hit is not None:
+            table.hits += 1
+            return hit
+        table.misses += 1
+        frames = [root]
+        violated = False
+        while frames:
+            frame = frames[-1]
+            if violated:
+                # A shared minterm below: every open frame is non-disjoint.
+                table.put((frame[0], frame[1]), False)
+                frames.pop()
+                continue
+            branch = frame[2]
+            if branch == 2:
+                table.put((frame[0], frame[1]), True)
+                frames.pop()
+                continue
+            frame[2] += 1
+            f, g = frame[0], frame[1]
+            fi, gi = f >> 1, g >> 1
+            fl, gl = level_of[fi], level_of[gi]
+            level = fl if fl < gl else gl
+            if fl == level:
+                fc = f & 1
+                fs = (high_of[fi] if branch else low_of[fi]) ^ fc
+            else:
+                fs = f
+            if gl == level:
+                gc = g & 1
+                gs = (high_of[gi] if branch else low_of[gi]) ^ gc
+            else:
+                gs = g
+            if fs == 0 or gs == 0 or fs == gs ^ 1:
+                continue
+            if fs == 1 or gs == 1 or fs == gs:
+                violated = True
+                continue
+            pair = (fs, gs) if fs <= gs else (gs, fs)
+            hit = cache.get(pair)
+            if hit is not None:
+                table.hits += 1
+                if hit is False:
+                    violated = True
+                continue
+            table.misses += 1
+            frames.append([pair[0], pair[1], 0])
+        return not violated
+
+    def _branches(self, edge: int, level: int) -> tuple[int, int]:
+        """Semantic (low, high) cofactor edges of ``edge`` at ``level``."""
+        index = edge >> 1
+        if self._level[index] == level:
+            complement = edge & 1
+            return self._low[index] ^ complement, self._high[index] ^ complement
+        return edge, edge
 
     # Derived connectives -------------------------------------------------
     def _not(self, u: int) -> int:
-        return self._ite(u, 0, 1)
+        return u ^ 1
 
     def _and(self, u: int, v: int) -> int:
         return self._ite(u, v, 0)
@@ -165,214 +561,444 @@ class BDD:
         return self._ite(u, 1, v)
 
     def _xor(self, u: int, v: int) -> int:
-        return self._ite(u, self._not(v), v)
+        return self._ite(u, v ^ 1, v)
 
     # ------------------------------------------------------------------
     # Structural queries
     # ------------------------------------------------------------------
     def node_count(self) -> int:
-        """Total number of live nodes in the manager (constants included)."""
-        return len(self._level)
+        """Live physical nodes in the manager (the terminal included)."""
+        return len(self._level) - len(self._free)
 
     def size(self, function: "Function") -> int:
-        """Number of nodes reachable from ``function`` (constants included)."""
+        """Number of distinct subfunctions reachable from ``function``.
+
+        Counts *edges* (node, polarity pairs), which coincides with the
+        node count of the equivalent complement-free ROBDD — including
+        both constants when both are reachable — so sizes are directly
+        comparable with the literature (a projection variable has size
+        3, a constant size 1).
+        """
         seen: set[int] = set()
         stack = [function.node]
+        low_of, high_of = self._low, self._high
         while stack:
-            node = stack.pop()
-            if node in seen:
+            edge = stack.pop()
+            if edge in seen:
                 continue
-            seen.add(node)
-            if node > 1:
-                stack.append(self._low[node])
-                stack.append(self._high[node])
+            seen.add(edge)
+            index = edge >> 1
+            if index:
+                complement = edge & 1
+                stack.append(low_of[index] ^ complement)
+                stack.append(high_of[index] ^ complement)
         return len(seen)
 
+    def computed_table(self, name: str, capacity: int | None = None) -> ComputedTable:
+        """A named auxiliary computed table owned by this manager.
+
+        Derived layers memoize their own edge-valued constructions here
+        (e.g. cube/pseudoproduct conversions) instead of keeping private
+        dicts: entries share the manager's lifecycle — size-bounded,
+        reported by :meth:`stats`, and invalidated by :meth:`clear_caches`
+        and :meth:`gc` (which a private dict would dangerously survive,
+        since evicted or collected edges must not be reused).
+        """
+        table = self._user_tables.get(name)
+        if table is None:
+            table = ComputedTable(self._cache_size if capacity is None else capacity)
+            self._user_tables[name] = table
+        return table
+
     def clear_caches(self) -> None:
-        """Drop the operation caches (unique table is kept)."""
+        """Drop all computed tables (unique table is kept)."""
         self._ite_cache.clear()
+        self._test_cache.clear()
+        self._cofactor_cache.clear()
+        self._exists_cache.clear()
+        self._compose_cache.clear()
+        self._satcount_cache.clear()
+        for table in self._user_tables.values():
+            table.clear()
+
+    def _compact_handles(self) -> None:
+        """Drop dead weakrefs from the handle registry (amortized)."""
+        live = {key: r for key, r in self._handles.items() if r() is not None}
+        self._handles = live
+        self._handle_limit = max(1 << 16, 2 * len(live))
+
+    def stats(self) -> dict:
+        """Manager health counters: nodes, tables, gc activity."""
+        return {
+            "n_vars": self.n_vars,
+            "nodes": self.node_count(),
+            "allocated": len(self._level),
+            "free_slots": len(self._free),
+            # O(1) registry size (live + not-yet-compacted dead refs);
+            # stats() runs per decomposition, so no weakref scan here —
+            # gc() reports the exact live count when it compacts.
+            "tracked_handles": len(self._handles),
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed": self._gc_reclaimed,
+            "tables": {
+                "ite": self._ite_cache.stats(),
+                "test": self._test_cache.stats(),
+                "cofactor": self._cofactor_cache.stats(),
+                "exists": self._exists_cache.stats(),
+                "compose": self._compose_cache.stats(),
+                "satcount": self._satcount_cache.stats(),
+                **{
+                    f"user:{name}": table.stats()
+                    for name, table in sorted(self._user_tables.items())
+                },
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self) -> dict:
+        """Mark-and-sweep unreachable nodes; returns collection stats.
+
+        Roots are the edges of every live :class:`Function` handle
+        (tracked by weak references).  Unreachable nodes are unlinked
+        from the unique table and their slots recycled by later ``_mk``
+        calls; node indices of reachable nodes are **not** remapped, so
+        existing handles (and hashes derived from them) stay valid.
+        Computed tables are cleared — they may reference dead edges.
+
+        Not safe to call from *inside* a manager operation (an apply in
+        flight holds intermediate edges no handle roots yet); the engine
+        only collects between decompositions.
+        """
+        self._compact_handles()
+        marked = bytearray(len(self._level))
+        marked[0] = 1
+        stack = []
+        for weak in self._handles.values():
+            handle = weak()
+            if handle is not None:
+                stack.append(handle.node >> 1)
+        low_of, high_of = self._low, self._high
+        while stack:
+            index = stack.pop()
+            if marked[index]:
+                continue
+            marked[index] = 1
+            stack.append(low_of[index] >> 1)
+            stack.append(high_of[index] >> 1)
+        already_free = set(self._free)
+        swept = [
+            index
+            for index in range(1, len(self._level))
+            if not marked[index] and index not in already_free
+        ]
+        for key, index in list(self._unique.items()):
+            if not marked[index]:
+                del self._unique[key]
+        terminal = TERMINAL_LEVEL
+        for index in swept:
+            # Park dead slots on the terminal so stray reads are inert.
+            self._level[index] = terminal
+            self._low[index] = 0
+            self._high[index] = 0
+        self._free.extend(swept)
+        self.clear_caches()
+        self._gc_runs += 1
+        self._gc_reclaimed += len(swept)
+        return {
+            "marked": int(sum(marked)),
+            "swept": len(swept),
+            "nodes": self.node_count(),
+        }
 
     # ------------------------------------------------------------------
     # Quantification / substitution
     # ------------------------------------------------------------------
     def _cofactor(self, u: int, level: int, value: int) -> int:
-        if self._level[u] > level:
-            return u
-        if self._level[u] == level:
-            return self._high[u] if value else self._low[u]
-        # Variable below the top of u: descend with a small memo.
-        memo: dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if self._level[node] > level:
-                return node
-            if self._level[node] == level:
-                return self._high[node] if value else self._low[node]
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            result = self._mk(
-                self._level[node], rec(self._low[node]), rec(self._high[node])
-            )
-            memo[node] = result
-            return result
-
-        return rec(u)
+        """Iterative single-variable cofactor with a persistent table."""
+        level_of, low_of, high_of = self._level, self._low, self._high
+        cache = self._cofactor_cache
+        branch_of = high_of if value else low_of
+        # (0, edge) — evaluate, push the result edge onto ``values``;
+        # (1, edge) — pop the two child results and rebuild the node.
+        tasks: list[tuple[int, int]] = [(0, u)]
+        values: list[int] = []
+        while tasks:
+            phase, edge = tasks.pop()
+            index = edge >> 1
+            complement = edge & 1
+            if phase == 0:
+                node_level = level_of[index]
+                if node_level > level:
+                    values.append(edge)
+                    continue
+                if node_level == level:
+                    values.append(branch_of[index] ^ complement)
+                    continue
+                hit = cache.data.get((edge, level, value))
+                if hit is not None:
+                    cache.hits += 1
+                    values.append(hit)
+                    continue
+                cache.misses += 1
+                tasks.append((1, edge))
+                tasks.append((0, high_of[index] ^ complement))
+                tasks.append((0, low_of[index] ^ complement))
+            else:
+                high = values.pop()
+                low = values.pop()
+                result = self._mk(level_of[index], low, high)
+                cache.put((edge, level, value), result)
+                values.append(result)
+        return values[-1]
 
     def _restrict(self, u: int, assignment: dict[int, int]) -> int:
+        """Iterative simultaneous cofactor (per-call memo)."""
         if not assignment:
             return u
         memo: dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if node <= 1:
-                return node
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            level = self._level[node]
-            if level in assignment:
-                result = rec(self._high[node] if assignment[level] else self._low[node])
+        level_of, low_of, high_of = self._level, self._low, self._high
+        # (0, edge) — expand; (1, edge) — combine children.
+        tasks: list[tuple[int, int]] = [(0, u)]
+        while tasks:
+            phase, edge = tasks.pop()
+            if edge <= 1 or edge in memo:
+                continue
+            index = edge >> 1
+            complement = edge & 1
+            level = level_of[index]
+            if phase == 0:
+                if level in assignment:
+                    child = (
+                        high_of[index] if assignment[level] else low_of[index]
+                    ) ^ complement
+                    # Result equals the chosen child's result: alias it.
+                    tasks.append((2, edge))
+                    tasks.append((0, child))
+                else:
+                    tasks.append((1, edge))
+                    tasks.append((0, high_of[index] ^ complement))
+                    tasks.append((0, low_of[index] ^ complement))
+            elif phase == 1:
+                low = low_of[index] ^ complement
+                high = high_of[index] ^ complement
+                memo[edge] = self._mk(
+                    level,
+                    low if low <= 1 else memo[low],
+                    high if high <= 1 else memo[high],
+                )
             else:
-                result = self._mk(level, rec(self._low[node]), rec(self._high[node]))
-            memo[node] = result
-            return result
-
-        return rec(u)
+                child = (
+                    high_of[index] if assignment[level] else low_of[index]
+                ) ^ complement
+                memo[edge] = child if child <= 1 else memo[child]
+        return u if u <= 1 else memo[u]
 
     def _exists(self, u: int, levels: frozenset[int]) -> int:
+        """Iterative existential quantification with a persistent table."""
+        if u <= 1:
+            return u
+        cache = self._exists_cache
+        level_of, low_of, high_of = self._level, self._low, self._high
         memo: dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if node <= 1:
-                return node
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            level = self._level[node]
-            low = rec(self._low[node])
-            high = rec(self._high[node])
-            if level in levels:
-                result = self._or(low, high)
+        tasks: list[tuple[int, int]] = [(0, u)]
+        while tasks:
+            phase, edge = tasks.pop()
+            if edge <= 1:
+                continue
+            if phase == 0:
+                if edge in memo:
+                    continue
+                hit = cache.data.get((edge, levels))
+                if hit is not None:
+                    cache.hits += 1
+                    memo[edge] = hit
+                    continue
+                cache.misses += 1
+                index = edge >> 1
+                complement = edge & 1
+                tasks.append((1, edge))
+                tasks.append((0, high_of[index] ^ complement))
+                tasks.append((0, low_of[index] ^ complement))
             else:
-                result = self._mk(level, low, high)
-            memo[node] = result
-            return result
-
-        return rec(u)
+                index = edge >> 1
+                complement = edge & 1
+                low = low_of[index] ^ complement
+                high = high_of[index] ^ complement
+                low_r = low if low <= 1 else memo[low]
+                high_r = high if high <= 1 else memo[high]
+                level = level_of[index]
+                if level in levels:
+                    result = self._ite(low_r, 1, high_r)
+                else:
+                    result = self._mk(level, low_r, high_r)
+                cache.put((edge, levels), result)
+                memo[edge] = result
+        return memo[u]
 
     def _compose(self, u: int, level: int, v: int) -> int:
+        """Iterative substitution with a persistent table."""
+        level_of, low_of, high_of = self._level, self._low, self._high
+        if level_of[u >> 1] > level:
+            return u
+        cache = self._compose_cache
         memo: dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if self._level[node] > level:
-                return node
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            node_level = self._level[node]
-            if node_level == level:
-                result = self._ite(v, self._high[node], self._low[node])
+        tasks: list[tuple[int, int]] = [(0, u)]
+        while tasks:
+            phase, edge = tasks.pop()
+            index = edge >> 1
+            if level_of[index] > level:
+                continue
+            if phase == 0:
+                if edge in memo:
+                    continue
+                hit = cache.data.get((edge, level, v))
+                if hit is not None:
+                    cache.hits += 1
+                    memo[edge] = hit
+                    continue
+                cache.misses += 1
+                complement = edge & 1
+                tasks.append((1, edge))
+                if level_of[index] != level:
+                    tasks.append((0, high_of[index] ^ complement))
+                    tasks.append((0, low_of[index] ^ complement))
             else:
-                result = self._ite(
-                    self._mk(node_level, 0, 1),
-                    rec(self._high[node]),
-                    rec(self._low[node]),
-                )
-            memo[node] = result
-            return result
-
-        return rec(u)
+                complement = edge & 1
+                node_level = level_of[index]
+                if node_level == level:
+                    result = self._ite(
+                        v, high_of[index] ^ complement, low_of[index] ^ complement
+                    )
+                else:
+                    low = low_of[index] ^ complement
+                    high = high_of[index] ^ complement
+                    low_r = low if level_of[low >> 1] > level else memo[low]
+                    high_r = high if level_of[high >> 1] > level else memo[high]
+                    result = self._ite(self._mk(node_level, 0, 1), high_r, low_r)
+                cache.put((edge, level, v), result)
+                memo[edge] = result
+        return memo[u]
 
     # ------------------------------------------------------------------
     # Counting and enumeration
     # ------------------------------------------------------------------
     def _satcount(self, u: int) -> int:
+        """Iterative on-set count over the declared variable space."""
         n = self.n_vars
-        memo: dict[int, int] = {}
+        level_of, low_of, high_of = self._level, self._low, self._high
+        cache = self._satcount_cache
+        memo: dict[int, int] = {0: 0, 1: 1}
 
-        def effective_level(node: int) -> int:
-            level = self._level[node]
+        def effective_level(edge: int) -> int:
+            level = level_of[edge >> 1]
             return n if level == TERMINAL_LEVEL else level
 
-        def rec(node: int) -> int:
-            # Number of satisfying assignments of variables at levels
-            # >= effective_level(node).
-            if node == 0:
-                return 0
-            if node == 1:
-                return 1
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            level = self._level[node]
-            low, high = self._low[node], self._high[node]
-            count = rec(low) << (effective_level(low) - level - 1)
-            count += rec(high) << (effective_level(high) - level - 1)
-            memo[node] = count
-            return count
-
-        return rec(u) << effective_level(u)
+        tasks: list[tuple[int, int]] = [(0, u)]
+        while tasks:
+            phase, edge = tasks.pop()
+            if edge <= 1:
+                continue
+            index = edge >> 1
+            complement = edge & 1
+            low = low_of[index] ^ complement
+            high = high_of[index] ^ complement
+            if phase == 0:
+                if edge in memo:
+                    continue
+                hit = cache.data.get(edge)
+                if hit is not None:
+                    cache.hits += 1
+                    memo[edge] = hit
+                    continue
+                cache.misses += 1
+                tasks.append((1, edge))
+                tasks.append((0, high))
+                tasks.append((0, low))
+            else:
+                level = level_of[index]
+                count = memo[low] << (effective_level(low) - level - 1)
+                count += memo[high] << (effective_level(high) - level - 1)
+                cache.put(edge, count)
+                memo[edge] = count
+        return memo[u] << effective_level(u)
 
     def _iter_minterms(self, u: int) -> Iterator[int]:
         n = self.n_vars
-
-        def rec(node: int, level: int, prefix: int) -> Iterator[int]:
-            if node == 0:
-                return
+        level_of, low_of, high_of = self._level, self._low, self._high
+        # Depth-first with an explicit stack, low branch first so indices
+        # come out in increasing order.
+        stack: list[tuple[int, int, int]] = [(u, 0, 0)]
+        while stack:
+            edge, level, prefix = stack.pop()
+            if edge == 0:
+                continue
             if level == n:
                 yield prefix
-                return
-            node_level = self._level[node]
-            if node_level > level:
+                continue
+            index = edge >> 1
+            if level_of[index] > level:
                 # Free variable: expand both branches.
-                yield from rec(node, level + 1, prefix << 1)
-                yield from rec(node, level + 1, (prefix << 1) | 1)
+                stack.append((edge, level + 1, (prefix << 1) | 1))
+                stack.append((edge, level + 1, prefix << 1))
             else:
-                yield from rec(self._low[node], level + 1, prefix << 1)
-                yield from rec(self._high[node], level + 1, (prefix << 1) | 1)
-
-        return rec(u, 0, 0)
+                complement = edge & 1
+                stack.append(
+                    (high_of[index] ^ complement, level + 1, (prefix << 1) | 1)
+                )
+                stack.append((low_of[index] ^ complement, level + 1, prefix << 1))
 
     def _support(self, u: int) -> set[int]:
         seen: set[int] = set()
         levels: set[int] = set()
-        stack = [u]
+        stack = [u >> 1]
+        level_of, low_of, high_of = self._level, self._low, self._high
         while stack:
-            node = stack.pop()
-            if node <= 1 or node in seen:
+            index = stack.pop()
+            if index == 0 or index in seen:
                 continue
-            seen.add(node)
-            levels.add(self._level[node])
-            stack.append(self._low[node])
-            stack.append(self._high[node])
+            seen.add(index)
+            levels.add(level_of[index])
+            stack.append(low_of[index] >> 1)
+            stack.append(high_of[index] >> 1)
         return levels
 
     def _eval(self, u: int, minterm_index: int) -> bool:
         n = self.n_vars
-        node = u
-        while node > 1:
-            level = self._level[node]
+        level_of, low_of, high_of = self._level, self._low, self._high
+        edge = u
+        while edge > 1:
+            index = edge >> 1
+            complement = edge & 1
+            level = level_of[index]
             bit = (minterm_index >> (n - 1 - level)) & 1
-            node = self._high[node] if bit else self._low[node]
-        return node == 1
+            edge = (high_of[index] if bit else low_of[index]) ^ complement
+        return edge == 1
 
 
 class Function:
-    """Handle to a BDD node, with Boolean operator overloading.
+    """Handle to a BDD edge, with Boolean operator overloading.
 
-    Handles compare equal iff they denote the same function (canonicity of
-    the ROBDD guarantees this is a structural identity check).  The set
-    view of a function — its on-set of minterms — supports ``&``, ``|``,
-    ``^``, ``~``, and ``-`` (set difference), plus ``<=`` for implication
-    (subset) tests.
+    Handles compare equal iff they denote the same function (canonicity
+    of the complemented-edge ROBDD guarantees this is an integer
+    comparison).  The set view of a function — its on-set of minterms —
+    supports ``&``, ``|``, ``^``, ``~``, and ``-`` (set difference),
+    plus ``<=`` for implication (subset) tests.
+
+    Every handle is registered (weakly) with its manager, forming the
+    root set of :meth:`BDD.gc`.
     """
 
-    __slots__ = ("mgr", "node")
+    __slots__ = ("mgr", "node", "__weakref__")
 
     def __init__(self, mgr: BDD, node: int) -> None:
         self.mgr = mgr
         self.node = node
+        handles = mgr._handles
+        handles[id(self)] = _weakref(self)
+        if len(handles) > mgr._handle_limit:
+            mgr._compact_handles()
 
     # -- identity ---------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -411,28 +1037,28 @@ class Function:
         return 1 if other else 0
 
     def __invert__(self) -> "Function":
-        return self._wrap(self.mgr._not(self.node))
+        # Complemented edges: negation is one bit flip.
+        return Function(self.mgr, self.node ^ 1)
 
     def __and__(self, other: "Function | int | bool") -> "Function":
-        return self._wrap(self.mgr._and(self.node, self._node_of(other)))
+        return self._wrap(self.mgr._ite(self.node, self._node_of(other), 0))
 
     __rand__ = __and__
 
     def __or__(self, other: "Function | int | bool") -> "Function":
-        return self._wrap(self.mgr._or(self.node, self._node_of(other)))
+        return self._wrap(self.mgr._ite(self.node, 1, self._node_of(other)))
 
     __ror__ = __or__
 
     def __xor__(self, other: "Function | int | bool") -> "Function":
-        return self._wrap(self.mgr._xor(self.node, self._node_of(other)))
+        v = self._node_of(other)
+        return self._wrap(self.mgr._ite(self.node, v ^ 1, v))
 
     __rxor__ = __xor__
 
     def __sub__(self, other: "Function | int | bool") -> "Function":
         """Set difference: ``f - g`` is ``f & ~g``."""
-        return self._wrap(
-            self.mgr._and(self.node, self.mgr._not(self._node_of(other)))
-        )
+        return self._wrap(self.mgr._ite(self.node, self._node_of(other) ^ 1, 0))
 
     def implies(self, other: "Function") -> "Function":
         """The function ``~self | other``."""
@@ -451,20 +1077,20 @@ class Function:
     # -- ordering as sets ----------------------------------------------------
     def __le__(self, other: "Function") -> bool:
         """Subset test: True iff ``self`` implies ``other`` everywhere."""
-        return (self - other).is_false
+        return self.mgr._and_is_false(self.node, self._node_of(other) ^ 1)
 
     def __ge__(self, other: "Function") -> bool:
-        return (other - self).is_false
+        return self.mgr._and_is_false(self._node_of(other), self.node ^ 1)
 
     def __lt__(self, other: "Function") -> bool:
-        return self <= other and self != other
+        return self != other and self <= other
 
     def __gt__(self, other: "Function") -> bool:
-        return self >= other and self != other
+        return self != other and self >= other
 
     def disjoint(self, other: "Function") -> bool:
         """True iff the two on-sets do not intersect."""
-        return (self & other).is_false
+        return self.mgr._and_is_false(self.node, self._node_of(other))
 
     # -- structure -------------------------------------------------------------
     def support(self) -> tuple[str, ...]:
@@ -494,7 +1120,10 @@ class Function:
 
     def minterms(self) -> Iterator[int]:
         """Iterate on-set minterm indices in increasing order."""
-        return self.mgr._iter_minterms(self.node)
+        # Generator (not a bare return): the frame keeps this handle —
+        # and therefore its nodes — alive across gc() while the caller
+        # still holds the iterator, even if they dropped the Function.
+        yield from self.mgr._iter_minterms(self.node)
 
     # -- cofactors / quantifiers ----------------------------------------------
     def cofactor(self, name: str, value: int | bool) -> "Function":

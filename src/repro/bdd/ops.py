@@ -7,6 +7,10 @@ This is the canonical bridge from BDD representations of incompletely
 specified functions to cube covers: ``isop(f.on, f.on | f.dc)`` seeds the
 two-level minimizers in :mod:`repro.twolevel`.
 
+Both :func:`isop` and :func:`transfer` run on explicit work stacks (no
+Python recursion), so chain-structured functions over thousands of
+variables are handled without touching the interpreter recursion limit.
+
 Cubes are returned as ``{variable_name: bool}`` dictionaries, readily
 convertible to :class:`repro.cover.Cube`.
 """
@@ -14,6 +18,100 @@ convertible to :class:`repro.cover.Cube`.
 from __future__ import annotations
 
 from repro.bdd.manager import TERMINAL_LEVEL, BDD, Function
+
+# isop frame slots (explicit stack machine; see _isop_edges).
+_STAGE, _LOW, _UP, _LEVEL, _L0, _L1, _U0, _U1, _F0, _CUBES0, _F1, _CUBES1 = range(12)
+
+
+def _isop_edges(
+    mgr: BDD, lower: int, upper: int
+) -> tuple[int, list[tuple[tuple[int, bool], ...]]]:
+    """Iterative Minato–Morreale core over edges.
+
+    Returns ``(cover_edge, cubes)``; cubes are tuples of ``(level,
+    polarity)`` pairs, top variable first — byte-identical to what the
+    recursive formulation produces, so downstream covers are stable.
+    """
+    node_cache: dict[tuple[int, int], int] = {}
+    cube_cache: dict[tuple[int, int], tuple] = {}
+
+    def resolve(low: int, up: int):
+        """Terminal/cached sub-results, without allocating a frame."""
+        if low == 0:
+            return (0, [])
+        if up == 1:
+            return (1, [()])
+        cached = node_cache.get((low, up))
+        if cached is not None:
+            return (cached, list(cube_cache[(low, up)]))
+        return None
+
+    ret = resolve(lower, upper)
+    if ret is not None:
+        return ret
+    frames: list[list] = [
+        [0, lower, upper, 0, 0, 0, 0, 0, 0, None, 0, None]
+    ]
+    while frames:
+        frame = frames[-1]
+        stage = frame[_STAGE]
+        if stage == 0:
+            low, up = frame[_LOW], frame[_UP]
+            level = min(mgr._level[low >> 1], mgr._level[up >> 1])
+            frame[_LEVEL] = level
+            frame[_L0], frame[_L1] = mgr._branches(low, level)
+            frame[_U0], frame[_U1] = mgr._branches(up, level)
+            frame[_STAGE] = 1
+            # Cubes that must contain the negative literal of this variable.
+            sub_low = mgr._and(frame[_L0], frame[_U1] ^ 1)
+            ret = resolve(sub_low, frame[_U0])
+            if ret is None:
+                frames.append(
+                    [0, sub_low, frame[_U0], 0, 0, 0, 0, 0, 0, None, 0, None]
+                )
+        elif stage == 1:
+            frame[_F0], frame[_CUBES0] = ret
+            frame[_STAGE] = 2
+            # Cubes that must contain the positive literal of this variable.
+            sub_low = mgr._and(frame[_L1], frame[_U0] ^ 1)
+            ret = resolve(sub_low, frame[_U1])
+            if ret is None:
+                frames.append(
+                    [0, sub_low, frame[_U1], 0, 0, 0, 0, 0, 0, None, 0, None]
+                )
+        elif stage == 2:
+            frame[_F1], frame[_CUBES1] = ret
+            frame[_STAGE] = 3
+            # Remaining onset handled by cubes independent of this variable.
+            l_rest = mgr._or(
+                mgr._and(frame[_L0], frame[_F0] ^ 1),
+                mgr._and(frame[_L1], frame[_F1] ^ 1),
+            )
+            upper_rest = mgr._and(frame[_U0], frame[_U1])
+            ret = resolve(l_rest, upper_rest)
+            if ret is None:
+                frames.append(
+                    [0, l_rest, upper_rest, 0, 0, 0, 0, 0, 0, None, 0, None]
+                )
+        else:
+            fd_edge, cubes_d = ret
+            level = frame[_LEVEL]
+            cover_edge = mgr._ite(
+                mgr._mk(level, 0, 1),
+                mgr._or(frame[_F1], fd_edge),
+                mgr._or(frame[_F0], fd_edge),
+            )
+            cubes = (
+                [((level, False),) + cube for cube in frame[_CUBES0]]
+                + [((level, True),) + cube for cube in frame[_CUBES1]]
+                + cubes_d
+            )
+            key = (frame[_LOW], frame[_UP])
+            node_cache[key] = cover_edge
+            cube_cache[key] = tuple(cubes)
+            ret = (cover_edge, cubes)
+            frames.pop()
+    return ret
 
 
 def isop(lower: Function, upper: Function) -> tuple[list[dict[str, bool]], Function]:
@@ -27,53 +125,12 @@ def isop(lower: Function, upper: Function) -> tuple[list[dict[str, bool]], Funct
         raise ValueError("lower and upper bounds use different managers")
     if not lower <= upper:
         raise ValueError("isop requires lower <= upper")
-    cache: dict[tuple[int, int], tuple[tuple[tuple[int, bool], ...], ...]] = {}
-    node_cache: dict[tuple[int, int], int] = {}
-
-    def rec(low_node: int, up_node: int) -> tuple[int, list[tuple[tuple[int, bool], ...]]]:
-        """Return (cover_bdd_node, cubes); cubes are tuples of (level, value)."""
-        if low_node == 0:
-            return 0, []
-        if up_node == 1:
-            return 1, [()]
-        key = (low_node, up_node)
-        if key in node_cache:
-            return node_cache[key], list(cache[key])
-
-        level = min(mgr._level[low_node], mgr._level[up_node])
-        l0, l1 = mgr._branches(low_node, level)
-        u0, u1 = mgr._branches(up_node, level)
-
-        # Cubes that must contain the negative literal of this variable.
-        f0_node, cubes0 = rec(mgr._and(l0, mgr._not(u1)), u0)
-        # Cubes that must contain the positive literal of this variable.
-        f1_node, cubes1 = rec(mgr._and(l1, mgr._not(u0)), u1)
-        # Remaining onset handled by cubes independent of this variable.
-        l_rest = mgr._or(
-            mgr._and(l0, mgr._not(f0_node)), mgr._and(l1, mgr._not(f1_node))
-        )
-        fd_node, cubes_d = rec(l_rest, mgr._and(u0, u1))
-
-        cover_node = mgr._ite(
-            mgr._mk(level, 0, 1),
-            mgr._or(f1_node, fd_node),
-            mgr._or(f0_node, fd_node),
-        )
-        cubes = (
-            [((level, False),) + cube for cube in cubes0]
-            + [((level, True),) + cube for cube in cubes1]
-            + cubes_d
-        )
-        node_cache[key] = cover_node
-        cache[key] = tuple(cubes)
-        return cover_node, cubes
-
-    cover_node, cubes = rec(lower.node, upper.node)
+    cover_edge, cubes = _isop_edges(mgr, lower.node, upper.node)
     names = mgr.var_names
     dict_cubes = [
         {names[level]: value for level, value in cube} for cube in cubes
     ]
-    return dict_cubes, Function(mgr, cover_node)
+    return dict_cubes, Function(mgr, cover_edge)
 
 
 def cube_to_function(mgr: BDD, cube: dict[str, bool]) -> Function:
@@ -108,38 +165,52 @@ def transfer(function: Function, target: BDD) -> Function:
             "variable orders of source and target managers are incompatible"
         )
 
-    cache: dict[int, int] = {0: 0, 1: 1}
-
-    def rec(node: int) -> int:
-        cached = cache.get(node)
-        if cached is not None:
-            return cached
-        result = target._mk(
-            level_map[src._level[node]],
-            rec(src._low[node]),
-            rec(src._high[node]),
-        )
-        cache[node] = result
-        return result
-
-    return Function(target, rec(function.node))
+    # Iterative post-order copy.  ``copied[i]`` is the target edge of the
+    # *plain* (uncomplemented) function of source node index ``i``;
+    # complements carried by edges transfer as a final bit flip.
+    copied: dict[int, int] = {0: 0}
+    src_level, src_low, src_high = src._level, src._low, src._high
+    stack: list[tuple[int, bool]] = [(function.node >> 1, False)]
+    while stack:
+        index, expanded = stack.pop()
+        if index in copied:
+            continue
+        low, high = src_low[index], src_high[index]
+        if expanded:
+            low_edge = copied[low >> 1] ^ (low & 1)
+            high_edge = copied[high >> 1] ^ (high & 1)
+            copied[index] = target._mk(
+                level_map[src_level[index]], low_edge, high_edge
+            )
+        else:
+            stack.append((index, True))
+            stack.append((high >> 1, False))
+            stack.append((low >> 1, False))
+    return Function(target, copied[function.node >> 1] ^ (function.node & 1))
 
 
 def count_nodes_dag(functions: list[Function]) -> int:
-    """Number of distinct BDD nodes used by a set of functions (shared DAG)."""
+    """Number of distinct BDD nodes used by a set of functions (shared DAG).
+
+    Counts distinct *edges* (canonical subfunctions), which matches the
+    node count of the equivalent complement-free shared ROBDD.
+    """
     if not functions:
         return 0
     mgr = functions[0].mgr
     seen: set[int] = set()
     stack = [f.node for f in functions]
+    low_of, high_of = mgr._low, mgr._high
     while stack:
-        node = stack.pop()
-        if node in seen:
+        edge = stack.pop()
+        if edge in seen:
             continue
-        seen.add(node)
-        if node > 1:
-            stack.append(mgr._low[node])
-            stack.append(mgr._high[node])
+        seen.add(edge)
+        index = edge >> 1
+        if index:
+            complement = edge & 1
+            stack.append(low_of[index] ^ complement)
+            stack.append(high_of[index] ^ complement)
     return len(seen)
 
 

@@ -50,29 +50,34 @@ def dump_many(functions: Iterable[tuple[str, Function]]) -> dict:
         if function.mgr is not mgr:
             raise ValueError("all dumped functions must share one manager")
 
+    # The walk runs over *edges* (node, polarity pairs) — the manager
+    # uses complemented edges internally, but the wire format stays the
+    # complement-free expansion: each edge is one canonical subfunction,
+    # exactly the node set of a plain ROBDD, in the same post-order.
     number: dict[int, int] = {0: 0, 1: 1}
     nodes: list[list[int]] = []
+    level_of, low_of, high_of = mgr._level, mgr._low, mgr._high
     for _, function in labeled:
         stack: list[tuple[int, bool]] = [(function.node, False)]
         while stack:
-            node, emit = stack.pop()
+            edge, emit = stack.pop()
+            index = edge >> 1
+            complement = edge & 1
+            low_edge = low_of[index] ^ complement
+            high_edge = high_of[index] ^ complement
             if emit:
-                if node not in number:
-                    number[node] = len(nodes) + 2
+                if edge not in number:
+                    number[edge] = len(nodes) + 2
                     nodes.append(
-                        [
-                            mgr._level[node],
-                            number[mgr._low[node]],
-                            number[mgr._high[node]],
-                        ]
+                        [level_of[index], number[low_edge], number[high_edge]]
                     )
                 continue
-            if node in number:
+            if edge in number:
                 continue
             # Children first (low before high), then the node itself.
-            stack.append((node, True))
-            stack.append((mgr._high[node], False))
-            stack.append((mgr._low[node], False))
+            stack.append((edge, True))
+            stack.append((high_edge, False))
+            stack.append((low_edge, False))
 
     return {
         "format": FORMAT,

@@ -58,22 +58,24 @@ def function_to_truthtable(function: Function) -> TruthTable:
 
     cache: dict[tuple[int, int], int] = {}
 
-    def rec(level: int, node: int) -> int:
+    def rec(level: int, edge: int) -> int:
         width = 1 << (mgr.n_vars - level)
-        if node == 0:
+        if edge == 0:
             return 0
-        if node == 1:
+        if edge == 1:
             return (1 << width) - 1
-        key = (level, node)
+        key = (level, edge)
         cached = cache.get(key)
         if cached is not None:
             return cached
         half = width >> 1
-        if mgr._level[node] == level:
-            low_bits = rec(level + 1, mgr._low[node])
-            high_bits = rec(level + 1, mgr._high[node])
+        index = edge >> 1
+        if mgr._level[index] == level:
+            complement = edge & 1
+            low_bits = rec(level + 1, mgr._low[index] ^ complement)
+            high_bits = rec(level + 1, mgr._high[index] ^ complement)
         else:
-            low_bits = high_bits = rec(level + 1, node)
+            low_bits = high_bits = rec(level + 1, edge)
         bits = (high_bits << half) | low_bits
         cache[key] = bits
         return bits

@@ -23,7 +23,7 @@ class ISF:
     def __init__(self, on: Function, dc: Function) -> None:
         if on.mgr is not dc.mgr:
             raise ValueError("on-set and dc-set use different managers")
-        if not (on & dc).is_false:
+        if not on.disjoint(dc):
             raise ValueError("on-set and dc-set must be disjoint")
         self.on = on
         self.dc = dc

@@ -151,12 +151,19 @@ class Cube:
         return True
 
     def to_function(self, mgr: BDD) -> Function:
-        """Build the BDD of the cube (manager must have >= n_vars variables)."""
-        result = mgr.true
-        for var, polarity in self.literals():
-            literal = mgr.var_at(var)
-            result = result & (literal if polarity else ~literal)
-        return result
+        """Build the BDD of the cube (manager must have >= n_vars variables).
+
+        Constructed bottom-up (deepest literal first) straight through the
+        unique table — one node per literal, no apply calls — and memoized
+        in the manager's shared product table.
+        """
+        table = mgr.computed_table("product")
+        key = (self.pos, self.neg)
+        edge = table.get(key)
+        if edge is None:
+            edge = mgr._cube_edge(sorted(self.literals(), reverse=True))
+            table.put(key, edge)
+        return Function(mgr, edge)
 
     def minterms(self) -> Iterator[int]:
         """Iterate covered minterm indices (exponential in free variables)."""

@@ -15,14 +15,20 @@ so concurrent writers at worst waste work.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import time
+import uuid
 from pathlib import Path
 
 from repro.bdd.serialize import canonical_hash
 
 #: On-disk entry wrapper identifier; bump on any incompatible change.
 ENTRY_FORMAT = "repro-cache-entry/1"
+
+#: Temp files older than this (seconds) are orphans from dead writers.
+STALE_TEMP_AGE_S = 3600.0
 
 
 class ResultCache:
@@ -37,6 +43,30 @@ class ResultCache:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+        # Distinguishes concurrent writers within one process (threads
+        # sharing this instance) and across instances in one pid.
+        self._tmp_counter = itertools.count()
+        self._tmp_token = uuid.uuid4().hex[:8]
+        self.swept_temps = self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self, max_age_s: float = STALE_TEMP_AGE_S) -> int:
+        """Remove orphaned ``*.tmp*`` files left by writers that died
+        before their atomic ``os.replace``.
+
+        Only temps older than ``max_age_s`` are touched: a younger temp
+        may belong to a concurrent writer about to rename it.
+        """
+        cutoff = time.time() - max_age_s
+        swept = 0
+        for tmp in self.cache_dir.glob("*/*.tmp*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                # Renamed or removed by a concurrent process: not ours.
+                continue
+        return swept
 
     # -- keys -------------------------------------------------------------
 
@@ -108,7 +138,13 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload) -> None:
-        """Store a JSON-ready payload under ``key`` (atomic replace)."""
+        """Store a JSON-ready payload under ``key`` (atomic replace).
+
+        The temp name is unique per (pid, instance, write): two threads
+        sharing one cache — or two processes sharing one directory —
+        never collide on the same temp file, so a concurrent writer can
+        at worst waste work, never truncate another's entry.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(
@@ -116,7 +152,9 @@ class ResultCache:
             sort_keys=True,
             separators=(",", ":"),
         )
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}-{self._tmp_token}-{next(self._tmp_counter)}"
+        )
         tmp.write_text(text, encoding="utf-8")
         os.replace(tmp, path)
         self.stats["stores"] += 1

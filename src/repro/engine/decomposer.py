@@ -160,6 +160,7 @@ class Decomposer:
         else:
             result = self._run_single(request, approx_spec, minimizer, timings)
         result.timings = timings
+        result.bdd_stats = request.f.mgr.stats()
         timings["total"] = perf_counter() - start
         return result
 
@@ -174,6 +175,7 @@ class Decomposer:
         mgr: BDD | None = None,
         jobs: int = 1,
         cache: "ResultCache | str | None" = None,
+        gc_threshold: int | None = 500_000,
     ) -> list[DecomposeResult]:
         """Decompose a batch of functions over one shared BDD manager.
 
@@ -194,6 +196,13 @@ class Decomposer:
         from disk alone.  Both features require registry-name strategies
         and a named (or ``"auto"``) operator; with callables the cache is
         bypassed and ``jobs > 1`` raises :class:`ValueError`.
+
+        ``gc_threshold`` bounds the shared manager's growth on long
+        serial batches: whenever its node count exceeds the threshold
+        between requests, :meth:`repro.bdd.manager.BDD.gc` reclaims
+        nodes unreachable from live handles (results computed so far,
+        pending inputs, and engine memos all hold handles, so reclaim
+        never changes results — only memory).  ``None`` disables it.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -300,6 +309,12 @@ class Decomposer:
                 if result_cache is not None:
                     result_cache.put(keys[index], payload)
         else:
+            # Hysteresis for the auto-gc trigger: a batch pins nodes
+            # monotonically (inputs, results, engine memos), so once the
+            # live set alone exceeds the threshold a fixed trigger would
+            # sweep after every request while reclaiming nothing.  After
+            # each collection, back off to twice the surviving size.
+            effective_threshold = gc_threshold
             for index in pending:
                 label, isf, original_n_vars = batch[index]
                 result = self.decompose(
@@ -314,6 +329,16 @@ class Decomposer:
                 results[index] = result
                 if result_cache is not None:
                     result_cache.put(keys[index], wire.result_to_payload(result))
+                if (
+                    effective_threshold is not None
+                    and shared is not None
+                    and shared.node_count() > effective_threshold
+                ):
+                    # Safe point: no apply in flight between requests.
+                    shared.gc()
+                    effective_threshold = max(
+                        effective_threshold, 2 * shared.node_count()
+                    )
         return results
 
     @staticmethod

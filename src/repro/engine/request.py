@@ -103,6 +103,12 @@ class DecomposeResult:
     verified: bool = False
     #: Under ``op="auto"``: every operator tried, in search order.
     candidates: list[CandidateOutcome] = field(default_factory=list)
+    #: :meth:`repro.bdd.manager.BDD.stats` snapshot of the manager that
+    #: computed this result (worker-side for parallel runs), or ``None``
+    #: when the result was reassembled from a payload without one.  Not
+    #: part of the result's identity: excluded from :meth:`to_dict` so
+    #: cached, serial, and parallel runs stay comparable.
+    bdd_stats: dict | None = None
 
     @property
     def name(self) -> str:

@@ -135,6 +135,9 @@ def result_to_payload(result: DecomposeResult) -> dict:
         "verified": result.verified,
         "timings": dict(result.timings),
         "candidates": [c.to_dict() for c in result.candidates],
+        # Manager health counters of the computing side (informational;
+        # never part of the result's identity or cache key).
+        "bdd_stats": result.bdd_stats,
     }
 
 
@@ -178,6 +181,8 @@ def result_from_payload(payload: dict, request: DecomposeRequest) -> DecomposeRe
             error_rate=payload["error_rate"],
             verified=payload["verified"],
             candidates=candidates,
+            # Absent in payloads stored before the stats channel existed.
+            bdd_stats=payload.get("bdd_stats"),
         )
     except (KeyError, TypeError) as exc:
         raise serialize.SerializationError(

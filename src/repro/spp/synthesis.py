@@ -107,7 +107,7 @@ def _spp_expand(cover: SppCover, off: Function, mgr: BDD) -> SppCover:
             changed = False
             for kind, payload in list(current.factors()):
                 candidate = current.drop_factor(kind, payload)
-                if (candidate.to_function(mgr) & off).is_false:
+                if candidate.to_function(mgr).disjoint(off):
                     current = candidate
                     changed = True
                     break
@@ -120,7 +120,7 @@ def _spp_expand(cover: SppCover, off: Function, mgr: BDD) -> SppCover:
             for position, var_a in enumerate(literal_vars):
                 for var_b in literal_vars[position + 1 :]:
                     candidate = current.pair_literals(var_a, var_b)
-                    if (candidate.to_function(mgr) & off).is_false:
+                    if candidate.to_function(mgr).disjoint(off):
                         current = candidate
                         changed = True
                         break

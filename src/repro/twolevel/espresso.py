@@ -62,7 +62,7 @@ def _expand(cover: Cover, off: Function, mgr: BDD) -> Cover:
             for var, _polarity in sorted(current.literals()):
                 candidate = current.without_variable(var)
                 candidate_fn = candidate.to_function(mgr)
-                if (candidate_fn & off).is_false:
+                if candidate_fn.disjoint(off):
                     current = candidate
                     current_fn = candidate_fn
                     changed = True

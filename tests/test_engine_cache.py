@@ -1,0 +1,179 @@
+"""ResultCache robustness: temp-file hygiene, stats accounting, keys.
+
+Regressions covered:
+
+* ``put`` used ``<name>.tmp<pid>``, so a writer that died before its
+  atomic ``os.replace`` left an orphan forever, and two threads in one
+  process collided on the same temp name (one thread's rename could ship
+  the other's half-written bytes).  Temp names are now unique per
+  (pid, instance, write) and stale orphans are swept on cache open.
+* A corrupt entry must count as exactly one miss plus one corrupt — no
+  double-count drift across warm/cold/corrupt sequences.
+* ``key_for`` must ignore the engine's operator search space for named
+  operators but honor it under ``op="auto"``.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.engine.cache import STALE_TEMP_AGE_S, ResultCache
+
+
+def _entry_paths(cache: ResultCache):
+    return sorted(cache.cache_dir.glob("*/*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Temp-file hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    for index in range(5):
+        cache.put(f"{index:02x}{'0' * 62}", {"v": index})
+    assert len(cache) == 5
+    assert list(tmp_path.glob("*/*.tmp*")) == []
+
+
+def test_stale_temp_from_dead_writer_is_swept_on_open(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ab" + "0" * 62
+    cache.put(key, {"v": 1})
+    # Simulate a writer that died after writing its temp but before the
+    # atomic replace: an orphan temp next to the entry.
+    orphan = cache.path_for(key).with_name(
+        cache.path_for(key).name + ".tmp99999-deadbeef-0"
+    )
+    orphan.write_text("{half-written", encoding="utf-8")
+    fresh = cache.path_for(key).with_name(
+        cache.path_for(key).name + ".tmp88888-cafecafe-0"
+    )
+    fresh.write_text("{in-flight", encoding="utf-8")
+    # Backdate only the orphan past the staleness horizon.
+    stale_time = time.time() - STALE_TEMP_AGE_S - 60
+    os.utime(orphan, (stale_time, stale_time))
+
+    reopened = ResultCache(tmp_path)
+    assert reopened.swept_temps == 1
+    assert not orphan.exists()
+    # A young temp may belong to a live concurrent writer: untouched.
+    assert fresh.exists()
+    # The real entry is intact.
+    assert reopened.get(key) == {"v": 1}
+
+
+def test_concurrent_threaded_puts_never_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" + "0" * 62
+    errors = []
+
+    def writer(worker: int):
+        try:
+            for round_index in range(25):
+                cache.put(key, {"worker": worker, "round": round_index})
+                payload = cache.get(key)
+                assert isinstance(payload, dict) and payload.keys() == {
+                    "worker",
+                    "round",
+                }
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    # The final file is one complete, valid entry; no temps remain.
+    entry = json.loads(cache.path_for(key).read_text(encoding="utf-8"))
+    assert entry["format"] and "payload" in entry
+    assert list(tmp_path.glob("*/*.tmp*")) == []
+    assert cache.stats["corrupt"] == 0
+
+
+def test_two_instances_same_pid_use_distinct_temp_names(tmp_path):
+    first = ResultCache(tmp_path)
+    second = ResultCache(tmp_path)
+    # The per-instance token is what separates same-pid writers whose
+    # counters align; identical tokens would recreate the collision.
+    assert first._tmp_token != second._tmp_token
+
+
+# ---------------------------------------------------------------------------
+# Stats accounting
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_entry_counts_exactly_one_miss_and_one_corrupt(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ef" + "0" * 62
+
+    assert cache.get(key) is None  # cold
+    assert cache.stats == {"hits": 0, "misses": 1, "stores": 0, "corrupt": 0}
+
+    cache.put(key, {"v": 1})
+    assert cache.get(key) == {"v": 1}  # warm
+    assert cache.stats == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0}
+
+    cache.path_for(key).write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is None  # corrupt
+    assert cache.stats == {"hits": 1, "misses": 2, "stores": 1, "corrupt": 1}
+
+    # Repeat the whole sequence: counters advance linearly, no drift.
+    cache.put(key, {"v": 2})
+    assert cache.get(key) == {"v": 2}
+    cache.path_for(key).write_text(
+        json.dumps({"format": "alien/1", "payload": {}}), encoding="utf-8"
+    )
+    assert cache.get(key) is None
+    assert cache.stats == {"hits": 2, "misses": 3, "stores": 2, "corrupt": 2}
+    assert cache.hit_rate() == 2 / 5
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+
+def test_key_for_ignores_operators_for_named_ops():
+    payload = {"fake": "dump"}
+    narrow = ResultCache.key_for(
+        payload, "AND", "expand-full", "spp", True, operators=("AND",)
+    )
+    wide = ResultCache.key_for(
+        payload, "AND", "expand-full", "spp", True,
+        operators=("AND", "OR", "XOR"),
+    )
+    assert narrow == wide
+
+
+def test_key_for_honors_operators_for_auto():
+    payload = {"fake": "dump"}
+    narrow = ResultCache.key_for(
+        payload, "auto", "expand-full", "spp", True, operators=("AND",)
+    )
+    wide = ResultCache.key_for(
+        payload, "auto", "expand-full", "spp", True,
+        operators=("AND", "OR", "XOR"),
+    )
+    assert narrow != wide
+    # And the search space is order-sensitive (it changes tie-breaking).
+    reordered = ResultCache.key_for(
+        payload, "auto", "expand-full", "spp", True,
+        operators=("OR", "AND", "XOR"),
+    )
+    assert reordered != wide
+
+
+def test_key_for_distinguishes_everything_else():
+    payload = {"fake": "dump"}
+    base = ResultCache.key_for(payload, "AND", "expand-full", "spp", True)
+    assert base != ResultCache.key_for(payload, "OR", "expand-full", "spp", True)
+    assert base != ResultCache.key_for(payload, "AND", "random:0.1", "spp", True)
+    assert base != ResultCache.key_for(payload, "AND", "expand-full", "espresso", True)
+    assert base != ResultCache.key_for(payload, "AND", "expand-full", "spp", False)
+    assert base != ResultCache.key_for({"other": 1}, "AND", "expand-full", "spp", True)
