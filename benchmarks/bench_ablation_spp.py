@@ -5,10 +5,12 @@ benchmarks; 2-SPP should win clearly there (the premise of Section IV),
 while on control logic the two stay close.
 """
 
+import time
+
 import pytest
 
 from repro.benchgen.registry import load_benchmark
-from repro.spp.synthesis import minimize_spp
+from repro.spp.synthesis import minimize_spp, minimize_spp_heuristic
 from repro.techmap.area import area_of_covers, area_of_spp_covers
 from repro.twolevel.espresso import espresso_minimize
 
@@ -39,3 +41,99 @@ def test_sop_vs_spp(benchmark, name):
     )
     if len(_LINES) == len(CASES):
         write_output("ablation_spp.txt", "\n".join(_LINES))
+
+
+def _wide_spp_case(n: int = 64, noise: int = 28, seed: int = 5):
+    """A wide function exhibiting the O(n³) pair-weakening hotspot.
+
+    Mostly *prime* 14-literal pseudocubes (every weakening hits the
+    off-set — the dead ends the memo is for) plus a small expandable
+    family that makes the first expansion round improve the cost, so
+    the heuristic restarts and re-scans the unchanged majority.
+    """
+    import random
+
+    from repro.bdd.manager import BDD
+    from repro.boolfunc.isf import ISF
+    from repro.cover.cover import Cover
+    from repro.cover.cube import Cube
+
+    rng = random.Random(seed)
+    mgr = BDD([f"x{i + 1}" for i in range(n)])
+    cubes = []
+    region_vars = rng.sample(range(n), 6)
+    rpos = rneg = 0
+    for var in region_vars:
+        if rng.random() < 0.5:
+            rpos |= 1 << var
+        else:
+            rneg |= 1 << var
+    for _ in range(4):
+        free = [v for v in range(n) if not ((rpos | rneg) >> v) & 1]
+        pos, neg = rpos, rneg
+        for var in rng.sample(free, 6):
+            if rng.random() < 0.5:
+                pos |= 1 << var
+            else:
+                neg |= 1 << var
+        cubes.append(Cube(n, pos, neg))
+    for _ in range(noise):
+        pos = neg = 0
+        for var in rng.sample(range(n), 14):
+            if rng.random() < 0.5:
+                pos |= 1 << var
+            else:
+                neg |= 1 << var
+        cubes.append(Cube(n, pos, neg))
+    cover = Cover(n, cubes)
+    on = mgr.false
+    for cube in cubes:
+        on = on | cube.to_function(mgr)
+    on = on | Cube(n, rpos, rneg).to_function(mgr)
+    return ISF.completely_specified(on), cover
+
+
+def test_expand_memoization_ablation(benchmark):
+    """Dead-end memoization of the pair-weakening scan (ROADMAP O(n³)
+    hotspot): a restart's re-scan of unchanged pseudocubes drops to a
+    set lookup, and the synthesized covers are bit-identical."""
+    from repro.spp.synthesis import ExpandMemo, _spp_expand
+
+    f, seed_cover = _wide_spp_case()
+    mgr, off = f.mgr, f.off
+
+    def run():
+        memo = ExpandMemo()
+        from repro.spp.spp_cover import SppCover
+        from repro.spp.pseudocube import Pseudocube
+
+        start = SppCover(
+            seed_cover.n_vars,
+            [Pseudocube.from_cube(c) for c in seed_cover.cubes],
+        )
+        first = _spp_expand(start, off, mgr, memo)  # cold scan, fills memo
+        t0 = time.perf_counter()
+        restart_memo = _spp_expand(first, off, mgr, memo)
+        t_memo = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        restart_base = _spp_expand(first, off, mgr, None)
+        t_base = time.perf_counter() - t0
+        assert restart_memo.pseudocubes == restart_base.pseudocubes
+        # End-to-end check: the full heuristic agrees bit for bit.
+        full_memo = minimize_spp_heuristic(
+            f, initial=seed_cover, memoize_expansion=True
+        )
+        full_base = minimize_spp_heuristic(
+            f, initial=seed_cover, memoize_expansion=False
+        )
+        assert full_memo.pseudocubes == full_base.pseudocubes
+        return t_memo, t_base
+
+    t_memo, t_base = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t_memo < t_base
+    write_output(
+        "ablation_spp_memo.txt",
+        f"wide 64-var cover, restart re-scan: with dead-end memo"
+        f" {t_memo * 1000:.1f}ms, without {t_base * 1000:.1f}ms"
+        f" ({t_base / max(t_memo, 1e-9):.0f}x)",
+    )

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI perf regression gate over ``bench_bdd.py`` JSON reports.
+
+Compares a freshly produced report against a committed baseline and
+fails (exit code 1) when the calibration-normalized geometric-mean
+speedup across common workloads drops below ``1 - max_regression``::
+
+    python benchmarks/check_regression.py \
+        benchmarks/output/BENCH_BDD_ci.json \
+        --baseline benchmarks/output/BENCH_BDD_ci_baseline.json \
+        --max-regression 0.25 --check-hashes
+
+Cross-machine normalization: both reports carry ``calibration_s`` — the
+wall time of a fixed pure-Python workload on the producing machine.
+Every baseline wall time is scaled by ``current_cal / baseline_cal``
+before the ratio, so a uniformly slower CI runner does not read as a
+regression (and a faster one cannot mask a real slowdown).  Reports
+without calibration fall back to raw wall times.
+
+``--check-hashes`` additionally fails when any suite-function canonical
+hash differs from the baseline's — a representation change that broke
+the wire format would surface here even if it made everything faster.
+
+Refresh the committed baseline with ``benchmarks/refresh_baseline.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load_report(path: Path) -> dict:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "workloads" not in data:
+        raise SystemExit(f"{path}: not a bench_bdd report")
+    return data
+
+
+def compare_reports(
+    current: dict, baseline: dict, check_hashes: bool = False
+) -> dict:
+    """Normalized per-workload speedups + hash verdict (pure; testable)."""
+    cal_current = current.get("calibration_s")
+    cal_baseline = baseline.get("calibration_s")
+    scale = (
+        cal_current / cal_baseline
+        if cal_current and cal_baseline
+        else 1.0
+    )
+    speedups: dict[str, float] = {}
+    for name, record in current["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if not base:
+            continue
+        base_wall, wall = base.get("wall_s"), record.get("wall_s")
+        if not base_wall or not wall:
+            continue
+        speedups[name] = (base_wall * scale) / wall
+    geomean = (
+        math.exp(sum(math.log(v) for v in speedups.values()) / len(speedups))
+        if speedups
+        else None
+    )
+    hash_failures: list[str] = []
+    if check_hashes:
+        base_hashes = baseline.get("hashes") or {}
+        for name, hashes in (current.get("hashes") or {}).items():
+            if name in base_hashes and hashes != base_hashes[name]:
+                hash_failures.append(name)
+    return {
+        "scale": scale,
+        "speedups": speedups,
+        "geomean": geomean,
+        "hash_failures": hash_failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly produced report")
+    parser.add_argument(
+        "--baseline", type=Path, required=True, help="committed baseline report"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="fail when normalized geomean speedup < 1 - this (default 0.25)",
+    )
+    parser.add_argument(
+        "--check-hashes",
+        action="store_true",
+        help="also fail when suite canonical hashes differ from the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = compare_reports(
+        load_report(args.current),
+        load_report(args.baseline),
+        check_hashes=args.check_hashes,
+    )
+    print(f"calibration scale (current/baseline): {result['scale']:.3f}")
+    for name, speedup in sorted(result["speedups"].items()):
+        marker = "" if speedup >= 1 - args.max_regression else "  << REGRESSION"
+        print(f"  {name:30s}{speedup:8.3f}x{marker}")
+
+    failed = False
+    if result["hash_failures"]:
+        print(
+            f"FAIL: canonical hashes changed for suite rows:"
+            f" {sorted(result['hash_failures'])}"
+        )
+        failed = True
+    if result["geomean"] is None:
+        print("FAIL: no common workloads between the reports")
+        failed = True
+    else:
+        threshold = 1.0 - args.max_regression
+        verdict = "ok" if result["geomean"] >= threshold else "FAIL"
+        print(
+            f"geomean speedup vs baseline: {result['geomean']:.3f}x"
+            f" (gate: >= {threshold:.2f}) {verdict}"
+        )
+        if result["geomean"] < threshold:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

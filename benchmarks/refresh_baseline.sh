@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# One-command refresh of the committed CI perf baseline.
+#
+# Re-runs the quick substrate benchmark and overwrites
+# benchmarks/output/BENCH_BDD_ci_baseline.json — the report the CI
+# regression gate (benchmarks/check_regression.py) compares every
+# build against.  Run it after an intentional perf change, inspect the
+# diff, and commit the new baseline alongside the change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_bdd.py \
+    --quick --label ci_baseline \
+    --output benchmarks/output/BENCH_BDD_ci_baseline.json "$@"
+echo "refreshed benchmarks/output/BENCH_BDD_ci_baseline.json — review and commit it."

@@ -44,7 +44,15 @@ from repro.approx import (
     approximation_for_operator,
     error_rate,
 )
+from repro.backend import (
+    BitsetBDD,
+    BitsetFunction,
+    BooleanFunction,
+    BooleanManager,
+    choose_backend,
+)
 from repro.bdd import BDD, Function, isop, parse_expression, transfer
+from repro.bdd.ops import isop_cubes
 from repro.boolfunc import ISF, TruthTable
 from repro.core import (
     OPERATORS,
@@ -79,6 +87,10 @@ __all__ = [
     "APPROXIMATORS",
     "BDD",
     "BiDecomposition",
+    "BitsetBDD",
+    "BitsetFunction",
+    "BooleanFunction",
+    "BooleanManager",
     "Cover",
     "Cube",
     "Decomposer",
@@ -100,12 +112,14 @@ __all__ = [
     "approximate_expand_full",
     "approximation_for_operator",
     "bidecompose",
+    "choose_backend",
     "error_rate",
     "espresso_minimize",
     "full_quotient",
     "is_full_quotient",
     "is_valid_quotient",
     "isop",
+    "isop_cubes",
     "minimize_exact",
     "minimize_spp",
     "operator_by_name",

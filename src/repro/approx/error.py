@@ -9,7 +9,7 @@ bits are summed over all outputs and divided by ``2^n · m``.
 
 from __future__ import annotations
 
-from repro.bdd.manager import Function
+from repro.backend.protocol import BooleanFunction as Function
 from repro.boolfunc.isf import ISF
 
 

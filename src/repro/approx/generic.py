@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from random import Random
 
-from repro.bdd.manager import Function
+from repro.backend.protocol import BooleanFunction as Function
 from repro.boolfunc.isf import ISF
 from repro.core.operators import ApproximationKind, BinaryOperator, operator_by_name
 

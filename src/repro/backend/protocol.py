@@ -1,0 +1,115 @@
+"""Backend-neutral protocol for Boolean function representations.
+
+The decomposition stack (Table II quotients, operator algebra,
+flexibility analysis, approximators, minimizers) manipulates functions
+through a small structural interface: Boolean connectives with operator
+overloading, set-ordering comparisons, evaluation, counting, cofactors
+and quantifiers, plus a manager offering constants, variables, cubes,
+minterms and shared memo tables.  Two backends implement it:
+
+* :class:`~repro.bdd.manager.BDD` / :class:`~repro.bdd.manager.Function`
+  — reduced ordered BDDs with complemented edges (scales with function
+  structure; the only choice for wide-support functions);
+* :class:`~repro.backend.bitset.BitsetBDD` /
+  :class:`~repro.backend.bitset.BitsetFunction` — packed-integer dense
+  truth tables (an order of magnitude faster on small-support
+  functions).
+
+This module declares the two classes of each role as virtual subclasses
+of :class:`BooleanFunction` / :class:`BooleanManager`, so layers that
+need a nominal check (``isinstance``) stay backend-agnostic, and hosts
+the dispatch policy helpers the engine uses to pick a backend per
+request.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+
+from repro.backend.bitset import MAX_BITSET_VARS, BitsetBDD, BitsetFunction
+from repro.bdd.manager import BDD, Function
+
+#: Names accepted wherever a backend is selected.
+BACKENDS = ("auto", "bdd", "bitset")
+
+#: Default ``backend="auto"`` support threshold: below (or at) this many
+#: support variables the dense table wins comfortably.
+DEFAULT_BITSET_SUPPORT = 16
+
+#: ``auto`` never picks the bitset backend above this many *declared*
+#: variables, regardless of support — the dense table is over the full
+#: declared space, so feasibility is bounded by the declaration.
+DEFAULT_BITSET_MAX_VARS = 20
+
+
+class BooleanFunction(ABC):
+    """Structural protocol both backend function types satisfy."""
+
+
+class BooleanManager(ABC):
+    """Structural protocol both backend manager types satisfy."""
+
+
+BooleanFunction.register(Function)
+BooleanFunction.register(BitsetFunction)
+BooleanManager.register(BDD)
+BooleanManager.register(BitsetBDD)
+
+
+def backend_of(obj) -> str:
+    """Backend name (``"bdd"`` or ``"bitset"``) of a manager or function."""
+    mgr = getattr(obj, "mgr", obj)
+    if isinstance(mgr, BitsetBDD):
+        return "bitset"
+    if isinstance(mgr, BDD):
+        return "bdd"
+    raise TypeError(f"not a backend manager or function: {obj!r}")
+
+
+def support_size(isf) -> int:
+    """Number of variables an ISF's on/dc pair actually depends on."""
+    return len(set(isf.on.support()) | set(isf.dc.support()))
+
+
+def choose_backend(
+    isf,
+    spec: str = "auto",
+    support_threshold: int = DEFAULT_BITSET_SUPPORT,
+    max_vars: int = DEFAULT_BITSET_MAX_VARS,
+) -> str:
+    """Resolve a backend spec against one request's function.
+
+    ``spec`` is ``"bdd"``, ``"bitset"``, or ``"auto"``; auto picks the
+    bitset backend exactly when the declared space is densely feasible
+    (``n_vars <= max_vars``) and the function's support is at most
+    ``support_threshold``.  An explicit ``"bitset"`` request is honored
+    whenever a dense table is representable at all
+    (``n_vars <= MAX_BITSET_VARS``), and rejected otherwise.
+    """
+    if spec not in BACKENDS:
+        raise ValueError(f"unknown backend {spec!r}; choose from {BACKENDS}")
+    if spec == "bdd":
+        return "bdd"
+    n_vars = isf.mgr.n_vars
+    if spec == "bitset":
+        if n_vars > MAX_BITSET_VARS:
+            raise ValueError(
+                f"backend='bitset' needs <= {MAX_BITSET_VARS} declared"
+                f" variables, got {n_vars}"
+            )
+        return "bitset"
+    if n_vars <= max_vars and support_size(isf) <= support_threshold:
+        return "bitset"
+    return "bdd"
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BITSET_MAX_VARS",
+    "DEFAULT_BITSET_SUPPORT",
+    "BooleanFunction",
+    "BooleanManager",
+    "backend_of",
+    "choose_backend",
+    "support_size",
+]

@@ -223,6 +223,67 @@ class BDD:
             edge = self._mk(level, 0, edge) if bit else self._mk(level, edge, 0)
         return Function(self, edge)
 
+    def product(self, pos: int, neg: int) -> "Function":
+        """Product function from literal masks (bit ``i`` = variable ``i``).
+
+        Built bottom-up (deepest literal first) straight through the
+        unique table — one node per literal, no apply calls — and
+        memoized in the manager's shared product table.  This is the
+        backend-neutral construction path for
+        :meth:`repro.cover.cube.Cube.to_function`.
+        """
+        table = self.computed_table("product")
+        key = (pos, neg)
+        edge = table.get(key)
+        if edge is None:
+            edge = self._cube_edge(self._literal_levels(pos, neg))
+            table.put(key, edge)
+        return Function(self, edge)
+
+    def spp_product(self, pos: int, neg: int, xors) -> "Function":
+        """Pseudoproduct function: literal masks plus XOR factors.
+
+        ``xors`` is an iterable of ``(i, j, phase)``-shaped factors.  The
+        literal part is built bottom-up through the unique table; each
+        XOR factor — a 3-node diagram, support-disjoint from everything
+        else by the 2-pseudocube invariant — is conjoined with one
+        cached apply.  Memoized alongside plain products.
+        """
+        factors = tuple(sorted(tuple(factor) for factor in xors))
+        table = self.computed_table("product")
+        key = (pos, neg, factors) if factors else (pos, neg)
+        edge = table.get(key)
+        if edge is None:
+            edge = self._cube_edge(self._literal_levels(pos, neg))
+            for i, j, phase in factors:
+                xj = self._mk(j, 0, 1)
+                low = xj if phase else xj ^ 1
+                edge = self._ite(edge, self._mk(i, low, low ^ 1), 0)
+            table.put(key, edge)
+        return Function(self, edge)
+
+    @staticmethod
+    def _literal_levels(pos: int, neg: int) -> list[tuple[int, bool]]:
+        """(level, polarity) pairs of literal masks, deepest first."""
+        literals: list[tuple[int, bool]] = []
+        index = 0
+        mask = pos | neg
+        while mask:
+            if mask & 1:
+                literals.append((index, bool((pos >> index) & 1)))
+            mask >>= 1
+            index += 1
+        literals.reverse()
+        return literals
+
+    def _wrap(self, edge: int) -> "Function":
+        """Wrap a raw edge as a function handle (serializer hook)."""
+        return Function(self, edge)
+
+    def _constant_raw(self) -> tuple[int, int]:
+        """Raw edges of the constants (serializer ref seeds)."""
+        return 0, 1
+
     # ------------------------------------------------------------------
     # Core node construction
     # ------------------------------------------------------------------

@@ -117,25 +117,165 @@ def _isop_edges(
 def isop(lower: Function, upper: Function) -> tuple[list[dict[str, bool]], Function]:
     """Minato–Morreale irredundant SOP between ``lower`` and ``upper``.
 
-    Returns ``(cubes, realized)`` where ``realized`` is the BDD of the
-    produced cover; it always satisfies ``lower <= realized <= upper``.
+    Returns ``(cubes, realized)`` where ``realized`` is the function of
+    the produced cover; it always satisfies ``lower <= realized <=
+    upper``.  Backend-neutral: bitset bounds run the dense mirror of the
+    same recursion (:func:`repro.backend.bitset.isop_dense`) and produce
+    an identical cube sequence.
     """
     mgr = lower.mgr
     if upper.mgr is not mgr:
         raise ValueError("lower and upper bounds use different managers")
     if not lower <= upper:
         raise ValueError("isop requires lower <= upper")
-    cover_edge, cubes = _isop_edges(mgr, lower.node, upper.node)
     names = mgr.var_names
+    if isinstance(lower, Function):
+        cover_edge, cubes = _isop_edges(mgr, lower.node, upper.node)
+        realized = Function(mgr, cover_edge)
+    else:
+        from repro.backend.bitset import isop_dense
+
+        cover_bits, cubes = isop_dense(
+            mgr, lower._aligned_bits(), upper._aligned_bits()
+        )
+        realized = mgr._wrap(cover_bits)
     dict_cubes = [
         {names[level]: value for level, value in cube} for cube in cubes
     ]
-    return dict_cubes, Function(mgr, cover_edge)
+    return dict_cubes, realized
+
+
+def isop_cubes(lower: Function, upper: Function):
+    """Lazily yield the cubes of :func:`isop`, in the same order.
+
+    The generator path for cover-free callers: no realized cover
+    function is returned and no per-node cube lists are materialized
+    (the eager version's ``cube_cache`` holds full lists at every node —
+    exponential in the worst case), so memory stays O(depth) and an
+    early exit (``islice``, first-k probes) stops all remaining work.
+    Shared subproblems re-derive their cubes instead of replaying a
+    cache, which is the same asymptotic work the eager version spends
+    prefixing cached child lists into every parent.
+    """
+    mgr = lower.mgr
+    if upper.mgr is not mgr:
+        raise ValueError("lower and upper bounds use different managers")
+    if not lower <= upper:
+        raise ValueError("isop requires lower <= upper")
+    names = mgr.var_names
+    if isinstance(lower, Function):
+        stream = _isop_stream_edges(mgr, lower.node, upper.node)
+    else:
+        from repro.backend.bitset import isop_stream_dense
+
+        stream = isop_stream_dense(
+            mgr, lower._aligned_bits(), upper._aligned_bits()
+        )
+    for cube in stream:
+        yield {names[level]: value for level, value in cube}
+
+
+def _isop_stream_edges(mgr: BDD, lower: int, upper: int):
+    """Iterative lazy Minato–Morreale over edges (explicit frame stack).
+
+    Yields ``(level, polarity)`` cube tuples in exactly the order
+    :func:`_isop_edges` concatenates them: all negative-literal cubes of
+    a level, then the positive-literal ones, then the level-independent
+    remainder.  Sub-cover edges are still built (the remainder bound
+    needs them) but no cube list is ever stored.
+    """
+    if lower == 0:
+        return
+    if upper == 1:
+        yield ()
+        return
+    _and, _or = mgr._and, mgr._or
+    # Frame: [stage, low, up, level, l0, l1, u0, u1, f0, f1, prefix].
+    frames: list[list] = [[0, lower, upper, 0, 0, 0, 0, 0, 0, 0, ()]]
+    ret = 0
+    while frames:
+        frame = frames[-1]
+        stage = frame[0]
+        if stage == 0:
+            low, up = frame[1], frame[2]
+            level = min(mgr._level[low >> 1], mgr._level[up >> 1])
+            frame[3] = level
+            frame[4], frame[5] = mgr._branches(low, level)
+            frame[6], frame[7] = mgr._branches(up, level)
+            frame[0] = 1
+            sub_low = _and(frame[4], frame[7] ^ 1)
+            sub_up = frame[6]
+            prefix = frame[10] + ((level, False),)
+            if sub_low == 0:
+                ret = 0
+            elif sub_up == 1:
+                yield prefix
+                ret = 1
+            else:
+                frames.append([0, sub_low, sub_up, 0, 0, 0, 0, 0, 0, 0, prefix])
+        elif stage == 1:
+            frame[8] = ret
+            frame[0] = 2
+            sub_low = _and(frame[5], frame[6] ^ 1)
+            sub_up = frame[7]
+            prefix = frame[10] + ((frame[3], True),)
+            if sub_low == 0:
+                ret = 0
+            elif sub_up == 1:
+                yield prefix
+                ret = 1
+            else:
+                frames.append([0, sub_low, sub_up, 0, 0, 0, 0, 0, 0, 0, prefix])
+        elif stage == 2:
+            frame[9] = ret
+            frame[0] = 3
+            sub_low = _or(
+                _and(frame[4], frame[8] ^ 1), _and(frame[5], frame[9] ^ 1)
+            )
+            sub_up = _and(frame[6], frame[7])
+            if sub_low == 0:
+                ret = 0
+            elif sub_up == 1:
+                yield frame[10]
+                ret = 1
+            else:
+                frames.append(
+                    [0, sub_low, sub_up, 0, 0, 0, 0, 0, 0, 0, frame[10]]
+                )
+        else:
+            level = frame[3]
+            ret = mgr._ite(
+                mgr._mk(level, 0, 1), _or(frame[9], ret), _or(frame[8], ret)
+            )
+            frames.pop()
 
 
 def cube_to_function(mgr: BDD, cube: dict[str, bool]) -> Function:
     """Build the BDD of a cube given as ``{name: polarity}``."""
     return mgr.cube(cube)
+
+
+def level_map_by_name(var_names, target) -> list[int]:
+    """Target level of every source variable, in source order.
+
+    The variable contract every cross-manager move shares (structural
+    transfer, dense conversion, serializer load): each source variable
+    must be declared in ``target`` and the shared variables must keep
+    their relative order.  Raises :class:`ValueError` otherwise.
+    """
+    mapped = []
+    for name in var_names:
+        try:
+            mapped.append(target.level_of(name))
+        except KeyError:
+            raise ValueError(
+                f"target manager does not declare variable {name!r}"
+            ) from None
+    if mapped != sorted(mapped):
+        raise ValueError(
+            "variable orders of source and target managers are incompatible"
+        )
+    return mapped
 
 
 def transfer(function: Function, target: BDD) -> Function:
@@ -147,23 +287,33 @@ def transfer(function: Function, target: BDD) -> Function:
     produce an unordered diagram).  Extra variables in ``target`` are
     simply unused.  This is the primitive behind batch decomposition over
     a single shared manager.
+
+    When either side is a bitset manager the move is a direct structural
+    conversion (dense tabulation of a BDD, or Shannon rebuild of a dense
+    table) under the same variable contract; a bitset-to-bitset move
+    rides on the canonical serializer.
     """
     src = function.mgr
     if target is src:
         return function
-    level_map: dict[int, int] = {}
-    for name in src.var_names:
-        try:
-            level_map[src.level_of(name)] = target.level_of(name)
-        except KeyError:
-            raise ValueError(
-                f"target manager does not declare variable {name!r}"
-            ) from None
-    mapped = [level_map[level] for level in sorted(level_map)]
-    if mapped != sorted(mapped):
-        raise ValueError(
-            "variable orders of source and target managers are incompatible"
+    if not (isinstance(function, Function) and isinstance(target, BDD)):
+        from repro.backend.bitset import (
+            BitsetBDD,
+            BitsetFunction,
+            function_from_bdd,
+            function_to_bdd,
         )
+
+        if isinstance(function, Function) and isinstance(target, BitsetBDD):
+            return function_from_bdd(function, target)
+        if isinstance(function, BitsetFunction) and isinstance(target, BDD):
+            return function_to_bdd(function, target)
+        from repro.bdd import serialize
+
+        return serialize.load(serialize.dump(function), target)
+    # Source levels are var_names positions, so the validated list maps
+    # directly by index.
+    level_map = dict(enumerate(level_map_by_name(src.var_names, target)))
 
     # Iterative post-order copy.  ``copied[i]`` is the target edge of the
     # *plain* (uncomplemented) function of source node index ``i``;
@@ -216,6 +366,7 @@ def count_nodes_dag(functions: list[Function]) -> int:
 
 __all__ = [
     "isop",
+    "isop_cubes",
     "cube_to_function",
     "count_nodes_dag",
     "transfer",

@@ -41,7 +41,14 @@ class SerializationError(ValueError):
 
 
 def dump_many(functions: Iterable[tuple[str, Function]]) -> dict:
-    """Serialize labeled functions from one manager into a shared-DAG dump."""
+    """Serialize labeled functions from one manager into a shared-DAG dump.
+
+    Backend-neutral: BDD functions are walked over their complemented
+    edges, bitset functions over the Shannon decomposition of their
+    truth tables — both emit the complement-free reduced-OBDD expansion
+    in the same canonical post-order, so equal functions dump to
+    byte-identical payloads regardless of backend.
+    """
     labeled = list(functions)
     if not labeled:
         raise ValueError("dump_many needs at least one function")
@@ -49,6 +56,22 @@ def dump_many(functions: Iterable[tuple[str, Function]]) -> dict:
     for _, function in labeled:
         if function.mgr is not mgr:
             raise ValueError("all dumped functions must share one manager")
+
+    if not isinstance(mgr, BDD):
+        from repro.backend.bitset import BitsetBDD, dense_dump_nodes
+
+        if not isinstance(mgr, BitsetBDD):
+            raise TypeError(f"cannot serialize functions of {type(mgr).__name__}")
+        number, nodes = dense_dump_nodes(mgr, labeled)
+        return {
+            "format": FORMAT,
+            "vars": list(mgr.var_names),
+            "nodes": nodes,
+            "roots": {
+                label: number[function._aligned_bits()]
+                for label, function in labeled
+            },
+        }
 
     # The walk runs over *edges* (node, polarity pairs) — the manager
     # uses complemented edges internally, but the wire format stays the
@@ -95,10 +118,13 @@ def dump(function: Function) -> dict:
 def load_many(data: dict, mgr: BDD | None = None) -> dict[str, Function]:
     """Rebuild every root of a dump, returned as ``{label: Function}``.
 
-    With ``mgr=None`` a fresh manager declaring exactly the dumped
-    variables is created.  An explicit ``mgr`` must declare every dumped
-    variable with the same relative order (extra variables are fine) —
-    the same contract as :func:`repro.bdd.ops.transfer`.
+    With ``mgr=None`` a fresh BDD manager declaring exactly the dumped
+    variables is created.  An explicit ``mgr`` — of either backend —
+    must declare every dumped variable with the same relative order
+    (extra variables are fine), the same contract as
+    :func:`repro.bdd.ops.transfer`.  Passing a
+    :class:`~repro.backend.bitset.BitsetBDD` rebuilds the functions as
+    dense truth tables: the serializer *is* the cross-backend converter.
     """
     if not isinstance(data, dict) or data.get("format") != FORMAT:
         raise SerializationError(
@@ -117,19 +143,17 @@ def load_many(data: dict, mgr: BDD | None = None) -> dict[str, Function]:
         mgr = BDD(var_names)
         level_map = list(range(len(var_names)))
     else:
-        try:
-            level_map = [mgr.level_of(name) for name in var_names]
-        except KeyError as exc:
-            raise SerializationError(
-                f"target manager does not declare variable {exc.args[0]!r}"
-            ) from None
-        if level_map != sorted(level_map):
-            raise SerializationError(
-                "variable orders of the dump and the target manager are"
-                " incompatible"
-            )
+        from repro.bdd.ops import level_map_by_name
 
-    refs = [0, 1]
+        try:
+            level_map = level_map_by_name(var_names, mgr)
+        except ValueError as exc:
+            raise SerializationError(str(exc)) from None
+
+    # Both backends expose the same three hooks: constant raw values to
+    # seed the ref list, a raw node constructor, and a handle wrapper.
+    false_raw, true_raw = mgr._constant_raw()
+    refs = [false_raw, true_raw]
     try:
         for level, low, high in raw_nodes:
             if not 0 <= level < len(var_names):
@@ -146,7 +170,7 @@ def load_many(data: dict, mgr: BDD | None = None) -> dict[str, Function]:
         for label, ref in roots.items():
             if not isinstance(ref, int) or not 0 <= ref < len(refs):
                 raise SerializationError(f"root ref {ref!r} out of range")
-            result[str(label)] = Function(mgr, refs[ref])
+            result[str(label)] = mgr._wrap(refs[ref])
         return result
     except (IndexError, TypeError, ValueError) as exc:
         if isinstance(exc, SerializationError):

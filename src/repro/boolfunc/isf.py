@@ -1,10 +1,13 @@
-"""Incompletely specified functions (ISFs) as BDD pairs.
+"""Incompletely specified functions (ISFs) as disjoint function pairs.
 
-An ISF ``f: {0,1}^n -> {0, 1, -}`` is represented by two disjoint BDDs:
-the on-set and the dc-set; the off-set is their complement.  This is the
-object the paper manipulates: the dividend ``f`` and the full quotient
-``h`` are ISFs, while the divisor ``g`` is completely specified (a plain
-:class:`~repro.bdd.manager.Function`).
+An ISF ``f: {0,1}^n -> {0, 1, -}`` is represented by two disjoint
+functions: the on-set and the dc-set; the off-set is their complement.
+This is the object the paper manipulates: the dividend ``f`` and the
+full quotient ``h`` are ISFs, while the divisor ``g`` is completely
+specified.  The pair may live in either backend — BDDs
+(:class:`~repro.bdd.manager.Function`) or dense truth tables
+(:class:`~repro.backend.bitset.BitsetFunction`) — as long as both sets
+share one manager.
 """
 
 from __future__ import annotations
@@ -12,7 +15,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from random import Random
 
-from repro.bdd.manager import BDD, Function
+from repro.backend.protocol import BooleanFunction as Function
+from repro.backend.protocol import BooleanManager as BDD
 
 
 class ISF:

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli decompose <name> [...] [--op auto] [--approx expand-full]
                                   [--minimizer spp] [--json]
                                   [--jobs N] [--cache-dir DIR]
+                                  [--backend auto|bdd|bitset]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -116,6 +117,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         minimizer=args.minimizer,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps([r.to_dict() for r in results], indent=2))
@@ -226,6 +228,17 @@ def main(argv: list[str] | None = None) -> int:
         "--minimizer",
         default="spp",
         help="minimizer strategy: spp, espresso, exact, none (default: spp)",
+    )
+    decompose.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "bdd", "bitset"),
+        help=(
+            "function representation: 'bitset' forces the dense"
+            " truth-table fast path, 'bdd' forces BDDs, 'auto' (default)"
+            " picks bitset per output when its support is small enough;"
+            " results are identical on every backend, only speed differs"
+        ),
     )
     decompose.add_argument(
         "--json", action="store_true", help="emit DecomposeResult metrics as JSON"

@@ -11,7 +11,7 @@ maximality statements (Corollaries 1–4).
 
 from __future__ import annotations
 
-from repro.bdd.manager import Function
+from repro.backend.protocol import BooleanFunction as Function
 from repro.boolfunc.isf import ISF
 from repro.core.operators import BinaryOperator, operator_by_name
 from repro.core.quotient import InvalidDivisorError

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable
 
-from repro.bdd.manager import Function
+from repro.backend.protocol import BooleanFunction as Function
 from repro.boolfunc.isf import ISF
 
 

@@ -5,11 +5,15 @@ divisor ``g`` of the right approximation kind, and an operator ``op``,
 :func:`full_quotient` returns the incompletely specified quotient ``h``
 with the smallest on-set and the largest dc-set such that ``f = g op h``
 (Lemmas 1–5 and Corollaries 1–4 of the paper).
+
+Backend-neutral: the formulas are pure Boolean algebra over the
+:class:`~repro.backend.protocol.BooleanFunction` protocol, so they run
+unchanged on BDD and bitset representations.
 """
 
 from __future__ import annotations
 
-from repro.bdd.manager import Function
+from repro.backend.protocol import BooleanFunction as Function
 from repro.boolfunc.isf import ISF
 from repro.core.operators import ApproximationKind, BinaryOperator, operator_by_name
 

@@ -151,19 +151,12 @@ class Cube:
         return True
 
     def to_function(self, mgr: BDD) -> Function:
-        """Build the BDD of the cube (manager must have >= n_vars variables).
+        """Build the cube's function (manager must have >= n_vars variables).
 
-        Constructed bottom-up (deepest literal first) straight through the
-        unique table — one node per literal, no apply calls — and memoized
-        in the manager's shared product table.
+        Delegates to the manager's memoized ``product`` construction, so
+        the cube algebra works unchanged on any backend (BDD or bitset).
         """
-        table = mgr.computed_table("product")
-        key = (self.pos, self.neg)
-        edge = table.get(key)
-        if edge is None:
-            edge = mgr._cube_edge(sorted(self.literals(), reverse=True))
-            table.put(key, edge)
-        return Function(mgr, edge)
+        return mgr.product(self.pos, self.neg)
 
     def minterms(self) -> Iterator[int]:
         """Iterate covered minterm indices (exponential in free variables)."""

@@ -28,9 +28,18 @@ Example::
 
 from __future__ import annotations
 
+from dataclasses import replace
 from time import perf_counter
-from typing import Callable, Iterable
+from typing import Iterable
 
+from repro.backend.bitset import BitsetBDD
+from repro.backend.protocol import (
+    DEFAULT_BITSET_MAX_VARS,
+    DEFAULT_BITSET_SUPPORT,
+    BooleanFunction,
+    backend_of,
+    choose_backend,
+)
 from repro.bdd.manager import BDD, Function
 from repro.bdd.ops import transfer
 from repro.boolfunc.isf import ISF
@@ -59,10 +68,10 @@ def _as_divisor(raw) -> Divisor:
     """Normalize an approximator's return value to a :class:`Divisor`."""
     if isinstance(raw, Divisor):
         return raw
-    if isinstance(raw, Function):
+    if isinstance(raw, BooleanFunction):
         return Divisor(g=raw)
     g = getattr(raw, "g", None)
-    if isinstance(g, Function):
+    if isinstance(g, BooleanFunction):
         return Divisor(g=g, g_cover=getattr(raw, "g_cover", None))
     raise TypeError(
         f"approximator must return a Function, Divisor, or object with a"
@@ -93,6 +102,9 @@ class Decomposer:
         minimizer="spp",
         operators: Iterable[str | BinaryOperator] | None = None,
         verify: bool = True,
+        backend: str = "auto",
+        bitset_support: int = DEFAULT_BITSET_SUPPORT,
+        bitset_max_vars: int = DEFAULT_BITSET_MAX_VARS,
     ) -> None:
         self.default_approximator = approximator
         self.default_minimizer = minimizer
@@ -101,8 +113,19 @@ class Decomposer:
             for op in (operators if operators is not None else TABLE_I_ORDER)
         )
         self.verify = verify
+        #: Default backend for requests that don't name one: ``"bdd"``,
+        #: ``"bitset"``, or ``"auto"`` (dense fast path when a request's
+        #: support is at most ``bitset_support`` and the declared space
+        #: at most ``bitset_max_vars`` variables).
+        self.backend = backend
+        self.bitset_support = bitset_support
+        self.bitset_max_vars = bitset_max_vars
         self._divisor_cache: dict[tuple, Divisor] = {}
         self._cover_cache: dict[tuple, object] = {}
+        #: One shadow manager per (backend, variable slice): converted
+        #: requests of a batch share it, so equal functions hit the same
+        #: divisor/cover memo entries regardless of their source manager.
+        self._shadow_managers: dict[tuple, object] = {}
         self.stats = {
             "divisor_hits": 0,
             "divisor_misses": 0,
@@ -111,6 +134,8 @@ class Decomposer:
             "result_cache_hits": 0,
             "result_cache_misses": 0,
             "dispatched": 0,
+            "backend_bdd": 0,
+            "backend_bitset": 0,
         }
 
     # -- public API -------------------------------------------------------
@@ -123,11 +148,12 @@ class Decomposer:
         approximator=None,
         minimizer=None,
         verify: bool | None = None,
+        backend: str | None = None,
         name: str = "",
         metadata: dict | None = None,
     ) -> DecomposeResult:
         """Decompose one function; convenience wrapper over :meth:`run`."""
-        if isinstance(f, Function):
+        if isinstance(f, BooleanFunction):
             f = ISF.completely_specified(f)
         request = DecomposeRequest(
             f=f,
@@ -135,13 +161,132 @@ class Decomposer:
             approximator=approximator,
             minimizer=minimizer,
             verify=self.verify if verify is None else verify,
+            backend=backend,
             name=name,
             metadata=metadata if metadata is not None else {},
         )
         return self.run(request)
 
     def run(self, request: DecomposeRequest) -> DecomposeResult:
-        """Execute one :class:`DecomposeRequest`."""
+        """Execute one :class:`DecomposeRequest`.
+
+        Backend dispatch happens here, per request: the request's (or
+        engine's) backend spec is resolved against the function, and a
+        request whose function lives in the other representation is
+        converted through the canonical serializer into a shadow
+        manager, computed there, and reassembled — via the same wire
+        payloads the parallel and cached paths use — against the
+        original manager.  Results are therefore identical whichever
+        backend computes them.
+        """
+        target = self._backend_for(request)
+        self.stats[f"backend_{target}"] += 1
+        if target != backend_of(request.f.mgr):
+            return self._run_converted(request, target)
+        return self._run_native(request)
+
+    def _backend_for(self, request: DecomposeRequest) -> str:
+        spec = request.backend if request.backend is not None else self.backend
+        target = choose_backend(
+            request.f,
+            spec,
+            support_threshold=self.bitset_support,
+            max_vars=self.bitset_max_vars,
+        )
+        native = backend_of(request.f.mgr)
+        if target == native:
+            return target
+        approx_spec = (
+            request.approximator
+            if request.approximator is not None
+            else self.default_approximator
+        )
+        min_spec = (
+            request.minimizer
+            if request.minimizer is not None
+            else self.default_minimizer
+        )
+        if spec == "auto":
+            # Auto never converts user-supplied artifacts: callables may
+            # capture the source manager, and ready divisors/covers are
+            # passed through by object identity on the native path.
+            if isinstance(approx_spec, str) and isinstance(min_spec, str):
+                return target
+            return native
+        if isinstance(approx_spec, (str, Divisor, BooleanFunction)) and isinstance(
+            min_spec, str
+        ):
+            return target
+        raise ValueError(
+            f"backend={spec!r} needs registry-name strategies (or a ready"
+            " divisor) — callables cannot follow the function into another"
+            " representation"
+        )
+
+    def _run_converted(
+        self, request: DecomposeRequest, target: str
+    ) -> DecomposeResult:
+        """Compute in a shadow manager of ``target``'s backend.
+
+        The function (and a ready divisor, if any) is transferred into
+        the shadow, the pipeline runs natively there, and the derived
+        functions are transferred back — the structural equivalent of a
+        wire round trip (covers and metrics are representation-free and
+        pass through), so callers always receive results in the manager
+        they asked in, identical to what the native path would produce.
+        """
+        from repro.core.bidecomposition import BiDecomposition
+
+        shadow = self._shadow_manager(target, request.f.mgr.var_names)
+        converted = ISF(
+            transfer(request.f.on, shadow), transfer(request.f.dc, shadow)
+        )
+        approx = request.approximator
+        if isinstance(approx, BooleanFunction):
+            approx = transfer(approx, shadow)
+        elif isinstance(approx, Divisor):
+            approx = Divisor(
+                g=transfer(approx.g, shadow),
+                g_cover=approx.g_cover,
+                name=approx.name,
+            )
+        inner = replace(request, f=converted, approximator=approx, backend=target)
+        computed = self._run_native(inner)
+        inner_dec = computed.decomposition
+        mgr = request.f.mgr
+        decomposition = BiDecomposition(
+            f=request.f,
+            op=inner_dec.op,
+            g=transfer(inner_dec.g, mgr),
+            h=ISF(transfer(inner_dec.h.on, mgr), transfer(inner_dec.h.dc, mgr)),
+            g_cover=inner_dec.g_cover,
+            h_cover=inner_dec.h_cover,
+            metadata=dict(inner_dec.metadata),
+        )
+        return DecomposeResult(
+            decomposition=decomposition,
+            request=request,
+            op_name=computed.op_name,
+            approximator_name=computed.approximator_name,
+            minimizer_name=computed.minimizer_name,
+            timings=computed.timings,
+            literal_cost=computed.literal_cost,
+            error_rate=computed.error_rate,
+            verified=computed.verified,
+            candidates=computed.candidates,
+            bdd_stats=computed.bdd_stats,
+        )
+
+    def _shadow_manager(self, target: str, var_names: tuple[str, ...]):
+        key = (target, tuple(var_names))
+        shadow = self._shadow_managers.get(key)
+        if shadow is None:
+            shadow = BitsetBDD(var_names) if target == "bitset" else BDD(var_names)
+            self._shadow_managers[key] = shadow
+        return shadow
+
+    def _run_native(self, request: DecomposeRequest) -> DecomposeResult:
+        """Run the pipeline in the function's own manager."""
         approx_spec = (
             request.approximator
             if request.approximator is not None
@@ -172,6 +317,7 @@ class Decomposer:
         approximator=None,
         minimizer=None,
         verify: bool | None = None,
+        backend: str | None = None,
         mgr: BDD | None = None,
         jobs: int = 1,
         cache: "ResultCache | str | None" = None,
@@ -203,6 +349,14 @@ class Decomposer:
         nodes unreachable from live handles (results computed so far,
         pending inputs, and engine memos all hold handles, so reclaim
         never changes results — only memory).  ``None`` disables it.
+
+        ``backend`` overrides the engine default per batch; dispatch is
+        still **per item** (``"auto"`` sends each function to the
+        cheapest representation for *its* support — a mixed batch uses
+        the bitset fast path for the small-support items and BDDs for
+        the rest).  The backend never enters cache keys or payloads:
+        results are identical either way, so warm caches are shared
+        across backends.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -284,6 +438,7 @@ class Decomposer:
             self.stats["result_cache_misses"] += 1
             pending.append(index)
 
+        backend_spec = backend if backend is not None else self.backend
         if pending and jobs > 1:
             from repro.engine.parallel import make_work_item, run_parallel
 
@@ -296,6 +451,7 @@ class Decomposer:
                     min_spec,
                     verify_flag,
                     operator_names,
+                    backend=backend_spec,
                 )
                 for index in pending
             ]
@@ -323,22 +479,30 @@ class Decomposer:
                     approximator=approximator,
                     minimizer=minimizer,
                     verify=verify,
+                    backend=backend_spec,
                     name=label,
                     metadata={"n_vars": original_n_vars},
                 )
                 results[index] = result
                 if result_cache is not None:
                     result_cache.put(keys[index], wire.result_to_payload(result))
-                if (
-                    effective_threshold is not None
-                    and shared is not None
-                    and shared.node_count() > effective_threshold
-                ):
-                    # Safe point: no apply in flight between requests.
-                    shared.gc()
-                    effective_threshold = max(
-                        effective_threshold, 2 * shared.node_count()
+                if effective_threshold is not None and shared is not None:
+                    # Converted requests accumulate nodes in shadow
+                    # managers, not the shared one — bound the *total*.
+                    live = shared.node_count() + sum(
+                        shadow.node_count()
+                        for shadow in self._shadow_managers.values()
                     )
+                    if live > effective_threshold:
+                        # Safe point: no apply in flight between requests.
+                        shared.gc()
+                        for shadow in self._shadow_managers.values():
+                            shadow.gc()
+                        live = shared.node_count() + sum(
+                            shadow.node_count()
+                            for shadow in self._shadow_managers.values()
+                        )
+                        effective_threshold = max(effective_threshold, 2 * live)
         return results
 
     @staticmethod
@@ -373,9 +537,15 @@ class Decomposer:
         )
 
     def clear_caches(self) -> None:
-        """Drop the divisor and cover memos (stats are kept)."""
+        """Drop the divisor/cover memos and shadow managers (stats kept).
+
+        The memos hold function handles inside the shadow managers, so
+        both are dropped together — a dangling shadow would otherwise
+        keep every memoized sub-result's nodes alive.
+        """
         self._divisor_cache.clear()
         self._cover_cache.clear()
+        self._shadow_managers.clear()
 
     # -- batch manager sharing -------------------------------------------
 
@@ -575,7 +745,7 @@ class Decomposer:
         approx_spec,
         timings: dict[str, float],
     ) -> tuple[str, Divisor]:
-        if isinstance(approx_spec, Function):
+        if isinstance(approx_spec, BooleanFunction):
             approx_spec = Divisor(g=approx_spec)
         if isinstance(approx_spec, Divisor):
             # A ready divisor: validated per-operator by full_quotient.

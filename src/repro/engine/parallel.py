@@ -28,11 +28,16 @@ def make_work_item(
     minimizer: str,
     verify: bool,
     operators: tuple[str, ...],
+    backend: str = "auto",
 ) -> dict:
     """Bundle one request as a picklable work item.
 
     ``operators`` is the parent engine's search space (canonical names),
     forwarded so a worker's ``op="auto"`` ranks the same candidate set.
+    ``backend`` is the parent's backend spec; a worker re-resolves
+    ``"auto"`` against the rebuilt function — same function, same
+    support, same decision — so per-item dispatch survives the process
+    boundary (and cannot change the result either way).
     """
     return {
         "name": name,
@@ -42,6 +47,7 @@ def make_work_item(
         "minimizer": minimizer,
         "verify": verify,
         "operators": list(operators),
+        "backend": backend,
     }
 
 
@@ -56,6 +62,7 @@ def decompose_work_item(item: dict) -> dict:
         minimizer=item["minimizer"],
         operators=item["operators"],
         verify=item["verify"],
+        backend=item.get("backend", "auto"),
     )
     result = engine.decompose(f, item["op"], name=item["name"])
     return wire.result_to_payload(result)

@@ -182,6 +182,7 @@ def decompose_suite(
     engine: Decomposer | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    backend: str = "auto",
 ):
     """Decompose every output of the named benchmarks in one batch.
 
@@ -190,8 +191,10 @@ def decompose_suite(
     the per-benchmark managers into one shared manager and memoizes
     approximation/minimization sub-results across outputs.  ``jobs``
     fans the batch out to a worker pool; ``cache_dir`` persists results
-    on disk across runs.  Returns the list of
-    :class:`~repro.engine.request.DecomposeResult`.
+    on disk across runs; ``backend`` selects the function representation
+    per item (``"auto"`` uses the dense bitset fast path for
+    small-support outputs — results are identical on every backend).
+    Returns the list of :class:`~repro.engine.request.DecomposeResult`.
 
     When ``engine`` is given, its configured strategies are used and the
     ``approximator``/``minimizer`` arguments are ignored.
@@ -202,7 +205,9 @@ def decompose_suite(
         instance = load_benchmark(name)
         for index, f in enumerate(instance.outputs):
             labeled.append((f"{instance.name}/o{index}", f))
-    return engine.decompose_many(labeled, op, jobs=jobs, cache=cache_dir)
+    return engine.decompose_many(
+        labeled, op, jobs=jobs, cache=cache_dir, backend=backend
+    )
 
 
 def _benchmark_result_payload(result: BenchmarkResult) -> dict:

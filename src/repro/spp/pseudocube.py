@@ -32,20 +32,13 @@ class XorFactor(NamedTuple):
         return (bit_i ^ bit_j) == self.phase
 
     def to_function(self, mgr: BDD) -> Function:
-        """Build the factor's BDD."""
-        return Function(mgr, _xor_factor_edge(mgr, self))
+        """Build the factor's function on any backend."""
+        return mgr.spp_product(0, 0, frozenset((self,)))
 
     def to_expression(self, names) -> str:
         """Render as ``(a ^ b)`` or ``~(a ^ b)``."""
         body = f"({names[self.i]} ^ {names[self.j]})"
         return body if self.phase else "~" + body
-
-
-def _xor_factor_edge(mgr: BDD, factor: XorFactor) -> int:
-    """Directly build the 3-node BDD edge of ``x[i] ^ x[j] == phase``."""
-    xj = mgr._mk(factor.j, 0, 1)
-    low = xj if factor.phase else xj ^ 1  # required x[j] when x[i] = 0
-    return mgr._mk(factor.i, low, low ^ 1)
 
 
 def make_xor_factor(i: int, j: int, phase: int) -> XorFactor:
@@ -159,27 +152,13 @@ class Pseudocube:
         return all(factor.evaluate(minterm, self.n_vars) for factor in self.xors)
 
     def to_function(self, mgr: BDD) -> Function:
-        """Build the pseudoproduct's BDD.
+        """Build the pseudoproduct's function on any backend.
 
-        The literal part is built bottom-up through the unique table (no
-        apply calls); each XOR factor — a 3-node diagram, and by
-        construction support-disjoint from everything else — is then
-        conjoined with one cached apply.
+        Delegates to the manager's memoized ``spp_product`` construction
+        (bottom-up literals plus one cached apply per XOR factor on the
+        BDD backend; a handful of mask operations on the bitset one).
         """
-        table = mgr.computed_table("product")
-        key = (self.pos, self.neg, self.xors) if self.xors else (self.pos, self.neg)
-        edge = table.get(key)
-        if edge is None:
-            literals = sorted(
-                [(var, True) for var in bit_indices(self.pos)]
-                + [(var, False) for var in bit_indices(self.neg)],
-                reverse=True,
-            )
-            edge = mgr._cube_edge(literals)
-            for factor in sorted(self.xors):
-                edge = mgr._ite(edge, _xor_factor_edge(mgr, factor), 0)
-            table.put(key, edge)
-        return Function(mgr, edge)
+        return mgr.spp_product(self.pos, self.neg, self.xors)
 
     def to_expression(self, names) -> str:
         """Human-readable product, e.g. ``x1 & (x3 ^ x4)``."""

@@ -22,11 +22,12 @@ from __future__ import annotations
 from repro.bdd.manager import BDD, Function
 from repro.boolfunc.isf import ISF
 from repro.cover.cover import Cover
-from repro.spp.pseudocube import Pseudocube
+from repro.spp.pseudocube import Pseudocube, XorFactor
 from repro.spp.spp_cover import SppCover
 from repro.twolevel.covering import CoveringProblem, solve_covering
 from repro.twolevel.espresso import espresso_minimize
 from repro.cover.cube import Cube
+from repro.utils.bitops import bit_indices
 
 
 def _try_merge(first: Pseudocube, second: Pseudocube) -> Pseudocube | None:
@@ -91,43 +92,115 @@ def _merge_fixpoint(cover: SppCover) -> SppCover:
     return SppCover(cover.n_vars, pseudocubes)
 
 
-def _spp_expand(cover: SppCover, off: Function, mgr: BDD) -> SppCover:
+def _spp_expand(
+    cover: SppCover,
+    off: Function,
+    mgr: BDD,
+    memo: "ExpandMemo | None" = None,
+) -> SppCover:
     """Expand each pseudoproduct against the off-set.
 
     Tries factor drops first (literal win of 1 or 2), then literal-pair
     weakenings (no literal change, doubles coverage — enabling later
     containment removals).
+
+    ``memo`` caches verdicts across *restarts* of the expansion loop.
+    The caller's iterations re-derive largely the same covers, so
+    without it the O(n³) pair-weakening scan regenerates and re-tests
+    every rejected ``(pseudocube, var-pair)`` candidate on every round.
+    Two layers are kept: a per-candidate off-set verdict, and — the one
+    that kills the cubic term — a *dead-end* set of pseudocubes whose
+    full scan found no acceptable weakening, which skips the entire
+    candidate generation for them on later rounds.  Both are pure per
+    ``(pseudocube, off)`` and ``off`` is fixed for the whole
+    minimization, so memoization cannot change the result.
     """
+    # Every expansion move doubles a pseudocube's region: the candidate
+    # covers ``current ∪ flipped`` where ``flipped`` complements the
+    # touched literal(s) or XOR phase.  ``current`` is off-disjoint by
+    # the cover invariant, so *candidate ∩ off = flipped ∩ off* — the
+    # scan tests the flipped region directly and only materializes a
+    # candidate pseudocube on acceptance (rejections, the overwhelming
+    # majority on wide functions, allocate nothing).
+    if memo is None:
+        def region_ok(pos: int, neg: int, xors: frozenset) -> bool:
+            return mgr.spp_product(pos, neg, xors).disjoint(off)
+
+        dead_ends = None
+    else:
+        accept_memo = memo.accept
+        dead_ends = memo.dead_ends
+
+        def region_ok(pos: int, neg: int, xors: frozenset) -> bool:
+            key = (pos, neg, xors)
+            verdict = accept_memo.get(key)
+            if verdict is None:
+                verdict = mgr.spp_product(pos, neg, xors).disjoint(off)
+                accept_memo[key] = verdict
+            return verdict
+
     expanded: list[Pseudocube] = []
     order = sorted(cover.pseudocubes, key=lambda pc: -pc.literal_count)
     for pc in order:
+        if dead_ends is not None and (pc.pos, pc.neg, pc.xors) in dead_ends:
+            expanded.append(pc)
+            continue
         current = pc
         changed = True
         while changed:
             changed = False
-            for kind, payload in list(current.factors()):
-                candidate = current.drop_factor(kind, payload)
-                if candidate.to_function(mgr).disjoint(off):
-                    current = candidate
+            pos, neg, xors = current.pos, current.neg, current.xors
+            for kind, payload in current.factors():
+                if kind == "lit":
+                    var, polarity = payload
+                    bit = 1 << var
+                    if polarity:
+                        ok = region_ok(pos & ~bit, neg | bit, xors)
+                    else:
+                        ok = region_ok(pos | bit, neg & ~bit, xors)
+                else:
+                    flipped = (xors - {payload}) | {
+                        XorFactor(payload.i, payload.j, payload.phase ^ 1)
+                    }
+                    ok = region_ok(pos, neg, frozenset(flipped))
+                if ok:
+                    current = current.drop_factor(kind, payload)
                     changed = True
                     break
             if changed:
                 continue
-            literal_vars = [
-                var for var, _pol in
-                (payload for kind, payload in current.factors() if kind == "lit")
-            ]
+            # Same order as the factors() literal walk: positive
+            # literals by ascending variable, then negative ones.
+            literal_vars = list(bit_indices(pos)) + list(bit_indices(neg))
             for position, var_a in enumerate(literal_vars):
                 for var_b in literal_vars[position + 1 :]:
-                    candidate = current.pair_literals(var_a, var_b)
-                    if candidate.to_function(mgr).disjoint(off):
-                        current = candidate
+                    pair = (1 << var_a) | (1 << var_b)
+                    flipped_pos = (pos & ~pair) | (neg & pair)
+                    flipped_neg = (neg & ~pair) | (pos & pair)
+                    if region_ok(flipped_pos, flipped_neg, xors):
+                        current = current.pair_literals(var_a, var_b)
                         changed = True
                         break
                 if changed:
                     break
+        if dead_ends is not None:
+            # The loop exits only after a full scan of ``current`` found
+            # nothing acceptable: ``current`` is a dead end for this off.
+            dead_ends.add((current.pos, current.neg, current.xors))
         expanded.append(current)
     return SppCover(cover.n_vars, list(dict.fromkeys(expanded)))
+
+
+class ExpandMemo:
+    """Cross-restart memo for :func:`_spp_expand` (one off-set)."""
+
+    __slots__ = ("accept", "dead_ends")
+
+    def __init__(self) -> None:
+        #: candidate key -> off-set disjointness verdict.
+        self.accept: dict[tuple, bool] = {}
+        #: pseudocubes whose full weakening scan found nothing.
+        self.dead_ends: set[tuple] = set()
 
 
 def _spp_irredundant(cover: SppCover, dc: Function, mgr: BDD) -> SppCover:
@@ -159,8 +232,14 @@ def minimize_spp_heuristic(
     isf: ISF,
     initial: Cover | SppCover | None = None,
     max_iterations: int = 6,
+    memoize_expansion: bool = True,
 ) -> SppCover:
-    """Heuristic 2-SPP minimization (benchmark-scale workhorse)."""
+    """Heuristic 2-SPP minimization (benchmark-scale workhorse).
+
+    ``memoize_expansion`` shares candidate off-set verdicts across the
+    expansion restarts (see :func:`_spp_expand`); disabling it exists
+    only so the ablation benchmark can measure the win.
+    """
     mgr = isf.mgr
     on, dc, off = isf.on, isf.dc, isf.off
     if on.is_false:
@@ -179,8 +258,9 @@ def minimize_spp_heuristic(
     spp = _spp_irredundant(spp, dc, mgr)
     best = spp
     best_cost = spp.cost()
+    memo = ExpandMemo() if memoize_expansion else None
     for _iteration in range(max_iterations):
-        spp = _spp_expand(spp, off, mgr)
+        spp = _spp_expand(spp, off, mgr, memo)
         spp = _merge_fixpoint(spp)
         spp = _spp_irredundant(spp, dc, mgr)
         cost = spp.cost()
@@ -243,6 +323,14 @@ def enumerate_maximal_pseudocubes(
     )
 
 
+#: Interval-size bail-out for the exact engine: an ISOP cover beyond
+#: this many cubes predicts a maximal-pseudocube blow-up.  An n-variable
+#: interval has at most ``2^n`` irredundant cubes, so the guard can
+#: never fire below 9 variables — the default exact dispatch
+#: (``exact_threshold=6``) is provably unaffected.
+EXACT_PROBE_CUBES = 256
+
+
 def minimize_spp_exact(
     isf: ISF,
     literal_weight: int = 1,
@@ -250,12 +338,28 @@ def minimize_spp_exact(
     max_candidates: int = 50_000,
     max_nodes: int = 200_000,
 ) -> SppCover:
-    """Exact minimum 2-SPP cover via covering over maximal pseudocubes."""
+    """Exact minimum 2-SPP cover via covering over maximal pseudocubes.
+
+    Oversized instances are rejected *before* the candidate enumeration:
+    a lazy first-k probe of the interval's ISOP
+    (:func:`repro.twolevel.covering.probe_interval_cubes`, which stops
+    after :data:`EXACT_PROBE_CUBES` + 1 cubes instead of materializing
+    the full cover) raises the same ``RuntimeError`` the enumeration
+    would eventually hit, so callers fall back to the heuristic engine
+    without paying for the doomed scan.
+    """
     mgr = isf.mgr
     if isf.on.is_false:
         return SppCover(mgr.n_vars, [])
     if isf.off.is_false:
         return SppCover(mgr.n_vars, [Pseudocube.tautology(mgr.n_vars)])
+    from repro.twolevel.covering import probe_interval_cubes
+
+    if probe_interval_cubes(isf.on, isf.upper, EXACT_PROBE_CUBES + 1) > EXACT_PROBE_CUBES:
+        raise RuntimeError(
+            f"interval ISOP exceeds {EXACT_PROBE_CUBES} cubes; exact 2-SPP"
+            " synthesis would blow the candidate budget"
+        )
     candidates = enumerate_maximal_pseudocubes(isf, max_candidates=max_candidates)
     on_minterms = sorted(isf.on.minterms())
     row_index = {minterm: row for row, minterm in enumerate(on_minterms)}

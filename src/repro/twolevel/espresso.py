@@ -15,6 +15,7 @@ from repro.bdd.ops import isop
 from repro.boolfunc.isf import ISF
 from repro.cover.cover import Cover
 from repro.cover.cube import Cube
+from repro.utils.bitops import bit_indices
 
 
 def supercube_of(function: Function, n_vars: int) -> Cube | None:
@@ -51,20 +52,23 @@ def _expand(cover: Cover, off: Function, mgr: BDD) -> Cover:
     valid is symmetrical, so a simple fixed order with retry is used).
     """
     expanded: list[Cube] = []
+    n_vars = cover.n_vars
     # Most-specific cubes first: they gain the most from expansion.
     order = sorted(cover.cubes, key=lambda c: -c.literal_count)
     for cube in order:
         current = cube
-        current_fn = current.to_function(mgr)
         changed = True
         while changed:
             changed = False
-            for var, _polarity in sorted(current.literals()):
-                candidate = current.without_variable(var)
-                candidate_fn = candidate.to_function(mgr)
-                if candidate_fn.disjoint(off):
-                    current = candidate
-                    current_fn = candidate_fn
+            # Literal order: ascending variable index (a variable holds
+            # at most one literal, so this equals the sorted pair walk).
+            # Candidates are tested straight from their literal masks;
+            # a Cube object is only built on acceptance.
+            for var in bit_indices(current.pos | current.neg):
+                bit = 1 << var
+                pos, neg = current.pos & ~bit, current.neg & ~bit
+                if mgr.product(pos, neg).disjoint(off):
+                    current = Cube(n_vars, pos, neg)
                     changed = True
         expanded.append(current)
     return Cover(cover.n_vars, expanded).single_cube_containment()

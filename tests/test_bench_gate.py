@@ -1,0 +1,168 @@
+"""The CI perf regression gate, exercised on synthetic reports.
+
+``benchmarks/check_regression.py`` must fail a build on a >25% geomean
+regression (calibration-normalized), pass an equal-or-faster build, not
+punish a uniformly slower machine, and flag canonical-hash drift.  Also
+regression-tests the committed baselines: suite-function hashes in the
+new backend-era reports must match the committed PR-3 report, proving
+the wire format survived the multi-backend refactor byte for byte.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+def load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", BENCH_DIR / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = load_gate()
+
+
+def make_report(walls: dict, calibration: float = 0.05, hashes=None) -> dict:
+    return {
+        "format": "repro-bench-bdd/1",
+        "calibration_s": calibration,
+        "workloads": {name: {"wall_s": wall} for name, wall in walls.items()},
+        "hashes": hashes or {},
+    }
+
+
+def write(tmp_path: Path, name: str, report: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return path
+
+
+def run_gate(tmp_path, current, baseline, *extra) -> int:
+    return gate.main(
+        [
+            str(write(tmp_path, "current.json", current)),
+            "--baseline",
+            str(write(tmp_path, "baseline.json", baseline)),
+            *extra,
+        ]
+    )
+
+
+def test_gate_passes_on_equal_reports(tmp_path):
+    report = make_report({"kernel:a": 0.1, "suite:b": 0.5})
+    assert run_gate(tmp_path, report, report) == 0
+
+
+def test_gate_fails_on_large_regression(tmp_path):
+    baseline = make_report({"kernel:a": 0.1, "suite:b": 0.5})
+    slower = make_report({"kernel:a": 0.15, "suite:b": 0.75})  # 33% slower
+    assert run_gate(tmp_path, slower, baseline) == 1
+
+
+def test_gate_tolerates_small_regression(tmp_path):
+    baseline = make_report({"kernel:a": 0.1, "suite:b": 0.5})
+    slightly = make_report({"kernel:a": 0.11, "suite:b": 0.55})  # 10% slower
+    assert run_gate(tmp_path, slightly, baseline) == 0
+
+
+def test_gate_normalizes_by_calibration(tmp_path):
+    """A uniformly 2x slower machine is not a regression."""
+    baseline = make_report({"kernel:a": 0.1, "suite:b": 0.5}, calibration=0.05)
+    slow_machine = make_report(
+        {"kernel:a": 0.2, "suite:b": 1.0}, calibration=0.10
+    )
+    assert run_gate(tmp_path, slow_machine, baseline) == 0
+    # ...and a fast machine cannot mask a real regression.
+    fast_but_regressed = make_report(
+        {"kernel:a": 0.09, "suite:b": 0.45}, calibration=0.025
+    )
+    assert run_gate(tmp_path, fast_but_regressed, baseline) == 1
+
+
+def test_gate_fails_on_hash_drift_with_check_hashes(tmp_path):
+    baseline = make_report({"suite:b": 0.5}, hashes={"b": ["aa"]})
+    current = make_report({"suite:b": 0.5}, hashes={"b": ["bb"]})
+    assert run_gate(tmp_path, current, baseline, "--check-hashes") == 1
+    assert run_gate(tmp_path, current, baseline) == 0  # opt-in only
+
+
+def test_gate_fails_without_common_workloads(tmp_path):
+    baseline = make_report({"kernel:a": 0.1})
+    current = make_report({"kernel:z": 0.1})
+    assert run_gate(tmp_path, current, baseline) == 1
+
+
+def test_gate_custom_threshold(tmp_path):
+    baseline = make_report({"kernel:a": 0.1})
+    slower = make_report({"kernel:a": 0.12})
+    assert run_gate(tmp_path, slower, baseline, "--max-regression", "0.1") == 1
+    assert run_gate(tmp_path, slower, baseline, "--max-regression", "0.3") == 0
+
+
+# ---------------------------------------------------------------------------
+# Committed-baseline regression: wire stability across the backend era
+# ---------------------------------------------------------------------------
+
+
+def committed(name: str) -> dict:
+    return json.loads((BENCH_DIR / "output" / name).read_text())
+
+
+def test_committed_reports_exist_and_are_consistent():
+    pr3 = committed("BENCH_BDD_post_pr3.json")
+    pr4 = committed("BENCH_BDD_backends_pr4.json")
+    ci = committed("BENCH_BDD_ci_baseline.json")
+    assert ci["quick"] and ci["calibration_s"] > 0
+    # Every suite function hash PR-3 recorded must be reproduced
+    # byte-identically by the backend-era report.
+    common = set(pr3["hashes"]) & set(pr4["hashes"])
+    assert common, "no common suite rows between PR-3 and PR-4 reports"
+    for name in common:
+        assert pr4["hashes"][name] == pr3["hashes"][name], name
+    comparison = pr4["backend_comparison"]
+    assert comparison["geomean_speedup_bitset_small_support"] >= 5.0
+    assert comparison["max_auto_vs_best"] <= 1.10
+    for row in comparison["rows"].values():
+        assert row["bitset_s"] > 0 and row["bdd_s"] > 0
+
+
+def test_committed_ci_baseline_passes_its_own_gate(tmp_path):
+    """The gate must accept the baseline against itself (sanity)."""
+    assert (
+        gate.main(
+            [
+                str(BENCH_DIR / "output" / "BENCH_BDD_ci_baseline.json"),
+                "--baseline",
+                str(BENCH_DIR / "output" / "BENCH_BDD_ci_baseline.json"),
+                "--check-hashes",
+            ]
+        )
+        == 0
+    )
+
+
+def test_suite_function_hashes_reproducible_on_bitset_backend():
+    """Rebuild a committed suite benchmark's functions through the bitset
+    backend and check their fingerprints against the committed PR-3
+    baseline — the strongest wire-stability statement available."""
+    from repro.backend import BitsetBDD
+    from repro.bdd.ops import transfer
+    from repro.bdd.serialize import function_fingerprint
+    from repro.benchgen.registry import load_benchmark
+
+    pr3 = committed("BENCH_BDD_post_pr3.json")
+    instance = load_benchmark("newtpla2")
+    shadow = BitsetBDD(instance.mgr.var_names)
+    fingerprints = [
+        function_fingerprint(transfer(isf.on, shadow))
+        for isf in instance.outputs
+    ]
+    assert fingerprints == pr3["hashes"]["newtpla2"]
