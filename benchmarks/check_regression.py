@@ -8,7 +8,9 @@ speedup across common workloads drops below ``1 - max_regression``::
     python benchmarks/check_regression.py \
         benchmarks/output/BENCH_BDD_ci.json \
         --baseline benchmarks/output/BENCH_BDD_ci_baseline.json \
-        --max-regression 0.25 --check-hashes
+        --max-regression 0.25 --check-hashes \
+        --netsyn benchmarks/output/BENCH_MULTIOUT_ci.json \
+        --netsyn-baseline benchmarks/output/BENCH_MULTIOUT_ci_baseline.json
 
 Cross-machine normalization: both reports carry ``calibration_s`` — the
 wall time of a fixed pure-Python workload on the producing machine.
@@ -21,7 +23,13 @@ without calibration fall back to raw wall times.
 hash differs from the baseline's — a representation change that broke
 the wire format would surface here even if it made everything faster.
 
-Refresh the committed baseline with ``benchmarks/refresh_baseline.sh``.
+``--netsyn``/``--netsyn-baseline`` fold a ``bench_multiout.py`` report
+pair into the same gate: its rows join the geomean (normalized by that
+pair's own calibrations), and the run additionally fails when any
+current row breaks the sharing invariant ``shared_area <=
+isolated_area`` or flunked its sampled functional check.
+
+Refresh the committed baselines with ``benchmarks/refresh_baseline.sh``.
 """
 
 from __future__ import annotations
@@ -60,11 +68,7 @@ def compare_reports(
         if not base_wall or not wall:
             continue
         speedups[name] = (base_wall * scale) / wall
-    geomean = (
-        math.exp(sum(math.log(v) for v in speedups.values()) / len(speedups))
-        if speedups
-        else None
-    )
+    geomean = geomean_of(speedups)
     hash_failures: list[str] = []
     if check_hashes:
         base_hashes = baseline.get("hashes") or {}
@@ -77,6 +81,35 @@ def compare_reports(
         "geomean": geomean,
         "hash_failures": hash_failures,
     }
+
+
+def geomean_of(speedups: dict[str, float]) -> float | None:
+    """Geometric mean of merged per-workload speedups (``None`` if empty)."""
+    if not speedups:
+        return None
+    return math.exp(
+        sum(math.log(value) for value in speedups.values()) / len(speedups)
+    )
+
+
+def netsyn_invariants(report: dict) -> list[str]:
+    """Rows of a ``bench_multiout`` report violating the sharing gate.
+
+    A row fails when the shared network's area exceeds the per-output
+    isolated sum (sharing must never lose) or when its sampled
+    functional check reported a mismatch.
+    """
+    failures: list[str] = []
+    for name, record in report.get("workloads", {}).items():
+        shared = record.get("shared_area")
+        isolated = record.get("isolated_area")
+        if shared is not None and isolated is not None and shared > isolated:
+            failures.append(
+                f"{name}: shared area {shared} > isolated {isolated}"
+            )
+        if record.get("verified") is False:
+            failures.append(f"{name}: sampled functional check failed")
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,7 +129,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also fail when suite canonical hashes differ from the baseline",
     )
+    parser.add_argument(
+        "--netsyn",
+        type=Path,
+        default=None,
+        help="fresh bench_multiout report to gate alongside",
+    )
+    parser.add_argument(
+        "--netsyn-baseline",
+        type=Path,
+        default=None,
+        help="committed bench_multiout baseline (required with --netsyn)",
+    )
     args = parser.parse_args(argv)
+    if (args.netsyn is None) != (args.netsyn_baseline is None):
+        parser.error("--netsyn and --netsyn-baseline go together")
 
     result = compare_reports(
         load_report(args.current),
@@ -104,28 +151,54 @@ def main(argv: list[str] | None = None) -> int:
         check_hashes=args.check_hashes,
     )
     print(f"calibration scale (current/baseline): {result['scale']:.3f}")
-    for name, speedup in sorted(result["speedups"].items()):
+    merged = dict(result["speedups"])
+
+    failed = False
+    # Each report pair must overlap its own baseline: a stale or renamed
+    # baseline would otherwise vanish from the merged geomean silently.
+    if result["geomean"] is None:
+        print("FAIL: no common workloads between the reports")
+        failed = True
+    netsyn_failures: list[str] = []
+    if args.netsyn is not None:
+        netsyn_current = load_report(args.netsyn)
+        netsyn_result = compare_reports(
+            netsyn_current, load_report(args.netsyn_baseline)
+        )
+        print(
+            f"netsyn calibration scale (current/baseline):"
+            f" {netsyn_result['scale']:.3f}"
+        )
+        if netsyn_result["geomean"] is None:
+            print("FAIL: no common workloads between the netsyn reports")
+            failed = True
+        merged.update(netsyn_result["speedups"])
+        netsyn_failures = netsyn_invariants(netsyn_current)
+
+    for name, speedup in sorted(merged.items()):
         marker = "" if speedup >= 1 - args.max_regression else "  << REGRESSION"
         print(f"  {name:30s}{speedup:8.3f}x{marker}")
 
-    failed = False
     if result["hash_failures"]:
         print(
             f"FAIL: canonical hashes changed for suite rows:"
             f" {sorted(result['hash_failures'])}"
         )
         failed = True
-    if result["geomean"] is None:
-        print("FAIL: no common workloads between the reports")
+    for failure in netsyn_failures:
+        print(f"FAIL: netsyn invariant: {failure}")
+        failed = True
+    geomean = geomean_of(merged)
+    if geomean is None:
         failed = True
     else:
         threshold = 1.0 - args.max_regression
-        verdict = "ok" if result["geomean"] >= threshold else "FAIL"
+        verdict = "ok" if geomean >= threshold else "FAIL"
         print(
-            f"geomean speedup vs baseline: {result['geomean']:.3f}x"
+            f"geomean speedup vs baseline: {geomean:.3f}x"
             f" (gate: >= {threshold:.2f}) {verdict}"
         )
-        if result["geomean"] < threshold:
+        if geomean < threshold:
             failed = True
     return 1 if failed else 0
 

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# One-command refresh of the committed CI perf baseline.
+# One-command refresh of the committed CI perf baselines.
 #
-# Re-runs the quick substrate benchmark and overwrites
-# benchmarks/output/BENCH_BDD_ci_baseline.json — the report the CI
-# regression gate (benchmarks/check_regression.py) compares every
-# build against.  Run it after an intentional perf change, inspect the
-# diff, and commit the new baseline alongside the change.
+# Re-runs the quick substrate benchmark and the quick multi-output
+# synthesis benchmark, overwriting
+#   benchmarks/output/BENCH_BDD_ci_baseline.json
+#   benchmarks/output/BENCH_MULTIOUT_ci_baseline.json
+# — the reports the CI regression gate (benchmarks/check_regression.py)
+# compares every build against.  Run it after an intentional perf
+# change, inspect the diff, and commit the new baselines alongside the
+# change.  Extra arguments are forwarded to bench_bdd.py only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_bdd.py \
     --quick --label ci_baseline \
     --output benchmarks/output/BENCH_BDD_ci_baseline.json "$@"
-echo "refreshed benchmarks/output/BENCH_BDD_ci_baseline.json — review and commit it."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_multiout.py \
+    --quick --label ci_baseline \
+    --output benchmarks/output/BENCH_MULTIOUT_ci_baseline.json
+echo "refreshed benchmarks/output/BENCH_BDD_ci_baseline.json and" \
+     "BENCH_MULTIOUT_ci_baseline.json — review and commit them."

@@ -78,6 +78,12 @@ from repro.engine import (
     register_approximator,
     register_minimizer,
 )
+from repro.netsyn import (
+    DivisorPool,
+    NetsynConfig,
+    NetworkSynthesisResult,
+    NetworkSynthesizer,
+)
 from repro.spp import Pseudocube, SppCover, minimize_spp
 from repro.twolevel import espresso_minimize, minimize_exact
 
@@ -97,9 +103,13 @@ __all__ = [
     "DecomposeRequest",
     "DecomposeResult",
     "Divisor",
+    "DivisorPool",
     "Function",
     "ISF",
     "MINIMIZERS",
+    "NetsynConfig",
+    "NetworkSynthesisResult",
+    "NetworkSynthesizer",
     "OPERATORS",
     "PLA",
     "Pseudocube",

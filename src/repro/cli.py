@@ -13,6 +13,9 @@ Usage::
                                   [--minimizer spp] [--json]
                                   [--jobs N] [--cache-dir DIR]
                                   [--backend auto|bdd|bitset]
+    python -m repro.cli netsyn <name> [...] [--json] [--jobs N] [--cache-dir DIR]
+                               [--backend auto|bdd|bitset]
+                               [--literal-threshold N] [--max-depth N]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -89,6 +92,8 @@ def _bench_result_dict(result) -> dict:
         "pct_reduction": result.pct_reduction,
         "op_areas": result.op_areas,
         "op_gains": result.op_gains,
+        "area_f_isolated": result.area_f_isolated,
+        "op_areas_isolated": result.op_areas_isolated,
     }
 
 
@@ -140,6 +145,33 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     total_lits = sum(r.literal_cost for r in results)
     print("-" * len(header))
     print(f"{len(results)} outputs, {total_lits} literals total")
+    return 0
+
+
+def _cmd_netsyn(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import synthesize_network
+    from repro.harness.tables import render_network_results
+    from repro.netsyn.synthesis import NetsynConfig
+
+    config = NetsynConfig(
+        literal_threshold=args.literal_threshold,
+        max_depth=args.max_depth,
+        backend=args.backend,
+    )
+    results = [
+        synthesize_network(
+            name,
+            config=config,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+        )
+        for name in args.names
+    ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+        return 0
+    print(render_network_results(results))
     return 0
 
 
@@ -245,6 +277,46 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_execution_flags(decompose)
     decompose.set_defaults(handler=_cmd_decompose)
+
+    netsyn = subparsers.add_parser(
+        "netsyn",
+        help="synthesize one shared multi-output network per benchmark",
+        description=(
+            "Decompose a whole benchmark into a single shared LogicNetwork:"
+            " outputs reuse each other's divisors and residual blocks"
+            " through a canonical-hash pool, and the report compares the"
+            " shared network's mapped area against the per-output sum."
+        ),
+    )
+    netsyn.add_argument("names", nargs="+", help="benchmark names")
+    netsyn.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "bdd", "bitset"),
+        help=(
+            "function representation for the decompositions (results are"
+            " identical on every backend; cache entries are shared)"
+        ),
+    )
+    netsyn.add_argument(
+        "--literal-threshold",
+        type=int,
+        default=10,
+        metavar="N",
+        help="instantiate blocks at or below this literal cost (default: 10)",
+    )
+    netsyn.add_argument(
+        "--max-depth",
+        type=int,
+        default=2,
+        metavar="N",
+        help="maximum recursive bi-decomposition depth (default: 2)",
+    )
+    netsyn.add_argument(
+        "--json", action="store_true", help="emit synthesis metrics as JSON"
+    )
+    add_execution_flags(netsyn)
+    netsyn.set_defaults(handler=_cmd_netsyn)
 
     args = parser.parse_args(argv)
     return args.handler(args)

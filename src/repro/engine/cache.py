@@ -112,6 +112,30 @@ class ResultCache:
             }
         )
 
+    @staticmethod
+    def netsyn_key_for(
+        output_fingerprints: list[str], config_payload: dict
+    ) -> str:
+        """Canonical key of a shared-network synthesis run.
+
+        ``output_fingerprints`` are the canonical per-output ISF hashes
+        (:func:`repro.engine.wire.isf_fingerprint`) in output order —
+        they cover the functions *and* the declared variable slice —
+        and ``config_payload`` is the synthesis policy
+        (:meth:`repro.netsyn.synthesis.NetsynConfig.key_payload`).
+        Backends never enter the key: a cache warmed under the BDD
+        backend serves bitset runs and vice versa.
+        """
+        return canonical_hash(
+            {
+                "format": ENTRY_FORMAT,
+                "netsyn": {
+                    "outputs": list(output_fingerprints),
+                    "config": config_payload,
+                },
+            }
+        )
+
     def path_for(self, key: str) -> Path:
         """On-disk location of a key (two-level fan-out)."""
         return self.cache_dir / key[:2] / f"{key}.json"

@@ -27,6 +27,12 @@ from repro.spp.spp_cover import SppCover
 #: Result payload identifier; bump on any incompatible layout change.
 RESULT_FORMAT = "repro-result/1"
 
+#: Logic-network payload identifier.
+NETWORK_FORMAT = "repro-network/1"
+
+#: Network-synthesis result payload identifier.
+NETSYN_RESULT_FORMAT = "repro-netsyn/1"
+
 
 # ---------------------------------------------------------------------------
 # ISFs
@@ -104,6 +110,135 @@ def cover_from_payload(payload: dict | None):
     raise serialize.SerializationError(
         f"unknown cover kind {payload.get('kind')!r}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Logic networks (netsyn results)
+# ---------------------------------------------------------------------------
+
+
+def network_to_payload(network) -> dict:
+    """Serialize a :class:`~repro.techmap.network.LogicNetwork`.
+
+    Networks are already backend-free (primitive gates over named
+    inputs), so the payload is a direct flattening: the input names,
+    every node as ``[kind, [fanins...]]``, and the output map.
+    """
+    return {
+        "format": NETWORK_FORMAT,
+        "inputs": [
+            node.name for node in network.nodes if node.kind == "input"
+        ],
+        "nodes": [
+            [node.kind, list(node.fanins)] for node in network.nodes
+        ],
+        "outputs": dict(network.outputs),
+    }
+
+
+def network_from_payload(payload: dict):
+    """Rebuild a :class:`~repro.techmap.network.LogicNetwork`.
+
+    The node list is replayed through the network's own constructors,
+    so the rebuilt DAG is strashed (and folded) exactly like one built
+    natively; old node ids are mapped onto the new ones.
+    """
+    from repro.techmap.network import LogicNetwork
+
+    if not isinstance(payload, dict) or payload.get("format") != NETWORK_FORMAT:
+        raise serialize.SerializationError(
+            f"not a {NETWORK_FORMAT} payload:"
+            f" format={payload.get('format') if isinstance(payload, dict) else payload!r}"
+        )
+    try:
+        inputs = list(payload["inputs"])
+        nodes = payload["nodes"]
+        outputs = dict(payload["outputs"])
+    except (KeyError, TypeError) as exc:
+        raise serialize.SerializationError(
+            f"malformed {NETWORK_FORMAT} payload: {exc}"
+        ) from None
+    network = LogicNetwork(inputs)
+    mapping: dict[int, int] = {}
+    input_iter = iter(inputs)
+    try:
+        for old_id, (kind, fanins) in enumerate(nodes):
+            if kind == "input":
+                mapping[old_id] = network.input_id(next(input_iter))
+            elif kind in ("const0", "const1"):
+                mapping[old_id] = network.const(kind == "const1")
+            elif kind == "not":
+                mapping[old_id] = network.negate(mapping[fanins[0]])
+            elif kind in ("and", "or", "xor"):
+                mapping[old_id] = network.binary(
+                    kind, mapping[fanins[0]], mapping[fanins[1]]
+                )
+            else:
+                raise serialize.SerializationError(
+                    f"unknown network node kind {kind!r}"
+                )
+        for name, root in outputs.items():
+            network.set_output(str(name), mapping[root])
+    except (KeyError, IndexError, TypeError, StopIteration) as exc:
+        if isinstance(exc, serialize.SerializationError):
+            raise
+        raise serialize.SerializationError(
+            f"malformed {NETWORK_FORMAT} node list: {exc}"
+        ) from None
+    return network
+
+
+def netsyn_result_to_payload(result) -> dict:
+    """Flatten a netsyn :class:`~repro.netsyn.synthesis.NetworkSynthesisResult`.
+
+    Everything the result carries is representation-free (the network,
+    per-output provenance, areas, pool counters), so — unlike
+    :func:`result_to_payload` — the payload is self-contained: no live
+    manager is needed to reassemble it.
+    """
+    return {
+        "format": NETSYN_RESULT_FORMAT,
+        "name": result.name,
+        "network": network_to_payload(result.network),
+        "output_names": list(result.output_names),
+        "per_output": [dict(record) for record in result.per_output],
+        "pool_stats": dict(result.pool_stats),
+        "shared_area": result.shared_area,
+        "isolated_area": result.isolated_area,
+        "shared_gate_count": result.shared_gate_count,
+        "isolated_gate_count": result.isolated_gate_count,
+        "time_s": result.time_s,
+        "engine_stats": result.engine_stats,
+    }
+
+
+def netsyn_result_from_payload(payload: dict):
+    """Inverse of :func:`netsyn_result_to_payload`."""
+    from repro.netsyn.synthesis import NetworkSynthesisResult
+
+    if not isinstance(payload, dict) or payload.get("format") != NETSYN_RESULT_FORMAT:
+        raise serialize.SerializationError(
+            f"not a {NETSYN_RESULT_FORMAT} payload:"
+            f" format={payload.get('format') if isinstance(payload, dict) else payload!r}"
+        )
+    try:
+        return NetworkSynthesisResult(
+            name=payload["name"],
+            network=network_from_payload(payload["network"]),
+            output_names=list(payload["output_names"]),
+            per_output=[dict(record) for record in payload["per_output"]],
+            pool_stats=dict(payload["pool_stats"]),
+            shared_area=payload["shared_area"],
+            isolated_area=payload["isolated_area"],
+            shared_gate_count=payload["shared_gate_count"],
+            isolated_gate_count=payload["isolated_gate_count"],
+            time_s=payload["time_s"],
+            engine_stats=payload.get("engine_stats"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise serialize.SerializationError(
+            f"malformed {NETSYN_RESULT_FORMAT} payload: {exc}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -191,12 +326,18 @@ def result_from_payload(payload: dict, request: DecomposeRequest) -> DecomposeRe
 
 
 __all__ = [
+    "NETSYN_RESULT_FORMAT",
+    "NETWORK_FORMAT",
     "RESULT_FORMAT",
     "cover_from_payload",
     "cover_to_payload",
     "isf_fingerprint",
     "isf_from_payload",
     "isf_to_payload",
+    "netsyn_result_from_payload",
+    "netsyn_result_to_payload",
+    "network_from_payload",
+    "network_to_payload",
     "result_from_payload",
     "result_to_payload",
 ]

@@ -5,9 +5,11 @@ from repro.harness.experiment import (
     OutputArtifacts,
     run_benchmark,
     run_table,
+    synthesize_network,
 )
 from repro.harness.figures import render_figure1, render_figure2, render_karnaugh
 from repro.harness.tables import (
+    render_network_results,
     render_table1,
     render_table2,
     render_table_results,
@@ -21,10 +23,12 @@ __all__ = [
     "render_figure1",
     "render_figure2",
     "render_karnaugh",
+    "render_network_results",
     "render_table1",
     "render_table2",
     "render_table_results",
     "run_benchmark",
     "run_table",
     "shape_summary",
+    "synthesize_network",
 ]

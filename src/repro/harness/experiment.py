@@ -30,7 +30,12 @@ from repro.engine.decomposer import Decomposer, VerificationError
 from repro.engine.request import Divisor
 from repro.spp.spp_cover import SppCover
 from repro.spp.synthesis import minimize_spp
-from repro.techmap.area import area_of_bidecomposition, area_of_spp_covers
+from repro.techmap.area import (
+    area_of_bidecomposition,
+    area_of_spp_covers,
+    isolated_area_of_bidecomposition,
+    isolated_area_of_spp_covers,
+)
 from repro.techmap.genlib import GateLibrary
 from repro.utils.timing import Stopwatch
 
@@ -51,7 +56,15 @@ class OutputArtifacts:
 
 @dataclass
 class BenchmarkResult:
-    """One row of Table III / IV (our measurement)."""
+    """One row of Table III / IV (our measurement).
+
+    The ``area_*`` columns are *network-aware*: each is the mapped area
+    of one multi-output network, so a gate two outputs share is counted
+    once.  The ``*_isolated`` columns map every output's cover as its
+    own network and sum the areas — the per-output accounting — kept
+    alongside for comparison (``None`` on rows reassembled from older
+    cached payloads).
+    """
 
     name: str
     n_inputs: int
@@ -63,6 +76,8 @@ class BenchmarkResult:
     pct_reduction: float
     op_areas: dict[str, float]
     op_gains: dict[str, float]
+    area_f_isolated: float | None = None
+    op_areas_isolated: dict[str, float] | None = None
     artifacts: list[OutputArtifacts] | None = None
 
     @property
@@ -147,16 +162,21 @@ def run_benchmark(
 
     area_f = area_of_spp_covers(f_covers, names, library)
     area_g = area_of_spp_covers(g_covers, names, library)
+    area_f_isolated = isolated_area_of_spp_covers(f_covers, names, library)
     pct_errors = 100.0 * output_error_rate(error_pairs)
     pct_reduction = 100.0 * (area_f - area_g) / area_f if area_f else 0.0
 
     op_areas: dict[str, float] = {}
     op_gains: dict[str, float] = {}
+    op_areas_isolated: dict[str, float] = {}
     for op_name in operators:
         area_op = area_of_bidecomposition(pairs_by_op[op_name], op_name, names, library)
         op_areas[op_name] = area_op
         op_gains[op_name] = (
             100.0 * (area_f - area_op) / area_f if area_f else 0.0
+        )
+        op_areas_isolated[op_name] = isolated_area_of_bidecomposition(
+            pairs_by_op[op_name], op_name, names, library
         )
 
     return BenchmarkResult(
@@ -170,6 +190,8 @@ def run_benchmark(
         pct_reduction=pct_reduction,
         op_areas=op_areas,
         op_gains=op_gains,
+        area_f_isolated=area_f_isolated,
+        op_areas_isolated=op_areas_isolated,
         artifacts=artifacts if keep_artifacts else None,
     )
 
@@ -210,6 +232,41 @@ def decompose_suite(
     )
 
 
+def synthesize_network(
+    benchmark: str | BenchmarkInstance,
+    config=None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    backend: str = "auto",
+    library: GateLibrary | None = None,
+):
+    """Synthesize one shared multi-output network for a benchmark.
+
+    The netsyn counterpart of :func:`run_benchmark`: instead of
+    decomposing every output in isolation, the whole instance becomes a
+    single :class:`~repro.techmap.network.LogicNetwork` with divisors
+    and residual blocks shared across outputs through a canonical-hash
+    pool (see :mod:`repro.netsyn`).  ``jobs`` prefetches the top-level
+    decompositions through the engine's worker pool; ``cache_dir``
+    persists finished networks (keys are backend-free, so a cache
+    warmed under one backend serves the other).  Returns a
+    :class:`~repro.netsyn.synthesis.NetworkSynthesisResult`.
+    """
+    from repro.netsyn.synthesis import synthesize_instance
+
+    instance = (
+        load_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    )
+    return synthesize_instance(
+        instance,
+        config=config,
+        jobs=jobs,
+        cache=cache_dir,
+        library=library,
+        backend=backend,
+    )
+
+
 def _benchmark_result_payload(result: BenchmarkResult) -> dict:
     """JSON-ready form of a result (artifacts are never cached/shipped)."""
     return {
@@ -223,6 +280,12 @@ def _benchmark_result_payload(result: BenchmarkResult) -> dict:
         "pct_reduction": result.pct_reduction,
         "op_areas": dict(result.op_areas),
         "op_gains": dict(result.op_gains),
+        "area_f_isolated": result.area_f_isolated,
+        "op_areas_isolated": (
+            dict(result.op_areas_isolated)
+            if result.op_areas_isolated is not None
+            else None
+        ),
     }
 
 

@@ -105,7 +105,14 @@ def render_table2() -> str:
 def render_table_results(
     results: list[BenchmarkResult], table: str, with_paper: bool = True
 ) -> str:
-    """Render measured Table III/IV rows (optionally with paper values)."""
+    """Render measured Table III/IV rows (optionally with paper values).
+
+    The two trailing columns compare the network-aware ``Area f``
+    (shared gates counted once) with the per-output isolated sum:
+    ``F iso`` is that sum and ``Shr%`` the sharing saving.  Paper rows
+    (and rows reassembled from pre-netsyn cache payloads) leave them
+    blank.
+    """
     title = (
         f"TABLE {table} - EXPERIMENTAL COMPARISON"
         f" ({'error rate < 10%' if table == 'III' else 'error rate > 40%'})"
@@ -113,16 +120,28 @@ def render_table_results(
     header = (
         f"{'Benchmark':<16} {'Time(s)':>8} {'Area f':>8} {'Area g':>8}"
         f" {'%Errors':>8} {'%Red.':>8} {'AreaAND':>8} {'GainAND%':>9}"
-        f" {'Area6=>':>8} {'Gain6=>%':>9}"
+        f" {'Area6=>':>8} {'Gain6=>%':>9} {'F iso':>8} {'Shr%':>6}"
     )
     lines = [title, header, "-" * len(header)]
     for result in results:
+        if result.area_f_isolated is not None and result.area_f_isolated:
+            sharing = (
+                100.0
+                * (result.area_f_isolated - result.area_f)
+                / result.area_f_isolated
+            )
+            isolated_cols = (
+                f" {result.area_f_isolated:>8.0f} {sharing:>6.2f}"
+            )
+        else:
+            isolated_cols = f" {'-':>8} {'-':>6}"
         lines.append(
             f"{result.name + f' ({result.n_inputs}/{result.n_outputs})':<16}"
             f" {result.time_s:>8.2f} {result.area_f:>8.0f} {result.area_g:>8.0f}"
             f" {result.pct_errors:>8.2f} {result.pct_reduction:>8.2f}"
             f" {result.area_and:>8.0f} {result.gain_and:>9.2f}"
             f" {result.area_nimp:>8.0f} {result.gain_nimp:>9.2f}"
+            f"{isolated_cols}"
         )
         if with_paper and result.name in PAPER_ROWS:
             row = PAPER_ROWS[result.name]
@@ -131,6 +150,42 @@ def render_table_results(
                 f" {row.area_g:>8.0f} {row.pct_errors:>8.2f}"
                 f" {row.pct_reduction:>8.2f} {row.area_and:>8.0f}"
                 f" {row.gain_and:>9.2f} {row.area_nimp:>8.0f}"
-                f" {row.gain_nimp:>9.2f}"
+                f" {row.gain_nimp:>9.2f} {'-':>8} {'-':>6}"
             )
+    return "\n".join(lines)
+
+
+def render_network_results(results) -> str:
+    """Render shared-network synthesis rows (netsyn results).
+
+    ``results`` holds :class:`~repro.netsyn.synthesis.NetworkSynthesisResult`
+    items; the table compares the shared network's mapped area against
+    the per-output isolated sum and reports the divisor-pool hit rate.
+    """
+    title = "SHARED MULTI-OUTPUT NETWORK SYNTHESIS (netsyn)"
+    header = (
+        f"{'Benchmark':<16} {'Outs':>5} {'Time(s)':>8} {'Shared':>8}"
+        f" {'Isolated':>9} {'Save%':>7} {'Gates':>6} {'G iso':>6}"
+        f" {'Pool%':>6} {'Cached':>7}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.name:<16} {len(result.output_names):>5}"
+            f" {result.time_s:>8.2f} {result.shared_area:>8.0f}"
+            f" {result.isolated_area:>9.0f} {result.saving_pct:>7.2f}"
+            f" {result.shared_gate_count:>6} {result.isolated_gate_count:>6}"
+            f" {100 * result.pool_hit_rate:>6.1f}"
+            f" {'yes' if result.cached else 'no':>7}"
+        )
+    total_shared = sum(r.shared_area for r in results)
+    total_isolated = sum(r.isolated_area for r in results)
+    if total_isolated:
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<16} {sum(len(r.output_names) for r in results):>5}"
+            f" {sum(r.time_s for r in results):>8.2f} {total_shared:>8.0f}"
+            f" {total_isolated:>9.0f}"
+            f" {100 * (total_isolated - total_shared) / total_isolated:>7.2f}"
+        )
     return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Cross-output divisor pool keyed by canonical function hashes.
+
+The pool maps *functions already realized in the shared network* to
+their node ids.  Keys are the backend-free canonical fingerprints of
+:func:`repro.bdd.serialize.function_fingerprint`, so a function computed
+under the BDD backend and one computed under the bitset backend meet in
+the same pool slot.  Registration is polarity-aware — both ``g`` and
+``¬g`` are indexed at insert time — so a block needed in the opposite
+phase costs one inverter instead of a second copy of the logic.
+
+For incompletely specified residual blocks the pool can also answer
+*interval* queries: any pooled function (or its complement) that is a
+completion of the block's ``[on, on ∪ dc]`` interval may realize it, so
+an output can absorb a sibling's divisor instead of minimizing and
+decomposing its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bdd.serialize import function_fingerprint
+from repro.boolfunc.isf import ISF
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One realized block: network node, its function, and provenance."""
+
+    node: int
+    function: object  # Function (either backend)
+    fingerprint: str
+    label: str = ""
+
+
+class DivisorPool:
+    """Canonical-hash index of realized blocks in one shared network.
+
+    ``stats`` counts lookups/hits by kind; :meth:`hit_rate` summarizes
+    them for reports.
+    """
+
+    def __init__(self, match_intervals: bool = True) -> None:
+        #: fingerprint -> (node id, realized-in-complement flag).
+        self._by_hash: dict[str, tuple[int, bool]] = {}
+        self.entries: list[PoolEntry] = []
+        self.match_intervals = match_intervals
+        self.stats = {
+            "lookups": 0,
+            "hits": 0,
+            "complement_hits": 0,
+            "interval_lookups": 0,
+            "interval_hits": 0,
+            "registered": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, function) -> tuple[int, bool] | None:
+        """Find a node computing ``function`` (or its complement).
+
+        Returns ``(node, complemented)`` — the caller adds an inverter
+        when ``complemented`` is true — or ``None`` on a miss.
+        """
+        self.stats["lookups"] += 1
+        hit = self._by_hash.get(function_fingerprint(function))
+        if hit is None:
+            return None
+        self.stats["hits"] += 1
+        if hit[1]:
+            self.stats["complement_hits"] += 1
+        return hit
+
+    def lookup_completion(self, isf: ISF) -> tuple[int, bool, object] | None:
+        """Find a pooled block realizing *some* completion of an ISF.
+
+        Completely specified blocks go through the O(1) hash index; a
+        block with flexibility scans the pool for an entry whose
+        function (or complement) lies in ``[on, on ∪ dc]``.  Returns
+        ``(node, complemented, realized_function)`` or ``None``.
+        """
+        if isf.dc.is_false:
+            hit = self.lookup(isf.on)
+            if hit is None:
+                return None
+            return hit[0], hit[1], isf.on
+        if not self.match_intervals:
+            return None
+        self.stats["interval_lookups"] += 1
+        for entry in self.entries:
+            if isf.is_completion(entry.function):
+                self.stats["interval_hits"] += 1
+                return entry.node, False, entry.function
+            complement = ~entry.function
+            if isf.is_completion(complement):
+                self.stats["interval_hits"] += 1
+                return entry.node, True, complement
+        return None
+
+    # -- updates ----------------------------------------------------------
+
+    def register(self, function, node: int, label: str = "") -> None:
+        """Index a realized block under both polarities (first one wins)."""
+        fingerprint = function_fingerprint(function)
+        if fingerprint in self._by_hash:
+            return
+        self._by_hash[fingerprint] = (node, False)
+        self._by_hash[function_fingerprint(~function)] = (node, True)
+        self.entries.append(PoolEntry(node, function, fingerprint, label))
+        self.stats["registered"] += 1
+
+    # -- reporting --------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups (hash + interval) served from the pool."""
+        lookups = self.stats["lookups"] + self.stats["interval_lookups"]
+        hits = self.stats["hits"] + self.stats["interval_hits"]
+        return hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:
+        return f"DivisorPool({len(self.entries)} entries, stats={self.stats})"
+
+
+__all__ = ["DivisorPool", "PoolEntry"]

@@ -1,0 +1,42 @@
+"""Output scheduling for shared-network synthesis.
+
+Outputs are processed in a greedy support-overlap order: start with the
+narrowest output, then repeatedly pick the output whose support overlaps
+the already-processed region most.  Outputs that share variables tend to
+share sub-logic, so by the time a wide output is decomposed, the pool
+already holds the blocks its narrow siblings contributed — the order
+maximizes the chance of divisor reuse without any lookahead.
+
+The schedule is deterministic (ties break on smaller support, then on
+input order), which keeps synthesized networks byte-identical across
+runs, backends, and worker counts.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc.isf import ISF
+
+
+def output_support(isf: ISF) -> frozenset[str]:
+    """Variables either set of an ISF depends on."""
+    return frozenset(isf.on.support()) | frozenset(isf.dc.support())
+
+
+def schedule_by_overlap(outputs: list[ISF]) -> list[int]:
+    """Greedy support-overlap order over output indices."""
+    supports = [output_support(isf) for isf in outputs]
+    remaining = set(range(len(outputs)))
+    covered: set[str] = set()
+    order: list[int] = []
+    while remaining:
+        pick = min(
+            remaining,
+            key=lambda i: (-len(supports[i] & covered), len(supports[i]), i),
+        )
+        order.append(pick)
+        remaining.remove(pick)
+        covered |= supports[pick]
+    return order
+
+
+__all__ = ["output_support", "schedule_by_overlap"]

@@ -24,6 +24,7 @@ from repro.boolfunc.isf import ISF
 from repro.cover.cover import Cover
 from repro.spp.pseudocube import Pseudocube, XorFactor
 from repro.spp.spp_cover import SppCover
+from repro.twolevel.chains import ChainMemo, irredundant_sweep
 from repro.twolevel.covering import CoveringProblem, solve_covering
 from repro.twolevel.espresso import espresso_minimize
 from repro.cover.cube import Cube
@@ -203,23 +204,25 @@ class ExpandMemo:
         self.dead_ends: set[tuple] = set()
 
 
-def _spp_irredundant(cover: SppCover, dc: Function, mgr: BDD) -> SppCover:
-    """Single irredundancy sweep with prefix/suffix unions."""
-    pseudocubes = cover.pseudocubes
-    if not pseudocubes:
+def _spp_irredundant(
+    cover: SppCover,
+    dc: Function,
+    mgr: BDD,
+    memo: ChainMemo | None = None,
+) -> SppCover:
+    """Single irredundancy sweep with prefix/suffix unions.
+
+    ``memo`` interns the prefix/suffix OR chains across the restart
+    rounds of :func:`minimize_spp_heuristic` (see
+    :mod:`repro.twolevel.chains`); pseudocubes whose chain context is
+    unchanged since the last round cost a dictionary lookup instead of a
+    rebuilt union and containment check.
+    """
+    if not cover.pseudocubes:
         return cover
-    functions = [pc.to_function(mgr) for pc in pseudocubes]
-    suffix: list[Function] = [mgr.false] * (len(pseudocubes) + 1)
-    for index in range(len(pseudocubes) - 1, -1, -1):
-        suffix[index] = suffix[index + 1] | functions[index]
-    kept: list[Pseudocube] = []
-    prefix = dc
-    for index, (pc, function) in enumerate(zip(pseudocubes, functions)):
-        rest = prefix | suffix[index + 1]
-        if function <= rest:
-            continue
-        kept.append(pc)
-        prefix = prefix | function
+    kept = irredundant_sweep(
+        cover.pseudocubes, lambda pc: pc.to_function(mgr), dc, memo
+    )
     return SppCover(cover.n_vars, kept)
 
 
@@ -255,14 +258,15 @@ def minimize_spp_heuristic(
         spp = initial.copy()
 
     spp = _merge_fixpoint(spp)
-    spp = _spp_irredundant(spp, dc, mgr)
+    chains = ChainMemo()
+    spp = _spp_irredundant(spp, dc, mgr, chains)
     best = spp
     best_cost = spp.cost()
     memo = ExpandMemo() if memoize_expansion else None
     for _iteration in range(max_iterations):
         spp = _spp_expand(spp, off, mgr, memo)
         spp = _merge_fixpoint(spp)
-        spp = _spp_irredundant(spp, dc, mgr)
+        spp = _spp_irredundant(spp, dc, mgr, chains)
         cost = spp.cost()
         if cost < best_cost:
             best, best_cost = spp, cost

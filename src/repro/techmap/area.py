@@ -59,36 +59,38 @@ def area_of_bidecomposition(
         op = operator_by_name(op)
     network = LogicNetwork(input_names)
     for index, (g_cover, h_cover) in enumerate(pairs):
-        g_root = network.add_spp_cover(g_cover, f"_g{index}")
-        h_root = network.add_spp_cover(h_cover, f"_h{index}")
-        out00, out01, out10, out11 = op.truth_row()
-        row = (out00, out01, out10, out11)
-        if row == (False, False, False, True):  # AND
-            root = network.binary("and", g_root, h_root)
-        elif row == (False, False, True, True):  # projection to g (degenerate)
-            root = g_root
-        elif row == (False, False, True, False):  # g AND NOT h  (6⇒)
-            root = network.binary("and", g_root, network.negate(h_root))
-        elif row == (False, True, False, False):  # NOT g AND h  (6⇐)
-            root = network.binary("and", network.negate(g_root), h_root)
-        elif row == (True, False, False, False):  # NOR
-            root = network.negate(network.binary("or", g_root, h_root))
-        elif row == (False, True, True, True):  # OR
-            root = network.binary("or", g_root, h_root)
-        elif row == (True, True, False, True):  # IMPLIES: ~g + h
-            root = network.binary("or", network.negate(g_root), h_root)
-        elif row == (True, False, True, True):  # IMPLIED_BY: g + ~h
-            root = network.binary("or", g_root, network.negate(h_root))
-        elif row == (True, True, True, False):  # NAND
-            root = network.negate(network.binary("and", g_root, h_root))
-        elif row == (False, True, True, False):  # XOR
-            root = network.binary("xor", g_root, h_root)
-        elif row == (True, False, False, True):  # XNOR
-            root = network.negate(network.binary("xor", g_root, h_root))
-        else:
-            raise ValueError(f"unsupported operator row {row}")
-        # Replace the helper outputs with the combined one.
-        del network.outputs[f"_g{index}"]
-        del network.outputs[f"_h{index}"]
+        g_root = network.spp_cover_root(g_cover)
+        h_root = network.spp_cover_root(h_cover)
+        root = network.operator_root(op.truth_row(), g_root, h_root)
         network.set_output(f"f{index}", root)
     return map_network(network, library).area
+
+
+def isolated_area_of_spp_covers(
+    covers: list[SppCover],
+    input_names: list[str] | tuple[str, ...],
+    library: GateLibrary | None = None,
+) -> float:
+    """Per-output area sum: each 2-SPP cover mapped as its own network.
+
+    The isolated counterpart of :func:`area_of_spp_covers` — gates (and
+    input inverters) shared between outputs are counted once *per
+    output* here, so ``isolated - shared`` measures the cross-output
+    structural sharing the single-network accounting captures.
+    """
+    return sum(
+        area_of_spp_covers([cover], input_names, library) for cover in covers
+    )
+
+
+def isolated_area_of_bidecomposition(
+    pairs: list[tuple[SppCover, SppCover]],
+    op: BinaryOperator | str,
+    input_names: list[str] | tuple[str, ...],
+    library: GateLibrary | None = None,
+) -> float:
+    """Per-output area sum of a bi-decomposed realization (no sharing)."""
+    return sum(
+        area_of_bidecomposition([pair], op, input_names, library)
+        for pair in pairs
+    )

@@ -6,6 +6,13 @@ Builders construct the natural circuit of an SOP (AND-OR with input
 inverters) or of a 2-SPP form (XOR-AND-OR), with wide gates binarized
 into *left-deep* chains — the same shape the genlib pattern trees use,
 so the tree mapper can recognize multi-input cells (nand3, aoi21, ...).
+
+Construction is *strashed*: structural hashing with commutative operand
+normalization plus local constant/complement folding keeps the DAG
+non-redundant, so a gate built twice — by different outputs of a
+multi-output network, or in either operand order — materializes exactly
+once and :meth:`LogicNetwork.gate_count` / the area mapper count shared
+logic once.
 """
 
 from __future__ import annotations
@@ -73,8 +80,22 @@ class LogicNetwork:
             return self.const(0)
         return self._add(Node("not", (node_id,)))
 
+    def _complementary(self, left: int, right: int) -> bool:
+        """True iff one operand is the NOT of the other."""
+        left_node = self.nodes[left]
+        right_node = self.nodes[right]
+        return (left_node.kind == "not" and left_node.fanins[0] == right) or (
+            right_node.kind == "not" and right_node.fanins[0] == left
+        )
+
     def binary(self, kind: str, left: int, right: int) -> int:
-        """Binary ``and``/``or``/``xor`` node with trivial simplifications."""
+        """Binary ``and``/``or``/``xor`` node with local folding.
+
+        Constants, repeated operands (``x op x``), and complementary
+        operands (``x op ~x``) fold away; the surviving node is hashed
+        with its operands in sorted order, so both operand orders of
+        these commutative gates share one node.
+        """
         if kind not in ("and", "or", "xor"):
             raise ValueError(f"bad binary kind {kind!r}")
         left_kind = self.nodes[left].kind
@@ -86,6 +107,10 @@ class LogicNetwork:
                 return right
             if right_kind == "const1":
                 return left
+            if left == right:
+                return left
+            if self._complementary(left, right):
+                return self.const(0)
         elif kind == "or":
             if left_kind == "const1" or right_kind == "const1":
                 return self.const(1)
@@ -93,6 +118,10 @@ class LogicNetwork:
                 return right
             if right_kind == "const0":
                 return left
+            if left == right:
+                return left
+            if self._complementary(left, right):
+                return self.const(1)
         else:
             if left_kind == "const0":
                 return right
@@ -102,6 +131,12 @@ class LogicNetwork:
                 return self.negate(right)
             if right_kind == "const1":
                 return self.negate(left)
+            if left == right:
+                return self.const(0)
+            if self._complementary(left, right):
+                return self.const(1)
+        if left > right:
+            left, right = right, left
         return self._add(Node(kind, (left, right)))
 
     def chain(self, kind: str, operands: list[int]) -> int:
@@ -118,8 +153,8 @@ class LogicNetwork:
         self.outputs[name] = node_id
 
     # -- builders -----------------------------------------------------------
-    def add_cover(self, cover: Cover, output_name: str) -> int:
-        """Add the AND-OR circuit of an SOP cover; returns the root id."""
+    def cover_root(self, cover: Cover) -> int:
+        """Root id of the AND-OR circuit of an SOP cover (no output set)."""
         names = list(self._inputs)
         products = []
         for cube in cover.cubes:
@@ -129,12 +164,16 @@ class LogicNetwork:
             for var in bit_indices(cube.neg):
                 literals.append(self.negate(self.input_id(names[var])))
             products.append(self.chain("and", literals))
-        root = self.chain("or", products)
+        return self.chain("or", products)
+
+    def add_cover(self, cover: Cover, output_name: str) -> int:
+        """Add the AND-OR circuit of an SOP cover; returns the root id."""
+        root = self.cover_root(cover)
         self.set_output(output_name, root)
         return root
 
-    def add_spp_cover(self, cover: SppCover, output_name: str) -> int:
-        """Add the XOR-AND-OR circuit of a 2-SPP cover; returns the root id."""
+    def spp_cover_root(self, cover: SppCover) -> int:
+        """Root id of the XOR-AND-OR circuit of a 2-SPP cover (no output)."""
         names = list(self._inputs)
         products = []
         for pc in cover.pseudocubes:
@@ -149,9 +188,56 @@ class LogicNetwork:
                 )
                 factors.append(gate if xor.phase else self.negate(gate))
             products.append(self.chain("and", factors))
-        root = self.chain("or", products)
+        return self.chain("or", products)
+
+    def add_spp_cover(self, cover: SppCover, output_name: str) -> int:
+        """Add the XOR-AND-OR circuit of a 2-SPP cover; returns the root id."""
+        root = self.spp_cover_root(cover)
         self.set_output(output_name, root)
         return root
+
+    def any_cover_root(self, cover) -> int:
+        """Root of either cover flavour (``SppCover`` or plain ``Cover``)."""
+        if isinstance(cover, SppCover):
+            return self.spp_cover_root(cover)
+        if isinstance(cover, Cover):
+            return self.cover_root(cover)
+        raise TypeError(
+            f"cannot instantiate cover of type {type(cover).__name__};"
+            " expected SppCover or Cover"
+        )
+
+    def operator_root(self, truth_row: tuple, g_root: int, h_root: int) -> int:
+        """Combine two roots with a binary operator given by its truth row.
+
+        ``truth_row`` lists the outputs on ``(g, h)`` = (0,0), (0,1),
+        (1,0), (1,1) — the :meth:`repro.core.operators.BinaryOperator.truth_row`
+        form — and is realized with the cheapest primitive-gate shape.
+        """
+        row = tuple(bool(bit) for bit in truth_row)
+        if row == (False, False, False, True):  # AND
+            return self.binary("and", g_root, h_root)
+        if row == (False, False, True, True):  # projection to g (degenerate)
+            return g_root
+        if row == (False, False, True, False):  # g AND NOT h  (6⇒)
+            return self.binary("and", g_root, self.negate(h_root))
+        if row == (False, True, False, False):  # NOT g AND h  (6⇐)
+            return self.binary("and", self.negate(g_root), h_root)
+        if row == (True, False, False, False):  # NOR
+            return self.negate(self.binary("or", g_root, h_root))
+        if row == (False, True, True, True):  # OR
+            return self.binary("or", g_root, h_root)
+        if row == (True, True, False, True):  # IMPLIES: ~g + h
+            return self.binary("or", self.negate(g_root), h_root)
+        if row == (True, False, True, True):  # IMPLIED_BY: g + ~h
+            return self.binary("or", g_root, self.negate(h_root))
+        if row == (True, True, True, False):  # NAND
+            return self.negate(self.binary("and", g_root, h_root))
+        if row == (False, True, True, False):  # XOR
+            return self.binary("xor", g_root, h_root)
+        if row == (True, False, False, True):  # XNOR
+            return self.negate(self.binary("xor", g_root, h_root))
+        raise ValueError(f"unsupported operator row {row}")
 
     # -- analysis -------------------------------------------------------------
     def evaluate(self, assignment: dict[str, bool]) -> dict[str, bool]:
@@ -193,3 +279,41 @@ class LogicNetwork:
             for node in self.nodes
             if node.kind not in ("input", "const0", "const1")
         )
+
+    def extract_cone(self, output_name: str) -> "LogicNetwork":
+        """Copy one output's cone into a fresh single-output network.
+
+        The copy declares the same primary inputs (so areas stay
+        comparable) but contains only the logic reachable from the named
+        output — the *isolated* realization of that output, duplicating
+        anything the source network shared with its siblings.  The walk
+        is iterative: left-deep chains make cones as deep as a cover is
+        wide.
+        """
+        root = self.outputs[output_name]
+        isolated = LogicNetwork(list(self._inputs))
+        mapping: dict[int, int] = {}
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node_id, emit = stack.pop()
+            if node_id in mapping:
+                continue
+            node = self.nodes[node_id]
+            if node.kind == "input":
+                mapping[node_id] = isolated.input_id(node.name)
+                continue
+            if node.kind in ("const0", "const1"):
+                mapping[node_id] = isolated.const(node.kind == "const1")
+                continue
+            if not emit:
+                stack.append((node_id, True))
+                for fanin in node.fanins:
+                    stack.append((fanin, False))
+                continue
+            fanins = tuple(mapping[fanin] for fanin in node.fanins)
+            if node.kind == "not":
+                mapping[node_id] = isolated.negate(fanins[0])
+            else:
+                mapping[node_id] = isolated.binary(node.kind, *fanins)
+        isolated.set_output(output_name, mapping[root])
+        return isolated

@@ -1,0 +1,171 @@
+"""Incremental prefix/suffix OR chains for the irredundant sweeps.
+
+Both irredundant passes — espresso's (:func:`repro.twolevel.espresso._irredundant`)
+and the 2-SPP one (:func:`repro.spp.synthesis._spp_irredundant`) — test
+each cover item against the union of *everything else*: a suffix chain
+``suffix[i] = item[i] | suffix[i+1]`` built right-to-left, and a prefix
+union grown left-to-right from the dc-set over the kept items.
+
+The minimization loops restart these sweeps every round, and successive
+rounds see largely the same cover, so rebuilding both chains from
+scratch re-pays N BDD ORs (plus N containment checks) for work that was
+already done.  A :class:`ChainMemo` interns the chains instead: every
+``(item, rest)`` suffix link and every ``(kept-so-far, item)`` prefix
+link gets a small integer token, and the OR result — and the final
+containment verdict — is cached per token.  A restart whose cover tail
+is unchanged walks the interned chain with dictionary lookups only.
+
+Memoization is exact, not heuristic: tokens encode the item sequence
+and the base (dc) function precisely, so a memoized sweep returns the
+same kept set the from-scratch sweep would.  The memo's lifetime is one
+minimization call (the dc-set and manager are fixed within it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+#: Token of the empty suffix (no items to the right).
+_EMPTY = 0
+
+
+class ChainMemo:
+    """Interned prefix/suffix OR chains shared across sweep restarts.
+
+    ``stats`` counts chain-link and verdict reuse so ablations (and
+    curious callers) can see how much of a restart was served from the
+    memo.
+    """
+
+    __slots__ = (
+        "functions",
+        "_suffix",
+        "_prefix",
+        "_bases",
+        "_rest",
+        "_verdicts",
+        "_next_token",
+        "stats",
+    )
+
+    def __init__(self) -> None:
+        #: item -> its BDD/bitset function (items are immutable cubes).
+        self.functions: dict[Hashable, object] = {}
+        #: (item, rest_token) -> (token, suffix function).
+        self._suffix: dict[tuple, tuple[int, object]] = {}
+        #: (prev_token, item) -> (token, prefix function).
+        self._prefix: dict[tuple, tuple[int, object]] = {}
+        #: base function (the dc-set) -> its prefix-chain start token.
+        self._bases: dict[object, int] = {}
+        #: (prefix_token, suffix_token) -> prefix | suffix.
+        self._rest: dict[tuple[int, int], object] = {}
+        #: (item, prefix_token, suffix_token) -> redundancy verdict.
+        self._verdicts: dict[tuple, bool] = {}
+        self._next_token = _EMPTY + 1
+        self.stats = {
+            "sweeps": 0,
+            "link_hits": 0,
+            "link_misses": 0,
+            "verdict_hits": 0,
+            "verdict_misses": 0,
+        }
+
+    def _token(self) -> int:
+        token = self._next_token
+        self._next_token += 1
+        return token
+
+    def _function_of(self, item: Hashable, to_function: Callable) -> object:
+        function = self.functions.get(item)
+        if function is None:
+            function = to_function(item)
+            self.functions[item] = function
+        return function
+
+    def sweep(
+        self,
+        items: Iterable[Hashable],
+        to_function: Callable,
+        base,
+    ) -> list:
+        """One irredundant sweep: keep items not covered by the rest.
+
+        ``base`` is the union every "rest" starts from (the dc-set).
+        Returns the kept items in order, exactly as the non-memoized
+        prefix/suffix sweep would.
+        """
+        items = list(items)
+        self.stats["sweeps"] += 1
+        if not items:
+            return []
+        mgr = base.mgr
+        functions = [self._function_of(item, to_function) for item in items]
+
+        # Suffix chain, right to left; token 0 is the empty suffix.
+        count = len(items)
+        suffix_tokens = [_EMPTY] * (count + 1)
+        suffix_functions = [mgr.false] * (count + 1)
+        for index in range(count - 1, -1, -1):
+            key = (items[index], suffix_tokens[index + 1])
+            entry = self._suffix.get(key)
+            if entry is None:
+                self.stats["link_misses"] += 1
+                entry = (
+                    self._token(),
+                    suffix_functions[index + 1] | functions[index],
+                )
+                self._suffix[key] = entry
+            else:
+                self.stats["link_hits"] += 1
+            suffix_tokens[index], suffix_functions[index] = entry
+
+        # Prefix chain, left to right over the *kept* items, seeded by
+        # the base (dc) function: distinct bases start distinct chains.
+        prefix_token = self._bases.get(base)
+        if prefix_token is None:
+            prefix_token = self._token()
+            self._bases[base] = prefix_token
+        prefix_function = base
+        kept: list = []
+        for index, (item, function) in enumerate(zip(items, functions)):
+            verdict_key = (item, prefix_token, suffix_tokens[index + 1])
+            redundant = self._verdicts.get(verdict_key)
+            if redundant is None:
+                self.stats["verdict_misses"] += 1
+                rest_key = (prefix_token, suffix_tokens[index + 1])
+                rest = self._rest.get(rest_key)
+                if rest is None:
+                    rest = prefix_function | suffix_functions[index + 1]
+                    self._rest[rest_key] = rest
+                redundant = function <= rest
+                self._verdicts[verdict_key] = redundant
+            else:
+                self.stats["verdict_hits"] += 1
+            if redundant:
+                continue
+            kept.append(item)
+            prefix_key = (prefix_token, item)
+            entry = self._prefix.get(prefix_key)
+            if entry is None:
+                self.stats["link_misses"] += 1
+                entry = (self._token(), prefix_function | function)
+                self._prefix[prefix_key] = entry
+            else:
+                self.stats["link_hits"] += 1
+            prefix_token, prefix_function = entry
+        return kept
+
+
+def irredundant_sweep(
+    items: Iterable[Hashable],
+    to_function: Callable,
+    base,
+    memo: ChainMemo | None = None,
+) -> list:
+    """Run one sweep, with or without a cross-restart memo."""
+    if memo is None:
+        memo = ChainMemo()
+    return memo.sweep(items, to_function, base)
+
+
+__all__ = ["ChainMemo", "irredundant_sweep"]

@@ -15,6 +15,7 @@ from repro.bdd.ops import isop
 from repro.boolfunc.isf import ISF
 from repro.cover.cover import Cover
 from repro.cover.cube import Cube
+from repro.twolevel.chains import ChainMemo, irredundant_sweep
 from repro.utils.bitops import bit_indices
 
 
@@ -74,23 +75,21 @@ def _expand(cover: Cover, off: Function, mgr: BDD) -> Cover:
     return Cover(cover.n_vars, expanded).single_cube_containment()
 
 
-def _irredundant(cover: Cover, dc: Function, mgr: BDD) -> Cover:
-    """Greedy irredundant pass (single sweep with prefix/suffix unions)."""
-    cubes = cover.cubes
-    if not cubes:
+def _irredundant(
+    cover: Cover, dc: Function, mgr: BDD, memo: ChainMemo | None = None
+) -> Cover:
+    """Greedy irredundant pass (single sweep with prefix/suffix unions).
+
+    ``memo`` carries the interned OR chains across the restart rounds of
+    :func:`espresso_minimize` (see :mod:`repro.twolevel.chains`): a cube
+    whose prefix/suffix context is unchanged since the previous round is
+    re-judged by dictionary lookup instead of a rebuilt union.
+    """
+    if not cover.cubes:
         return cover
-    functions = [cube.to_function(mgr) for cube in cubes]
-    suffix: list[Function] = [mgr.false] * (len(cubes) + 1)
-    for index in range(len(cubes) - 1, -1, -1):
-        suffix[index] = suffix[index + 1] | functions[index]
-    kept: list[Cube] = []
-    prefix = dc
-    for index, (cube, function) in enumerate(zip(cubes, functions)):
-        rest = prefix | suffix[index + 1]
-        if function <= rest:
-            continue  # redundant: covered by the others plus dc
-        kept.append(cube)
-        prefix = prefix | function
+    kept = irredundant_sweep(
+        cover.cubes, lambda cube: cube.to_function(mgr), dc, memo
+    )
     return Cover(cover.n_vars, kept)
 
 
@@ -135,15 +134,18 @@ def espresso_minimize(
         return Cover(mgr.n_vars, [Cube.tautology(mgr.n_vars)])
 
     cover = initial if initial is not None else initial_cover(isf)
+    # One chain memo for the whole minimization: the irredundant sweeps
+    # of successive rounds mostly re-judge unchanged cubes.
+    chains = ChainMemo()
     cover = _expand(cover, off, mgr)
-    cover = _irredundant(cover, dc, mgr)
+    cover = _irredundant(cover, dc, mgr, chains)
     best = cover
     best_cost = _cover_cost(cover)
 
     for _iteration in range(max_iterations):
         cover = _reduce(cover, on, dc, mgr)
         cover = _expand(cover, off, mgr)
-        cover = _irredundant(cover, dc, mgr)
+        cover = _irredundant(cover, dc, mgr, chains)
         cost = _cover_cost(cover)
         if cost < best_cost:
             best, best_cost = cover, cost

@@ -166,3 +166,174 @@ def test_suite_function_hashes_reproducible_on_bitset_backend():
         for isf in instance.outputs
     ]
     assert fingerprints == pr3["hashes"]["newtpla2"]
+
+
+def make_multiout_report(rows: dict, calibration: float = 0.05) -> dict:
+    """Synthetic bench_multiout report; rows map name -> record fields."""
+    return {
+        "format": "repro-bench-multiout/1",
+        "calibration_s": calibration,
+        "workloads": {
+            f"netsyn:{name}": dict(record) for name, record in rows.items()
+        },
+    }
+
+
+def netsyn_row(wall=0.1, shared=100.0, isolated=150.0, verified=True) -> dict:
+    return {
+        "wall_s": wall,
+        "shared_area": shared,
+        "isolated_area": isolated,
+        "verified": verified,
+    }
+
+
+def run_gate_with_netsyn(tmp_path, current, baseline, ns_current, ns_baseline):
+    return gate.main(
+        [
+            str(write(tmp_path, "current.json", current)),
+            "--baseline",
+            str(write(tmp_path, "baseline.json", baseline)),
+            "--netsyn",
+            str(write(tmp_path, "ns_current.json", ns_current)),
+            "--netsyn-baseline",
+            str(write(tmp_path, "ns_baseline.json", ns_baseline)),
+        ]
+    )
+
+
+def test_gate_merges_netsyn_rows_into_geomean(tmp_path):
+    report = make_report({"suite:b": 0.5})
+    ns = make_multiout_report({"z4": netsyn_row()})
+    assert run_gate_with_netsyn(tmp_path, report, report, ns, ns) == 0
+
+
+def test_gate_fails_on_netsyn_slowdown(tmp_path):
+    report = make_report({"suite:b": 0.5})
+    fast = make_multiout_report({"z4": netsyn_row(wall=0.1)})
+    slow = make_multiout_report({"z4": netsyn_row(wall=10.0)})
+    assert run_gate_with_netsyn(tmp_path, report, report, slow, fast) == 1
+
+
+def test_gate_fails_when_sharing_loses(tmp_path):
+    report = make_report({"suite:b": 0.5})
+    good = make_multiout_report({"z4": netsyn_row()})
+    bad = make_multiout_report(
+        {"z4": netsyn_row(shared=200.0, isolated=150.0)}
+    )
+    assert run_gate_with_netsyn(tmp_path, report, report, bad, good) == 1
+
+
+def test_gate_fails_on_netsyn_functional_mismatch(tmp_path):
+    report = make_report({"suite:b": 0.5})
+    good = make_multiout_report({"z4": netsyn_row()})
+    bad = make_multiout_report({"z4": netsyn_row(verified=False)})
+    assert run_gate_with_netsyn(tmp_path, report, report, bad, good) == 1
+
+
+def test_netsyn_invariants_reports_offending_rows():
+    ok = make_multiout_report({"a": netsyn_row()})
+    assert gate.netsyn_invariants(ok) == []
+    bad = make_multiout_report(
+        {
+            "a": netsyn_row(shared=5.0, isolated=1.0),
+            "b": netsyn_row(verified=False),
+        }
+    )
+    failures = gate.netsyn_invariants(bad)
+    assert len(failures) == 2
+
+
+def test_gate_requires_paired_netsyn_arguments(tmp_path):
+    report = make_report({"suite:b": 0.5})
+    with pytest.raises(SystemExit):
+        gate.main(
+            [
+                str(write(tmp_path, "c.json", report)),
+                "--baseline",
+                str(write(tmp_path, "b.json", report)),
+                "--netsyn",
+                str(write(tmp_path, "n.json", report)),
+            ]
+        )
+
+
+def test_committed_multiout_reports_exist_and_hold_invariants():
+    full = committed("BENCH_MULTIOUT_pr5.json")
+    ci = committed("BENCH_MULTIOUT_ci_baseline.json")
+    assert ci["quick"] and not full["quick"]
+    for report in (full, ci):
+        assert gate.netsyn_invariants(report) == []
+        for record in report["workloads"].values():
+            assert record["verified"] is True
+            assert record["shared_area"] <= record["isolated_area"]
+    # The PR acceptance bar: strictly lower on at least a third of the
+    # suite (the committed run is strictly lower on every row).
+    rows = list(full["workloads"].values())
+    strictly = sum(1 for r in rows if r["shared_area"] < r["isolated_area"])
+    assert strictly * 3 >= len(rows)
+    assert all("pool_hit_rate" in r for r in rows)
+
+
+def test_committed_multiout_baseline_passes_combined_gate():
+    assert (
+        gate.main(
+            [
+                str(BENCH_DIR / "output" / "BENCH_BDD_ci_baseline.json"),
+                "--baseline",
+                str(BENCH_DIR / "output" / "BENCH_BDD_ci_baseline.json"),
+                "--netsyn",
+                str(BENCH_DIR / "output" / "BENCH_MULTIOUT_ci_baseline.json"),
+                "--netsyn-baseline",
+                str(BENCH_DIR / "output" / "BENCH_MULTIOUT_ci_baseline.json"),
+            ]
+        )
+        == 0
+    )
+
+
+def test_gate_fails_when_main_pair_has_no_overlap_despite_netsyn(tmp_path):
+    # Netsyn rows joining the geomean must not mask a stale BDD baseline.
+    current = make_report({"suite:new": 0.5})
+    baseline = make_report({"suite:old": 0.5})
+    ns = make_multiout_report({"z4": netsyn_row()})
+    assert run_gate_with_netsyn(tmp_path, current, baseline, ns, ns) == 1
+
+
+def test_gate_fails_when_netsyn_pair_has_no_overlap(tmp_path):
+    report = make_report({"suite:b": 0.5})
+    ns_current = make_multiout_report({"z4": netsyn_row()})
+    ns_baseline = make_multiout_report({"adr4": netsyn_row()})
+    assert (
+        run_gate_with_netsyn(tmp_path, report, report, ns_current, ns_baseline)
+        == 1
+    )
+
+
+def test_multiout_sampled_check_skips_dont_cares():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_multiout", BENCH_DIR / "bench_multiout.py"
+    )
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+
+    from types import SimpleNamespace
+
+    from repro.bdd.manager import BDD
+    from repro.boolfunc.isf import ISF
+    from repro.techmap.network import LogicNetwork
+
+    mgr = BDD(["x1", "x2"])
+    # Interval [x1 & x2, x1]: the constant-completion network below
+    # outputs 1 on the dc minterm x1 & ~x2 — correct, not a mismatch.
+    isf = ISF(mgr.var("x1") & mgr.var("x2"), mgr.var("x1") & ~mgr.var("x2"))
+    network = LogicNetwork(["x1", "x2"])
+    network.set_output("o0", network.input_id("x1"))
+    instance = SimpleNamespace(mgr=mgr, outputs=[isf], name="dc-probe")
+    assert bench._sampled_check(instance, network)
+    # A genuine care-set violation still fails.
+    wrong = LogicNetwork(["x1", "x2"])
+    wrong.set_output("o0", wrong.const(0))
+    assert not bench._sampled_check(instance, wrong)

@@ -65,3 +65,41 @@ def test_bench_json(capsys):
     assert payload[0]["n_inputs"] == 7
     assert set(payload[0]["op_areas"]) == {"AND", "NOT_IMPLIES"}
     assert payload[0]["time_s"] >= 0.0
+
+
+def test_netsyn_text_output(capsys):
+    assert main(["netsyn", "z4", "newtpla2"]) == 0
+    out = capsys.readouterr().out
+    assert "z4" in out and "newtpla2" in out
+    assert "Shared" in out and "Isolated" in out and "total" in out
+
+
+def test_netsyn_json_output(capsys):
+    assert main(["netsyn", "z4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert entry["name"] == "z4"
+    assert entry["outputs"] == 4
+    assert entry["shared_area"] <= entry["isolated_area"]
+    assert entry["pool_stats"]["registered"] > 0
+    assert len(entry["per_output"]) == 4
+
+
+def test_netsyn_jobs_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "netsyn-cache")
+    assert main(["netsyn", "z4", "--jobs", "2", "--cache-dir", cache_dir,
+                 "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)[0]
+    assert cold["cached"] is False
+    assert main(["netsyn", "z4", "--cache-dir", cache_dir, "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)[0]
+    assert warm["cached"] is True
+    assert warm["shared_area"] == cold["shared_area"]
+
+
+def test_netsyn_threshold_flags(capsys):
+    assert main(["netsyn", "z4", "--literal-threshold", "1000000",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)[0]
+    assert all(r["source"] == "cover" for r in payload["per_output"])

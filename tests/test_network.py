@@ -86,9 +86,9 @@ def test_fanout_counts():
     net = LogicNetwork(["a", "b"])
     a, b = net.input_id("a"), net.input_id("b")
     both = net.binary("and", a, b)
-    net.set_output("f", net.binary("or", both, net.negate(both)))
+    net.set_output("f", net.binary("or", both, net.binary("xor", both, a)))
     counts = net.fanout_counts()
-    assert counts[both] == 2  # used by the OR and the NOT
+    assert counts[both] == 2  # used by the OR and the XOR
 
 
 def test_gate_count_excludes_inputs_and_constants():
@@ -111,3 +111,79 @@ def test_shared_cubes_across_outputs_share_structure():
     second_root = net.add_cover(cover, "g")
     assert first_root == second_root
     assert len(net.nodes) == node_count  # nothing new allocated
+
+
+def test_commutative_operands_share_one_node():
+    net = LogicNetwork(["a", "b"])
+    a, b = net.input_id("a"), net.input_id("b")
+    for kind in ("and", "or", "xor"):
+        assert net.binary(kind, a, b) == net.binary(kind, b, a)
+
+
+def test_idempotent_and_complement_folding():
+    net = LogicNetwork(["a", "b"])
+    a = net.input_id("a")
+    not_a = net.negate(a)
+    assert net.binary("and", a, a) == a
+    assert net.binary("or", a, a) == a
+    assert net.nodes[net.binary("xor", a, a)].kind == "const0"
+    assert net.nodes[net.binary("and", a, not_a)].kind == "const0"
+    assert net.nodes[net.binary("and", not_a, a)].kind == "const0"
+    assert net.nodes[net.binary("or", a, not_a)].kind == "const1"
+    assert net.nodes[net.binary("xor", a, not_a)].kind == "const1"
+
+
+def test_operator_root_realizes_all_table1_rows():
+    from repro.core.operators import OPERATORS
+
+    names = ["a", "b"]
+    for op in OPERATORS.values():
+        net = LogicNetwork(names)
+        root = net.operator_root(
+            op.truth_row(), net.input_id("a"), net.input_id("b")
+        )
+        net.set_output("f", root)
+        for m in range(4):
+            want = op((m >> 1) & 1, m & 1)
+            got = net.evaluate(assignment_of(m, names))["f"]
+            assert got == want, op.name
+
+
+def test_extract_cone_is_isolated_and_equivalent():
+    cover = Cover.from_strings(["11--", "--11"])
+    other = Cover.from_strings(["1-1-"])
+    names = ["x1", "x2", "x3", "x4"]
+    net = LogicNetwork(names)
+    net.add_cover(cover, "f")
+    net.add_cover(other, "g")
+    cone = net.extract_cone("f")
+    assert set(cone.outputs) == {"f"}
+    for m in range(16):
+        assignment = assignment_of(m, names)
+        assert cone.evaluate(assignment)["f"] == net.evaluate(assignment)["f"]
+    # The cone of f carries none of g's private logic.
+    assert cone.gate_count() <= net.gate_count()
+
+
+def test_extract_cone_handles_deep_chains():
+    # A cover with many cubes yields a left-deep OR chain deeper than
+    # Python's default recursion limit would tolerate recursively.
+    n = 11
+    names = [f"x{i + 1}" for i in range(n)]
+    cubes = []
+    for m in range(1500):
+        pos = m % (1 << n) or 1
+        neg = (~pos) & ((1 << n) - 1)
+        cubes.append(Cube(n, pos, neg))
+    net = LogicNetwork(names)
+    net.add_cover(Cover(n, cubes), "f")
+    cone = net.extract_cone("f")
+    assert cone.gate_count() == net.gate_count()
+
+
+def test_cover_root_does_not_set_output():
+    net = LogicNetwork(["x1", "x2", "x3", "x4"])
+    root = net.cover_root(Cover.from_strings(["11--"]))
+    assert net.outputs == {}
+    net.set_output("f", root)
+    assert net.outputs == {"f": root}
