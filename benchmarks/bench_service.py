@@ -1,0 +1,452 @@
+#!/usr/bin/env python
+"""Decomposition-service benchmark: latency, coalescing, cache, identity.
+
+Stands a real service up (socket server, pre-warmed fleet) and measures
+what serving buys over one-shot execution::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+Four phases per run:
+
+* **latency** — every output of every suite benchmark is decomposed as
+  its own request against a warm, cache-less server; p50/p99 request
+  latency and throughput come from here.  Each benchmark also runs as a
+  one-shot in-process ``decompose_many(jobs=N)`` — the pre-service way
+  to get parallelism, paying pool spin-up per call — and the report
+  records whether the warm-fleet p50 beats that one-shot wall.
+* **coalesce** — one duplicated request fired concurrently from many
+  client threads; the server must collapse them into one computation
+  (coalesce rate > 0) and every client must receive byte-identical
+  payloads.
+* **cache** — a second server with a sharded on-disk store serves the
+  same batch twice; round two must be pure cache hits.
+* **netsyn** — each benchmark synthesized twice through the service;
+  round two runs with the service-lifetime warm-cover pool and must
+  still produce the identical network.
+
+Every service result is compared against an in-process run with the
+informational channels stripped (``timings``/``bdd_stats`` on decompose
+payloads; ``pool_stats``/``engine_stats``/``time_s`` on netsyn) —
+``summary.all_identical`` certifies byte-identity row by row.  The
+report carries the same ``calibration_s`` yardstick as the other bench
+scripts, so ``check_regression.py --service ...`` folds its wall times
+into the normalized geomean and enforces the service invariants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen.registry import load_benchmark
+from repro.core.operators import EXPERIMENT_OPERATORS
+from repro.engine import wire
+from repro.engine.decomposer import Decomposer
+from repro.engine.parallel import make_work_item
+from repro.netsyn.synthesis import synthesize_instance
+from repro.service import ServerThread, ServiceClient
+
+#: Report identifier; bump on any incompatible layout change.
+REPORT_FORMAT = "repro-bench-service/1"
+
+#: CI subset: the same small rows the other bench scripts gate on.
+SUITE_QUICK = ("newtpla2", "br1", "z4", "adr4")
+
+#: Full run: quick plus medium rows from both regimes.
+SUITE_FULL = SUITE_QUICK + ("dist", "radd", "log8mod", "Z5xp1", "clip")
+
+#: Client threads for the duplicate-load coalescing phase.
+COALESCE_CLIENTS = 8
+
+INFORMATIONAL_RESULT_KEYS = frozenset(("timings", "bdd_stats"))
+INFORMATIONAL_NETSYN_KEYS = frozenset(("pool_stats", "engine_stats", "time_s"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _timed(func):
+    t0 = time.perf_counter()
+    result = func()
+    return time.perf_counter() - t0, result
+
+
+def calibration() -> float:
+    """Wall time of a fixed pure-Python workload (best of three)."""
+
+    def run() -> int:
+        acc = 0
+        for i in range(300_000):
+            acc = (acc * 1103515245 + 12345 + i) & ((1 << 64) - 1)
+        return acc
+
+    best = None
+    for _ in range(3):
+        wall, _ = _timed(run)
+        best = wall if best is None or wall < best else best
+    return best
+
+
+def _stripped(payload: dict, informational: frozenset) -> dict:
+    return {k: v for k, v in payload.items() if k not in informational}
+
+
+def _suite_items(names: tuple[str, ...]) -> dict[str, list[dict]]:
+    """Work items per benchmark (every output, existing wire format)."""
+    items: dict[str, list[dict]] = {}
+    for name in names:
+        instance = load_benchmark(name)
+        items[name] = [
+            make_work_item(
+                f"{name}.o{index}",
+                wire.isf_to_payload(isf),
+                "auto",
+                "expand-full",
+                "spp",
+                True,
+                EXPERIMENT_OPERATORS,
+            )
+            for index, isf in enumerate(instance.outputs)
+        ]
+    return items
+
+
+def _in_process_batch(name: str, jobs: int) -> tuple[float, list[dict]]:
+    """One-shot ``decompose_many(jobs=N)``: fresh engine, fresh pool."""
+    instance = load_benchmark(name)
+    engine = Decomposer(
+        approximator="expand-full",
+        minimizer="spp",
+        operators=EXPERIMENT_OPERATORS,
+        verify=True,
+    )
+    labeled = [
+        (f"{name}.o{index}", isf)
+        for index, isf in enumerate(instance.outputs)
+    ]
+    wall, results = _timed(
+        lambda: engine.decompose_many(labeled, "auto", jobs=jobs)
+    )
+    return wall, [wire.result_to_payload(result) for result in results]
+
+
+def phase_latency(
+    server: ServerThread, suite_items: dict, jobs: int
+) -> tuple[dict, dict]:
+    """Warm per-request latencies vs one-shot batches, per benchmark."""
+    workloads: dict[str, dict] = {}
+    latencies: list[float] = []
+    identical = True
+    with ServiceClient(server.host, server.port) as client:
+        # Warmup round: populate worker-side managers/engines so the
+        # measured rounds see the *service* steady state.
+        for items in suite_items.values():
+            client.decompose_many(items)
+        for name, items in suite_items.items():
+            oneshot_wall, oneshot_payloads = _in_process_batch(name, jobs)
+            request_walls = []
+            row_identical = True
+            for index, item in enumerate(items):
+                wall, (payload, _stats) = _timed(
+                    lambda item=item: client.decompose(item)
+                )
+                request_walls.append(wall)
+                expected = oneshot_payloads[index]
+                if _stripped(
+                    payload, INFORMATIONAL_RESULT_KEYS
+                ) != _stripped(expected, INFORMATIONAL_RESULT_KEYS):
+                    row_identical = False
+            identical = identical and row_identical
+            latencies.extend(request_walls)
+            p50 = statistics.median(request_walls)
+            workloads[f"svc:warm:{name}"] = {
+                "wall_s": sum(request_walls),
+                "requests": len(request_walls),
+                "p50_s": p50,
+                "p99_s": _quantile(request_walls, 0.99),
+                "oneshot_wall_s": oneshot_wall,
+                "warm_p50_below_oneshot": p50 < oneshot_wall,
+                "identical": row_identical,
+            }
+            print(
+                f"svc:warm:{name:14s} p50 {1e3 * p50:7.2f}ms"
+                f"  p99 {1e3 * workloads[f'svc:warm:{name}']['p99_s']:7.2f}ms"
+                f"  oneshot(jobs={jobs}) {oneshot_wall:6.3f}s"
+                f"  {'identical' if row_identical else 'MISMATCH'}",
+                file=sys.stderr,
+            )
+    summary = {
+        "requests": len(latencies),
+        "wall_s": sum(latencies),
+        "p50_s": statistics.median(latencies),
+        "p99_s": _quantile(latencies, 0.99),
+        "throughput_rps": len(latencies) / sum(latencies),
+        "all_identical": identical,
+        "warm_p50_below_oneshot": all(
+            record["warm_p50_below_oneshot"] for record in workloads.values()
+        ),
+    }
+    return workloads, summary
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    position = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[position]
+
+
+def phase_coalesce(server: ServerThread, item: dict) -> dict:
+    """Duplicate concurrent load: one computation, identical replies."""
+    with ServiceClient(server.host, server.port) as probe:
+        before = probe.status()["coalesce"]
+    barrier = threading.Barrier(COALESCE_CLIENTS)
+    payloads: list[str | None] = [None] * COALESCE_CLIENTS
+    errors: list[BaseException] = []
+
+    def fire(slot: int) -> None:
+        try:
+            with ServiceClient(server.host, server.port) as client:
+                barrier.wait()
+                payload, _stats = client.decompose(item)
+                # Clients that race past the coalesce window trigger a
+                # second computation whose informational timings differ;
+                # identity only covers the semantic payload.
+                payloads[slot] = json.dumps(
+                    _stripped(payload, INFORMATIONAL_RESULT_KEYS),
+                    sort_keys=True,
+                )
+        except BaseException as exc:  # noqa: BLE001 — reported in summary
+            errors.append(exc)
+
+    wall, _ = _timed(
+        lambda: _join_all(
+            [
+                threading.Thread(target=fire, args=(slot,))
+                for slot in range(COALESCE_CLIENTS)
+            ]
+        )
+    )
+    with ServiceClient(server.host, server.port) as probe:
+        after = probe.status()["coalesce"]
+    followers = after["followers"] - before["followers"]
+    leaders = after["leaders"] - before["leaders"]
+    arrived = leaders + followers
+    return {
+        "wall_s": wall,
+        "clients": COALESCE_CLIENTS,
+        "errors": len(errors),
+        "leaders": leaders,
+        "followers": followers,
+        "coalesce_rate": followers / arrived if arrived else 0.0,
+        "identical_replies": len(
+            {payload for payload in payloads if payload is not None}
+        )
+        == 1,
+    }
+
+
+def _join_all(threads: list[threading.Thread]) -> None:
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def phase_cache(suite_items: dict, jobs: int, cache_dir: Path) -> dict:
+    """Cold round populates the sharded store; round two must hit it."""
+    with ServerThread(jobs=jobs, cache_dir=str(cache_dir)) as server:
+        with ServiceClient(server.host, server.port) as client:
+            cold_wall, _ = _timed(
+                lambda: [
+                    client.decompose_many(items)
+                    for items in suite_items.values()
+                ]
+            )
+            warm_wall, _ = _timed(
+                lambda: [
+                    client.decompose_many(items)
+                    for items in suite_items.values()
+                ]
+            )
+            status = client.status()
+    cache_stats = status["cache"]
+    lookups = cache_stats["hits"] + cache_stats["misses"]
+    return {
+        "wall_s": warm_wall,
+        "cold_wall_s": cold_wall,
+        "hits": cache_stats["hits"],
+        "misses": cache_stats["misses"],
+        "evictions": cache_stats["evictions"],
+        "entries": cache_stats["entries"],
+        "hit_rate": cache_stats["hits"] / lookups if lookups else 0.0,
+    }
+
+
+def phase_netsyn(server: ServerThread, names: tuple[str, ...]) -> tuple[dict, bool]:
+    """Service netsyn (cold, then warm-pool) vs in-process synthesis."""
+    workloads: dict[str, dict] = {}
+    identical = True
+    with ServiceClient(server.host, server.port) as client:
+        for name in names:
+            cold_wall, (cold, _stats) = _timed(
+                lambda name=name: client.netsyn(benchmark=name)
+            )
+            # A different literal threshold is a different request key,
+            # so this computes — with the pool warmed by every earlier
+            # netsyn — instead of replaying the cached payload.
+            warm_wall, (warm, _warm_stats) = _timed(
+                lambda name=name: client.netsyn(
+                    benchmark=name, config={"literal_threshold": 11}
+                )
+            )
+            expected = wire.netsyn_result_to_payload(
+                synthesize_instance(load_benchmark(name))
+            )
+            row_identical = _stripped(
+                cold, INFORMATIONAL_NETSYN_KEYS
+            ) == _stripped(expected, INFORMATIONAL_NETSYN_KEYS)
+            identical = identical and row_identical
+            workloads[f"svc:netsyn:{name}"] = {
+                "wall_s": cold_wall,
+                "warm_wall_s": warm_wall,
+                "warm_hits": warm["pool_stats"]["warm_hits"],
+                "shared_area": cold["shared_area"],
+                "identical": row_identical,
+            }
+            print(
+                f"svc:netsyn:{name:12s} cold {cold_wall:6.3f}s"
+                f"  warm {warm_wall:6.3f}s"
+                f"  warm-hits {warm['pool_stats']['warm_hits']:3d}"
+                f"  {'identical' if row_identical else 'MISMATCH'}",
+                file=sys.stderr,
+            )
+    return workloads, identical
+
+
+def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
+    suite = SUITE_QUICK if quick else SUITE_FULL
+    calibration_s = calibration()
+    print(f"{'calibration':24s} {calibration_s:.4f}", file=sys.stderr)
+    suite_items = _suite_items(suite)
+
+    with ServerThread(jobs=jobs) as server:
+        latency_workloads, latency_summary = phase_latency(
+            server, suite_items, jobs
+        )
+        # Coalesce on a key the latency phase has *not* computed (a named
+        # operator instead of auto), so the duplicate load actually has
+        # a computation to collapse.
+        largest = max(suite_items, key=lambda name: len(suite_items[name]))
+        coalesce_item = dict(suite_items[largest][0], op="AND")
+        coalesce_record = phase_coalesce(server, coalesce_item)
+        netsyn_workloads, netsyn_identical = phase_netsyn(server, suite)
+
+    cache_record = phase_cache(suite_items, jobs, cache_dir)
+
+    workloads = dict(latency_workloads)
+    workloads.update(netsyn_workloads)
+    workloads["svc:coalesce"] = coalesce_record
+    workloads["svc:cache_warm"] = cache_record
+    print(
+        f"coalesce rate {coalesce_record['coalesce_rate']:.2f}"
+        f"  cache hit rate {cache_record['hit_rate']:.2f}",
+        file=sys.stderr,
+    )
+    return {
+        "format": REPORT_FORMAT,
+        "label": label,
+        "quick": quick,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "calibration_s": round(calibration_s, 6),
+        "workloads": {
+            name: {
+                key: (round(value, 6) if isinstance(value, float) else value)
+                for key, value in record.items()
+            }
+            for name, record in workloads.items()
+        },
+        "summary": {
+            "benchmarks": len(suite),
+            "requests": latency_summary["requests"],
+            "p50_ms": round(1e3 * latency_summary["p50_s"], 3),
+            "p99_ms": round(1e3 * latency_summary["p99_s"], 3),
+            "throughput_rps": round(latency_summary["throughput_rps"], 2),
+            "warm_p50_below_oneshot": latency_summary[
+                "warm_p50_below_oneshot"
+            ],
+            "coalesce_rate": round(coalesce_record["coalesce_rate"], 4),
+            "coalesce_errors": coalesce_record["errors"],
+            "cache_hit_rate": round(cache_record["hit_rate"], 4),
+            "all_identical": (
+                latency_summary["all_identical"]
+                and netsyn_identical
+                and coalesce_record["identical_replies"]
+            ),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI subset")
+    parser.add_argument("--label", default="dev", help="report label")
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="fleet size / one-shot jobs"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="sharded store directory for the cache phase (default: temp)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="report path (default benchmarks/output/BENCH_SERVICE_<label>.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+            report = run(args.quick, args.label, args.jobs, Path(tmp))
+    else:
+        report = run(args.quick, args.label, args.jobs, args.cache_dir)
+
+    output = args.output
+    if output is None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        output = OUTPUT_DIR / f"BENCH_SERVICE_{args.label}.json"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(report["summary"], indent=2))
+    summary = report["summary"]
+    failures = []
+    if not summary["all_identical"]:
+        failures.append("a service result diverged from the in-process run")
+    if summary["coalesce_rate"] <= 0.0:
+        failures.append("duplicate concurrent load did not coalesce")
+    if summary["cache_hit_rate"] <= 0.0:
+        failures.append("warm cache round produced no hits")
+    if summary["coalesce_errors"]:
+        failures.append("coalesce clients saw errors")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,14 @@ pair's own calibrations), and the run additionally fails when any
 current row breaks the sharing invariant ``shared_area <=
 isolated_area`` or flunked its sampled functional check.
 
+``--service``/``--service-baseline`` do the same for a
+``bench_service.py`` pair: its wall times join the merged geomean and
+the run fails unless the current report certifies the service
+invariants — every response byte-identical to the in-process run,
+coalesce rate above zero under duplicate load with zero client errors,
+a warm cache round that actually hit, and a warm-fleet p50 below the
+one-shot ``decompose_many`` wall.
+
 Refresh the committed baselines with ``benchmarks/refresh_baseline.sh``.
 """
 
@@ -112,6 +120,31 @@ def netsyn_invariants(report: dict) -> list[str]:
     return failures
 
 
+def service_invariants(report: dict) -> list[str]:
+    """Summary rows of a ``bench_service`` report violating the gate.
+
+    The service must never change what gets computed (byte-identity),
+    and the serving machinery must demonstrably engage: duplicate load
+    coalesces without client errors, the warm cache round hits, and the
+    warm-fleet p50 beats the one-shot batch wall.
+    """
+    summary = report.get("summary", {})
+    failures: list[str] = []
+    if not summary.get("all_identical"):
+        failures.append("a service response diverged from the in-process run")
+    if summary.get("coalesce_rate", 0.0) <= 0.0:
+        failures.append("duplicate concurrent load did not coalesce")
+    if summary.get("coalesce_errors", 0):
+        failures.append(
+            f"coalesce clients saw {summary['coalesce_errors']} errors"
+        )
+    if summary.get("cache_hit_rate", 0.0) <= 0.0:
+        failures.append("warm cache round produced no hits")
+    if not summary.get("warm_p50_below_oneshot"):
+        failures.append("warm-fleet p50 did not beat the one-shot batch")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly produced report")
@@ -141,9 +174,23 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="committed bench_multiout baseline (required with --netsyn)",
     )
+    parser.add_argument(
+        "--service",
+        type=Path,
+        default=None,
+        help="fresh bench_service report to gate alongside",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        type=Path,
+        default=None,
+        help="committed bench_service baseline (required with --service)",
+    )
     args = parser.parse_args(argv)
     if (args.netsyn is None) != (args.netsyn_baseline is None):
         parser.error("--netsyn and --netsyn-baseline go together")
+    if (args.service is None) != (args.service_baseline is None):
+        parser.error("--service and --service-baseline go together")
 
     result = compare_reports(
         load_report(args.current),
@@ -174,6 +221,21 @@ def main(argv: list[str] | None = None) -> int:
             failed = True
         merged.update(netsyn_result["speedups"])
         netsyn_failures = netsyn_invariants(netsyn_current)
+    service_failures: list[str] = []
+    if args.service is not None:
+        service_current = load_report(args.service)
+        service_result = compare_reports(
+            service_current, load_report(args.service_baseline)
+        )
+        print(
+            f"service calibration scale (current/baseline):"
+            f" {service_result['scale']:.3f}"
+        )
+        if service_result["geomean"] is None:
+            print("FAIL: no common workloads between the service reports")
+            failed = True
+        merged.update(service_result["speedups"])
+        service_failures = service_invariants(service_current)
 
     for name, speedup in sorted(merged.items()):
         marker = "" if speedup >= 1 - args.max_regression else "  << REGRESSION"
@@ -187,6 +249,9 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     for failure in netsyn_failures:
         print(f"FAIL: netsyn invariant: {failure}")
+        failed = True
+    for failure in service_failures:
+        print(f"FAIL: service invariant: {failure}")
         failed = True
     geomean = geomean_of(merged)
     if geomean is None:

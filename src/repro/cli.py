@@ -16,6 +16,12 @@ Usage::
     python -m repro.cli netsyn <name> [...] [--json] [--jobs N] [--cache-dir DIR]
                                [--backend auto|bdd|bitset]
                                [--literal-threshold N] [--max-depth N]
+    python -m repro.cli serve [--host H] [--port P] [--jobs N]
+                              [--cache-dir DIR] [--cache-shards N]
+                              [--cache-max-mb MB] [--no-prewarm]
+    python -m repro.cli serve --status --port P
+    python -m repro.cli client <status|shutdown|netsyn|decompose> [names...]
+                               [--host H] --port P [--op auto]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -175,6 +181,110 @@ def _cmd_netsyn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DecompositionService, ServiceClient, ServiceServer
+
+    if args.status:
+        if not args.port:
+            print("serve --status needs --port", file=sys.stderr)
+            return 2
+        with ServiceClient(args.host, args.port) as client:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+        return 0
+
+    service = DecompositionService(
+        jobs=args.jobs if args.jobs > 0 else None,
+        cache_dir=args.cache_dir,
+        cache_shards=args.cache_shards,
+        cache_max_bytes=(
+            args.cache_max_mb * 1024 * 1024 if args.cache_max_mb else None
+        ),
+        prewarm=not args.no_prewarm,
+    )
+
+    async def _run() -> None:
+        server = ServiceServer(service, args.host, args.port)
+        await server.start()
+        print(
+            f"repro-bidec service listening on {server.host}:{server.port}"
+            f" (fleet={service.fleet.size},"
+            f" cache={'on' if service.cache else 'off'})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    if not args.port:
+        print("client needs --port", file=sys.stderr)
+        return 2
+    with ServiceClient(args.host, args.port) as client:
+        if args.action == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "shutdown":
+            print(json.dumps(client.shutdown()))
+            return 0
+        if not args.names:
+            print(f"client {args.action} needs benchmark names", file=sys.stderr)
+            return 2
+        if args.action == "netsyn":
+            rows = []
+            for name in args.names:
+                result, stats = client.netsyn(benchmark=name)
+                rows.append(
+                    {
+                        "name": name,
+                        "shared_area": result["shared_area"],
+                        "isolated_area": result["isolated_area"],
+                        "shared_gate_count": result["shared_gate_count"],
+                        "served_by": stats["served_by"],
+                        "coalesced": stats["coalesced"],
+                    }
+                )
+            print(json.dumps(rows, indent=2))
+            return 0
+        # action == "decompose": ship every output of the named benchmarks
+        # as one decompose_many batch.
+        from repro.benchgen.registry import load_benchmark
+        from repro.engine import wire
+
+        items = []
+        for name in args.names:
+            instance = load_benchmark(name)
+            items.extend(
+                {
+                    "name": f"{name}.o{index}",
+                    "f": wire.isf_to_payload(isf),
+                }
+                for index, isf in enumerate(instance.outputs)
+            )
+        result, stats = client.decompose_many(items, op=args.op)
+        rows = [
+            {
+                "name": item["name"],
+                "op": payload["op"],
+                "literal_cost": payload["literal_cost"],
+                "verified": payload["verified"],
+            }
+            for item, payload in zip(items, result["results"])
+        ]
+        print(json.dumps({"results": rows, "stats": stats}, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -317,6 +427,70 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_execution_flags(netsyn)
     netsyn.set_defaults(handler=_cmd_netsyn)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived decomposition service",
+        description=(
+            "Serve decompose/decompose_many/netsyn requests over"
+            " newline-delimited JSON (repro-svc/1): duplicate concurrent"
+            " requests coalesce into one computation, results persist in"
+            " a sharded LRU-bounded cache, and a pre-warmed worker fleet"
+            " keeps managers and engines warm across requests."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default: 0, pick a free one and print it)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fleet size (default: 0, size to the machine)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="sharded persistent result store (omit to serve cache-less)",
+    )
+    serve.add_argument(
+        "--cache-shards", type=int, default=4, metavar="N",
+        help="number of cache shards (default: 4)",
+    )
+    serve.add_argument(
+        "--cache-max-mb", type=int, default=0, metavar="MB",
+        help="total cache byte budget, LRU-evicted (default: unbounded)",
+    )
+    serve.add_argument(
+        "--no-prewarm", action="store_true",
+        help="skip force-spawning the fleet at startup",
+    )
+    serve.add_argument(
+        "--status", action="store_true",
+        help="probe a running server (--port) and print its counters",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="send one request to a running decomposition service",
+    )
+    client.add_argument(
+        "action", choices=("status", "shutdown", "netsyn", "decompose")
+    )
+    client.add_argument("names", nargs="*", help="benchmark names")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=0, required=False)
+    client.add_argument(
+        "--op", default="auto", help="operator for decompose (default: auto)"
+    )
+    client.set_defaults(handler=_cmd_client)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -36,18 +36,96 @@ class ResultCache:
 
     Entries live at ``<cache_dir>/<key[:2]>/<key>.json`` wrapped as
     ``{"format": ENTRY_FORMAT, "payload": ...}``.  ``stats`` counts
-    ``hits``, ``misses``, ``stores``, and ``corrupt`` entries seen.
+    ``hits``, ``misses``, ``stores``, ``corrupt`` entries seen, and
+    ``evictions``.
+
+    ``max_bytes`` / ``max_entries`` bound the store: when either budget
+    is exceeded after a write, the least-recently-used entries
+    (mtime-ordered — ``get`` touches an entry's mtime while a budget is
+    active) are removed until the store fits again.  Budgets are
+    enforced per instance over everything found under the directory at
+    open time plus this instance's writes; entries another process adds
+    later are reclaimed by whichever budgeted instance opens the
+    directory next.  ``None`` (the default) keeps the store unbounded.
     """
 
-    def __init__(self, cache_dir: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.stats = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "corrupt": 0,
+            "evictions": 0,
+        }
         # Distinguishes concurrent writers within one process (threads
         # sharing this instance) and across instances in one pid.
         self._tmp_counter = itertools.count()
         self._tmp_token = uuid.uuid4().hex[:8]
         self.swept_temps = self._sweep_stale_temps()
+        #: key -> (mtime, size) of every governed entry; only maintained
+        #: when a budget is set (the unbounded store never scans).
+        self._index: dict[str, tuple[float, int]] = {}
+        self._index_bytes = 0
+        if self._bounded:
+            for path in self.cache_dir.glob("*/*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                self._index_entry(path.stem, stat.st_mtime, stat.st_size)
+            self._evict()
+
+    @property
+    def _bounded(self) -> bool:
+        return self.max_bytes is not None or self.max_entries is not None
+
+    def _index_entry(self, key: str, mtime: float, size: int) -> None:
+        old = self._index.get(key)
+        if old is not None:
+            self._index_bytes -= old[1]
+        self._index[key] = (mtime, size)
+        self._index_bytes += size
+
+    def _drop_entry(self, key: str) -> None:
+        old = self._index.pop(key, None)
+        if old is not None:
+            self._index_bytes -= old[1]
+
+    def _over_budget(self) -> bool:
+        return (
+            self.max_entries is not None and len(self._index) > self.max_entries
+        ) or (self.max_bytes is not None and self._index_bytes > self.max_bytes)
+
+    def _evict(self, keep: str | None = None) -> None:
+        """Remove LRU entries until both budgets hold.
+
+        ``keep`` — the key just written — is never evicted: a single
+        entry larger than ``max_bytes`` stays (reclaimed by a later
+        write), so a put can never silently discard its own result.
+        """
+        while self._index and self._over_budget():
+            victim = min(
+                (key for key in self._index if key != keep),
+                key=lambda key: self._index[key][0],
+                default=None,
+            )
+            if victim is None:
+                return
+            self._drop_entry(victim)
+            try:
+                self.path_for(victim).unlink()
+            except OSError:
+                continue  # already gone (concurrent instance): no count
+            self.stats["evictions"] += 1
 
     def _sweep_stale_temps(self, max_age_s: float = STALE_TEMP_AGE_S) -> int:
         """Remove orphaned ``*.tmp*`` files left by writers that died
@@ -159,6 +237,15 @@ class ResultCache:
             self.stats["misses"] += 1
             return None
         self.stats["hits"] += 1
+        if self._bounded:
+            # Refresh recency so the LRU eviction order tracks *use*,
+            # not just write time.
+            now = time.time()
+            try:
+                os.utime(path, (now, now))
+                self._index_entry(key, now, path.stat().st_size)
+            except OSError:
+                pass
         return payload
 
     def put(self, key: str, payload) -> None:
@@ -182,6 +269,9 @@ class ResultCache:
         tmp.write_text(text, encoding="utf-8")
         os.replace(tmp, path)
         self.stats["stores"] += 1
+        if self._bounded:
+            self._index_entry(key, time.time(), len(text.encode("utf-8")))
+            self._evict(keep=key)
 
     # -- introspection ----------------------------------------------------
 

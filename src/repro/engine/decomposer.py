@@ -322,6 +322,7 @@ class Decomposer:
         jobs: int = 1,
         cache: "ResultCache | str | None" = None,
         gc_threshold: int | None = 500_000,
+        executor: "object | None" = None,
     ) -> list[DecomposeResult]:
         """Decompose a batch of functions over one shared BDD manager.
 
@@ -357,9 +358,17 @@ class Decomposer:
         the rest).  The backend never enters cache keys or payloads:
         results are identical either way, so warm caches are shared
         across backends.
+
+        ``executor`` — a :class:`~repro.engine.parallel.WorkerPool` —
+        keeps one worker pool alive across ``decompose_many`` calls:
+        repeated batches skip the per-call fork + import warmup.  It
+        implies parallel dispatch (the executor's ``jobs`` count
+        applies) and has the same wire-safety requirements as
+        ``jobs > 1``.  Results are identical with or without it.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        parallel_dispatch = jobs > 1 or executor is not None
         labeled: list[tuple[str, ISF]] = []
         for index, item in enumerate(functions):
             if isinstance(item, tuple):
@@ -389,11 +398,11 @@ class Decomposer:
             and isinstance(approx_spec, str)
             and isinstance(min_spec, str)
         )
-        if jobs > 1 and not wire_safe:
+        if parallel_dispatch and not wire_safe:
             raise ValueError(
-                "decompose_many(jobs>1) needs registry-name strategies and a"
-                " named (or 'auto') operator — callables and ready divisors"
-                " cannot cross process boundaries"
+                "decompose_many(jobs>1 or executor=) needs registry-name"
+                " strategies and a named (or 'auto') operator — callables"
+                " and ready divisors cannot cross process boundaries"
             )
         result_cache = as_result_cache(cache) if wire_safe else None
         # The auto-search space is part of a result's identity: forward it
@@ -409,7 +418,7 @@ class Decomposer:
         payloads: list[dict | None] = [None] * len(batch)
         pending: list[int] = []
         for index, (label, isf, _) in enumerate(batch):
-            if result_cache is None and jobs == 1:
+            if result_cache is None and not parallel_dispatch:
                 pending.append(index)
                 continue
             payloads[index] = wire.isf_to_payload(isf)
@@ -439,7 +448,7 @@ class Decomposer:
             pending.append(index)
 
         backend_spec = backend if backend is not None else self.backend
-        if pending and jobs > 1:
+        if pending and parallel_dispatch:
             from repro.engine.parallel import make_work_item, run_parallel
 
             items = [
@@ -456,7 +465,9 @@ class Decomposer:
                 for index in pending
             ]
             self.stats["dispatched"] += len(items)
-            for index, payload in zip(pending, run_parallel(items, jobs)):
+            for index, payload in zip(
+                pending, run_parallel(items, jobs, pool=executor)
+            ):
                 results[index] = wire.result_from_payload(
                     payload, self._batch_request(batch[index], op_spec,
                                                  approx_spec, min_spec,

@@ -33,6 +33,12 @@ NETWORK_FORMAT = "repro-network/1"
 #: Network-synthesis result payload identifier.
 NETSYN_RESULT_FORMAT = "repro-netsyn/1"
 
+#: Service request/response envelope identifier (:mod:`repro.service`).
+SVC_FORMAT = "repro-svc/1"
+
+#: Request kinds the service protocol understands.
+SVC_KINDS = ("decompose", "decompose_many", "netsyn", "status", "shutdown")
+
 
 # ---------------------------------------------------------------------------
 # ISFs
@@ -242,6 +248,106 @@ def netsyn_result_from_payload(payload: dict):
 
 
 # ---------------------------------------------------------------------------
+# Service envelopes (repro-svc/1)
+# ---------------------------------------------------------------------------
+#
+# The decomposition service (:mod:`repro.service`) speaks newline-
+# delimited JSON: every line is one envelope.  Requests name a kind and
+# carry kind-specific params; responses echo the request id and carry
+# either a result payload (in the existing wire formats above) plus
+# per-request stats, or a structured error.  Everything below is pure
+# dict shaping — no sockets, no managers — so both ends of the wire and
+# the tests share one definition of "well-formed".
+
+
+def svc_request(kind: str, params: dict | None = None, request_id: str | None = None) -> dict:
+    """Build one service request envelope."""
+    if kind not in SVC_KINDS:
+        raise ValueError(f"unknown service request kind {kind!r}; known: {SVC_KINDS}")
+    return {
+        "format": SVC_FORMAT,
+        "id": request_id,
+        "kind": kind,
+        "params": params if params is not None else {},
+    }
+
+
+def svc_response(request_id: str | None, result, stats: dict | None = None) -> dict:
+    """Build a success response envelope.
+
+    ``stats`` carries per-request service accounting (how the request
+    was served, wall time, worker/cache/coalescer counters) — always
+    informational, never part of the result's identity.
+    """
+    return {
+        "format": SVC_FORMAT,
+        "id": request_id,
+        "ok": True,
+        "result": result,
+        "stats": stats if stats is not None else {},
+    }
+
+
+def svc_error(request_id: str | None, error_type: str, message: str) -> dict:
+    """Build an error response envelope.
+
+    ``error_type`` is the server-side exception class name (or a
+    protocol-level tag like ``"bad-request"``) so clients can
+    distinguish e.g. a :class:`~repro.engine.decomposer.VerificationError`
+    from a malformed request without parsing messages.
+    """
+    return {
+        "format": SVC_FORMAT,
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+def parse_svc_request(message) -> tuple[str, dict, str | None]:
+    """Validate a request envelope; returns ``(kind, params, id)``."""
+    if not isinstance(message, dict) or message.get("format") != SVC_FORMAT:
+        raise serialize.SerializationError(
+            f"not a {SVC_FORMAT} request:"
+            f" format={message.get('format') if isinstance(message, dict) else message!r}"
+        )
+    kind = message.get("kind")
+    if kind not in SVC_KINDS:
+        raise serialize.SerializationError(
+            f"unknown {SVC_FORMAT} request kind {kind!r}; known: {SVC_KINDS}"
+        )
+    params = message.get("params", {})
+    if not isinstance(params, dict):
+        raise serialize.SerializationError(
+            f"{SVC_FORMAT} params must be a dict, got {type(params).__name__}"
+        )
+    return kind, params, message.get("id")
+
+
+def parse_svc_response(message) -> dict:
+    """Validate a response envelope (either outcome); returns it."""
+    if not isinstance(message, dict) or message.get("format") != SVC_FORMAT:
+        raise serialize.SerializationError(
+            f"not a {SVC_FORMAT} response:"
+            f" format={message.get('format') if isinstance(message, dict) else message!r}"
+        )
+    if "ok" not in message:
+        raise serialize.SerializationError(f"{SVC_FORMAT} response missing 'ok'")
+    if message["ok"]:
+        if "result" not in message:
+            raise serialize.SerializationError(
+                f"{SVC_FORMAT} success response missing 'result'"
+            )
+    else:
+        error = message.get("error")
+        if not isinstance(error, dict) or "type" not in error or "message" not in error:
+            raise serialize.SerializationError(
+                f"{SVC_FORMAT} error response needs error.type and error.message"
+            )
+    return message
+
+
+# ---------------------------------------------------------------------------
 # Results
 # ---------------------------------------------------------------------------
 
@@ -329,6 +435,8 @@ __all__ = [
     "NETSYN_RESULT_FORMAT",
     "NETWORK_FORMAT",
     "RESULT_FORMAT",
+    "SVC_FORMAT",
+    "SVC_KINDS",
     "cover_from_payload",
     "cover_to_payload",
     "isf_fingerprint",
@@ -338,6 +446,11 @@ __all__ = [
     "netsyn_result_to_payload",
     "network_from_payload",
     "network_to_payload",
+    "parse_svc_request",
+    "parse_svc_response",
     "result_from_payload",
     "result_to_payload",
+    "svc_error",
+    "svc_request",
+    "svc_response",
 ]

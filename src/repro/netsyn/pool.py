@@ -13,14 +13,26 @@ For incompletely specified residual blocks the pool can also answer
 completion of the block's ``[on, on ∪ dc]`` interval may realize it, so
 an output can absorb a sibling's divisor instead of minimizing and
 decomposing its own.
+
+Pools also carry a *warm-cover* side table for cross-request sharing
+(the decomposition service): minimized covers of blocks seen in earlier
+synthesis runs, keyed by a caller-chosen canonical key (block ISF
+fingerprint plus minimizer spec) and stored as wire payloads, so they
+survive :meth:`DivisorPool.snapshot` / :meth:`DivisorPool.merge` across
+process and request boundaries.  A warm hit replays exactly what the
+deterministic minimizer would recompute — networks synthesized with a
+warm pool are identical to cold ones, only faster.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bdd.serialize import function_fingerprint
+from repro.bdd.serialize import SerializationError, function_fingerprint
 from repro.boolfunc.isf import ISF
+
+#: Snapshot payload identifier; bump on any incompatible layout change.
+POOL_SNAPSHOT_FORMAT = "repro-pool/1"
 
 
 @dataclass(frozen=True)
@@ -40,11 +52,18 @@ class DivisorPool:
     them for reports.
     """
 
-    def __init__(self, match_intervals: bool = True) -> None:
+    def __init__(
+        self, match_intervals: bool = True, collect_covers: bool = False
+    ) -> None:
         #: fingerprint -> (node id, realized-in-complement flag).
         self._by_hash: dict[str, tuple[int, bool]] = {}
         self.entries: list[PoolEntry] = []
         self.match_intervals = match_intervals
+        #: Record minimized covers for snapshot/merge (the service sets
+        #: this; the one-shot path skips the bookkeeping entirely).
+        self.collect_covers = collect_covers
+        #: warm key -> cover wire payload (see module docstring).
+        self._warm_covers: dict[str, dict] = {}
         self.stats = {
             "lookups": 0,
             "hits": 0,
@@ -52,6 +71,9 @@ class DivisorPool:
             "interval_lookups": 0,
             "interval_hits": 0,
             "registered": 0,
+            "warm_lookups": 0,
+            "warm_hits": 0,
+            "warm_imported": 0,
         }
 
     def __len__(self) -> int:
@@ -112,6 +134,67 @@ class DivisorPool:
         self.entries.append(PoolEntry(node, function, fingerprint, label))
         self.stats["registered"] += 1
 
+    # -- cross-request sharing --------------------------------------------
+
+    def remember_cover(self, warm_key: str, cover_payload: dict | None) -> None:
+        """Record one minimized cover for future requests (first wins).
+
+        No-op unless :attr:`collect_covers` is set, so the one-shot
+        synthesis path never pays the serialization.
+        """
+        if not self.collect_covers or cover_payload is None:
+            return
+        self._warm_covers.setdefault(warm_key, cover_payload)
+
+    def warm_cover(self, warm_key: str) -> dict | None:
+        """Look up a cover remembered by an earlier (merged) request."""
+        if not self._warm_covers:
+            return None
+        self.stats["warm_lookups"] += 1
+        payload = self._warm_covers.get(warm_key)
+        if payload is not None:
+            self.stats["warm_hits"] += 1
+        return payload
+
+    def snapshot(self) -> dict:
+        """Serializable warm-cover state of this pool (JSON-ready).
+
+        Node ids never leave through here — they only mean something
+        inside one network — so a snapshot carries exactly the state a
+        *different* request can soundly reuse: deterministic minimizer
+        outputs keyed by canonical block identity.
+        """
+        return {
+            "format": POOL_SNAPSHOT_FORMAT,
+            "covers": dict(self._warm_covers),
+        }
+
+    def merge(self, snapshot: dict | None) -> int:
+        """Import another pool's snapshot (first wins); returns new count.
+
+        Merging implies this pool participates in cross-request sharing,
+        so :attr:`collect_covers` is switched on.
+        """
+        if snapshot is None:
+            return 0
+        if (
+            not isinstance(snapshot, dict)
+            or snapshot.get("format") != POOL_SNAPSHOT_FORMAT
+            or not isinstance(snapshot.get("covers"), dict)
+        ):
+            raise SerializationError(
+                f"not a {POOL_SNAPSHOT_FORMAT} pool snapshot:"
+                f" {snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r}"
+            )
+        self.collect_covers = True
+        imported = 0
+        for warm_key, payload in snapshot["covers"].items():
+            if warm_key not in self._warm_covers:
+                self._warm_covers[str(warm_key)] = payload
+                imported += 1
+        self.stats["warm_imported"] += imported
+        return imported
+
     # -- reporting --------------------------------------------------------
 
     def hit_rate(self) -> float:
@@ -124,4 +207,4 @@ class DivisorPool:
         return f"DivisorPool({len(self.entries)} entries, stats={self.stats})"
 
 
-__all__ = ["DivisorPool", "PoolEntry"]
+__all__ = ["DivisorPool", "POOL_SNAPSHOT_FORMAT", "PoolEntry"]

@@ -173,6 +173,10 @@ class NetworkSynthesizer:
             )
         self._minimize = resolved.func
         self._cover_memo: dict[ISF, object] = {}
+        #: The pool of the most recent :meth:`synthesize` run (``None``
+        #: after a cache-served run) — the service snapshots it to carry
+        #: warm covers into later requests.
+        self.last_pool: DivisorPool | None = None
 
     # -- public API -------------------------------------------------------
 
@@ -181,12 +185,24 @@ class NetworkSynthesizer:
         instance,
         jobs: int = 1,
         cache: "ResultCache | str | None" = None,
+        pool_seed: dict | None = None,
+        collect_covers: bool = False,
     ) -> NetworkSynthesisResult:
-        """Synthesize one shared network for a benchmark instance."""
+        """Synthesize one shared network for a benchmark instance.
+
+        ``pool_seed`` — a :meth:`~repro.netsyn.pool.DivisorPool.snapshot`
+        from an earlier run — pre-warms this run's pool with remembered
+        minimized covers; ``collect_covers`` records this run's covers so
+        :attr:`last_pool` can be snapshotted afterwards.  Both are pure
+        work-savers: the minimizer is deterministic, so a warm replay
+        instantiates exactly the cover a cold run would compute and the
+        synthesized network is identical either way.
+        """
         from repro.bdd.serialize import SerializationError
         from repro.engine import wire
 
         config = self.config
+        self.last_pool = None
         result_cache = as_result_cache(cache) if self.library is None else None
         key = None
         if result_cache is not None:
@@ -207,7 +223,12 @@ class NetworkSynthesizer:
 
         t0 = perf_counter()
         network = LogicNetwork(list(instance.mgr.var_names))
-        pool = DivisorPool(config.match_intervals)
+        pool = DivisorPool(
+            config.match_intervals,
+            collect_covers=collect_covers or pool_seed is not None,
+        )
+        pool.merge(pool_seed)
+        self.last_pool = pool
         order = schedule_by_overlap(instance.outputs)
 
         prefetched: dict[str, object] = {}
@@ -219,7 +240,7 @@ class NetworkSynthesizer:
             labeled = [
                 (f"o{index}", instance.outputs[index])
                 for index in order
-                if self._cover_of(instance.outputs[index]).literal_count()
+                if self._cover_of(instance.outputs[index], pool).literal_count()
                 > config.literal_threshold
             ]
             try:
@@ -281,15 +302,32 @@ class NetworkSynthesizer:
 
     # -- realization ------------------------------------------------------
 
-    def _cover_of(self, isf: ISF):
+    def _cover_of(self, isf: ISF, pool: DivisorPool | None = None):
         cover = self._cover_memo.get(isf)
+        if cover is not None:
+            return cover
+        warm_key = None
+        if pool is not None and pool.collect_covers:
+            from repro.engine import wire
+
+            # The minimizer is part of the key: warm covers replay a
+            # *specific* deterministic minimization, not just the block.
+            warm_key = f"{self.config.minimizer}|{wire.isf_fingerprint(isf)}"
+            payload = pool.warm_cover(warm_key)
+            if payload is not None:
+                cover = wire.cover_from_payload(payload)
+                self._cover_memo[isf] = cover
+                return cover
+        cover = self._minimize(isf)
         if cover is None:
-            cover = self._minimize(isf)
-            if cover is None:
-                raise ValueError(
-                    f"minimizer {self.config.minimizer!r} produced no cover"
-                )
-            self._cover_memo[isf] = cover
+            raise ValueError(
+                f"minimizer {self.config.minimizer!r} produced no cover"
+            )
+        self._cover_memo[isf] = cover
+        if warm_key is not None:
+            from repro.engine import wire
+
+            pool.remember_cover(warm_key, wire.cover_to_payload(cover))
         return cover
 
     def _instantiate(self, cover, isf: ISF, network, pool, label: str):
@@ -327,7 +365,7 @@ class NetworkSynthesizer:
             return node, function, "pool", ""
 
         if cover is None:
-            cover = self._cover_of(isf)
+            cover = self._cover_of(isf, pool)
         cost = cover.literal_count()
         if cost <= config.literal_threshold or depth >= config.max_depth:
             return self._instantiate(cover, isf, network, pool, label)

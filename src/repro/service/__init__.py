@@ -1,0 +1,34 @@
+"""Decomposition-as-a-service: asyncio server, warm fleet, shared caches.
+
+A long-lived front end over the strategy engine: requests in the
+existing wire formats (``decompose``, ``decompose_many``, ``netsyn``)
+arrive as ``repro-svc/1`` JSON lines and are served through a
+single-flight coalescer, a sharded LRU-bounded result store, and a
+pre-warmed multiprocessing fleet whose workers keep managers, engines,
+and synthesizers warm across requests.  Results are byte-identical to
+in-process runs (informational counters aside) — the service changes
+*where and how often* work runs, never what it computes.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.coalesce import Coalescer
+from repro.service.fleet import WorkerFleet
+from repro.service.server import (
+    DecompositionService,
+    ServerThread,
+    ServiceServer,
+    WorkerError,
+)
+from repro.service.shards import ShardedResultCache
+
+__all__ = [
+    "Coalescer",
+    "DecompositionService",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ShardedResultCache",
+    "WorkerError",
+    "WorkerFleet",
+]

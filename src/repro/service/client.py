@@ -1,0 +1,129 @@
+"""Synchronous client for the decomposition service.
+
+One :class:`ServiceClient` holds one socket; requests are written as
+``repro-svc/1`` JSON lines and the reply with the matching id is
+returned as ``(result, stats)``.  A server-side failure surfaces as
+:class:`ServiceError` carrying the wire error type (e.g.
+``"VerificationError"`` or ``"bad-request"``) so callers can branch
+without parsing messages.
+
+The client is deliberately single-flight per instance: benchmarks and
+tests that want concurrency open one client per thread, which also
+exercises the server's cross-connection coalescing path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+
+from repro.engine import wire
+
+
+class ServiceError(RuntimeError):
+    """A ``repro-svc/1`` error response (or a broken connection)."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.type = error_type
+
+
+class ServiceClient:
+    """Blocking line-oriented client over one TCP connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # -- core -------------------------------------------------------------
+
+    def request(self, kind: str, params: dict | None = None):
+        """Send one request; returns ``(result, stats)`` or raises."""
+        request_id = f"c{next(self._ids)}"
+        envelope = wire.svc_request(kind, params, request_id)
+        line = json.dumps(
+            envelope, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+        self._file.write(line)
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ServiceError(
+                "connection-closed", "server closed the connection"
+            )
+        try:
+            response = wire.parse_svc_response(json.loads(raw.decode("utf-8")))
+        except ValueError as exc:
+            raise ServiceError("bad-json", str(exc)) from None
+        if response.get("id") not in (request_id, None):
+            raise ServiceError(
+                "protocol",
+                f"response id {response.get('id')!r} does not match"
+                f" request id {request_id!r}",
+            )
+        if not response["ok"]:
+            error = response["error"]
+            raise ServiceError(str(error["type"]), str(error["message"]))
+        return response["result"], response.get("stats", {})
+
+    # -- request kinds ----------------------------------------------------
+
+    def decompose(self, params: dict):
+        """One work item (``make_work_item`` fields); returns the payload."""
+        return self.request("decompose", params)
+
+    def decompose_many(self, items: list[dict], **defaults):
+        """A batch of work items sharing ``defaults`` for missing fields."""
+        return self.request("decompose_many", {"items": items, **defaults})
+
+    def netsyn(
+        self,
+        benchmark: str | None = None,
+        outputs: list[dict] | None = None,
+        config: dict | None = None,
+        name: str = "",
+    ):
+        """One shared-network synthesis request."""
+        params: dict = {"config": config or {}}
+        if benchmark is not None:
+            params["benchmark"] = benchmark
+        if outputs is not None:
+            params["outputs"] = outputs
+            params["name"] = name
+        return self.request("netsyn", params)
+
+    def status(self) -> dict:
+        """The server's live counters (fleet, coalescer, cache, pool)."""
+        result, _stats = self.request("status")
+        return result
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop accepting and exit its serve loop."""
+        result, _stats = self.request("shutdown")
+        return result
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host}:{self.port})"
+
+
+__all__ = ["ServiceClient", "ServiceError"]

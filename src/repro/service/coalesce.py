@@ -1,0 +1,75 @@
+"""In-flight request coalescing for the decomposition service.
+
+When several clients ask for the same decomposition at the same time,
+only the first should pay for it.  The :class:`Coalescer` keys in-flight
+work by the request's canonical cache key — backend-free, so a ``bdd``
+and a ``bitset`` request for the same function coalesce soundly (the
+engine guarantees identical results on every backend) — and parks every
+duplicate on the leader's future.
+
+The pattern is cooperative-scheduling-safe by construction: the leader
+registers its future *before* its first ``await``, so any duplicate that
+arrives while the computation is in flight finds the entry.  Followers
+wait through :func:`asyncio.shield`, so one cancelled client never
+cancels the shared computation under the others.  A leader's failure is
+shared too — every parked duplicate sees the same exception, matching
+what N independent computations would have raised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+
+class Coalescer:
+    """Single-flight gate over an async computation, keyed by string."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.stats = {"leaders": 0, "followers": 0}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable]
+    ) -> tuple[object, bool]:
+        """Run ``compute`` once per concurrent ``key``; share the value.
+
+        Returns ``(value, coalesced)`` — ``coalesced`` is ``False`` for
+        the leader that actually computed and ``True`` for every
+        duplicate served from the leader's flight.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats["followers"] += 1
+            return await asyncio.shield(existing), True
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.stats["leaders"] += 1
+        try:
+            value = await compute()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Mark retrieved so a flight with zero followers does not
+            # log an "exception was never retrieved" warning.
+            future.exception()
+            raise
+        else:
+            future.set_result(value)
+            return value, False
+        finally:
+            del self._inflight[key]
+
+    def coalesce_rate(self) -> float:
+        """Fraction of arrivals that were absorbed into another flight."""
+        total = self.stats["leaders"] + self.stats["followers"]
+        return self.stats["followers"] / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"Coalescer(inflight={len(self._inflight)}, stats={self.stats})"
+
+
+__all__ = ["Coalescer"]

@@ -1,0 +1,339 @@
+"""Pre-warmed worker fleet: long-lived processes with warm engine state.
+
+The one-shot parallel path (:func:`repro.engine.parallel.run_parallel`)
+pays fork + import + manager construction on every batch.  A
+:class:`WorkerFleet` keeps a :class:`~concurrent.futures.ProcessPoolExecutor`
+of workers alive for the service's lifetime; each worker holds *warm*
+state in module globals:
+
+* ``BDD`` managers keyed by the exact declared variable slice, so a
+  request for a function over known variables skips manager
+  construction and reloads into a table that already contains most of
+  its nodes;
+* :class:`~repro.engine.decomposer.Decomposer` engines keyed by
+  :func:`~repro.engine.parallel.engine_spec_key`, so divisor/cover
+  memos survive across requests;
+* :class:`~repro.netsyn.synthesis.NetworkSynthesizer` instances keyed
+  by their (hashable, frozen) :class:`~repro.netsyn.synthesis.NetsynConfig`,
+  plus loaded benchmark instances by name.
+
+Warm state is a pure accelerator: every strategy is deterministic and
+memo hits return exactly what recomputation would, so a warm worker's
+payload is byte-identical to a cold run's (informational counters like
+``bdd_stats`` aside).  When the accumulated node tables cross
+``NODE_LIMIT`` the worker drops *all* warm state and rebuilds on demand
+— the same correctness-by-reconstruction move the engine's own gc makes,
+applied at fleet scope.
+
+Worker entry points return ``{"ok": ..., ...}`` envelopes instead of
+raising: a failed decomposition is a *result* the server turns into an
+error response, not a reason to lose the worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.parallel import (
+    build_engine,
+    decompose_item,
+    engine_spec_key,
+    pool_context,
+)
+
+#: Combined live-node budget across one worker's warm managers; crossing
+#: it drops all warm state (managers, engines, synthesizers, instances).
+NODE_LIMIT = 500_000
+
+# ---------------------------------------------------------------------------
+# Worker-side warm state (module globals; one copy per worker process)
+# ---------------------------------------------------------------------------
+
+_WARM = {
+    "managers": {},  # var-name tuple -> BDD
+    "engines": {},  # engine_spec_key -> Decomposer
+    "synths": {},  # NetsynConfig -> NetworkSynthesizer
+    "instances": {},  # benchmark name -> BenchmarkInstance
+    "computed": 0,
+    "refreshes": 0,
+}
+
+
+def _fleet_init() -> None:
+    """Per-worker initializer: pull in the heavy modules up front.
+
+    Under ``fork`` the parent's imports are inherited and this is nearly
+    free; under a spawn fallback it moves the import cost from the first
+    request to fleet startup — that is what "pre-warmed" means here.
+    """
+    import repro.benchgen.registry  # noqa: F401
+    import repro.engine.decomposer  # noqa: F401
+    import repro.netsyn.synthesis  # noqa: F401
+
+
+def _worker_ident(_index: int = 0) -> int:
+    """No-op task used to force-spawn (and identify) every worker."""
+    return os.getpid()
+
+
+def _worker_stats() -> dict:
+    return {
+        "pid": os.getpid(),
+        "computed": _WARM["computed"],
+        "warm_managers": len(_WARM["managers"]),
+        "warm_engines": len(_WARM["engines"]),
+        "warm_synths": len(_WARM["synths"]),
+        "refreshes": _WARM["refreshes"],
+    }
+
+
+def _maybe_refresh() -> None:
+    """Drop all warm state once the node tables outgrow ``NODE_LIMIT``.
+
+    Engines and synthesizers hold memo entries rooted in the warm
+    managers, so managers and consumers are dropped *together* — a memo
+    outliving its manager would pin the whole table in memory.
+    """
+    total = sum(mgr.node_count() for mgr in _WARM["managers"].values())
+    total += sum(
+        inst.mgr.node_count() for inst in _WARM["instances"].values()
+    )
+    if total <= NODE_LIMIT:
+        return
+    _WARM["managers"].clear()
+    _WARM["engines"].clear()
+    _WARM["synths"].clear()
+    _WARM["instances"].clear()
+    _WARM["refreshes"] += 1
+
+
+def _warm_manager(var_names: tuple[str, ...]):
+    """A warm ``BDD`` manager declaring exactly ``var_names``."""
+    mgr = _WARM["managers"].get(var_names)
+    if mgr is None:
+        from repro.bdd.manager import BDD
+
+        mgr = BDD(list(var_names))
+        _WARM["managers"][var_names] = mgr
+    return mgr
+
+
+def _warm_engine(item: dict):
+    """A warm engine matching the item's spec (memos persist)."""
+    key = engine_spec_key(item)
+    engine = _WARM["engines"].get(key)
+    if engine is None:
+        engine = build_engine(item)
+        _WARM["engines"][key] = engine
+    return engine
+
+
+def _error_envelope(exc: Exception) -> dict:
+    return {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+        "worker": _worker_stats(),
+    }
+
+
+def service_decompose(item: dict) -> dict:
+    """Fleet entry point: one decompose work item on warm state.
+
+    ``item`` is a :func:`repro.engine.parallel.make_work_item` dict.
+    Returns ``{"ok": True, "payload": <repro-result/1>, "worker": ...}``
+    or an ``ok: False`` envelope carrying the exception type/message.
+    """
+    try:
+        _maybe_refresh()
+        mgr = _warm_manager(tuple(item["f"]["vars"]))
+        engine = _warm_engine(item)
+        payload = decompose_item(item, mgr=mgr, engine=engine)
+    except Exception as exc:  # noqa: BLE001 — every failure is a reply
+        return _error_envelope(exc)
+    _WARM["computed"] += 1
+    return {"ok": True, "payload": payload, "worker": _worker_stats()}
+
+
+def _netsyn_config(config_payload: dict):
+    """Build a :class:`NetsynConfig` from request params (whitelisted)."""
+    from repro.bdd.serialize import SerializationError
+    from repro.netsyn.synthesis import NetsynConfig
+
+    allowed = {
+        "operators",
+        "approximator",
+        "minimizer",
+        "literal_threshold",
+        "max_depth",
+        "match_intervals",
+        "verify",
+        "backend",
+    }
+    unknown = set(config_payload) - allowed
+    if unknown:
+        raise SerializationError(
+            f"unknown netsyn config fields: {sorted(unknown)}"
+        )
+    kwargs = dict(config_payload)
+    if "operators" in kwargs:
+        kwargs["operators"] = tuple(kwargs["operators"])
+    return NetsynConfig(**kwargs)
+
+
+def _task_instance(task: dict):
+    """Resolve the benchmark instance a netsyn task names or carries."""
+    from repro.bdd.serialize import SerializationError
+
+    benchmark = task.get("benchmark")
+    if benchmark is not None:
+        instance = _WARM["instances"].get(benchmark)
+        if instance is None:
+            from repro.benchgen.registry import load_benchmark
+
+            instance = load_benchmark(benchmark)
+            _WARM["instances"][benchmark] = instance
+        return instance
+    outputs_payload = task.get("outputs")
+    if not outputs_payload:
+        raise SerializationError(
+            "netsyn task needs 'benchmark' or a non-empty 'outputs' list"
+        )
+    from repro.engine import wire
+
+    mgr = None
+    outputs = []
+    for payload in outputs_payload:
+        isf = wire.isf_from_payload(payload, mgr)
+        mgr = isf.on.mgr
+        outputs.append(isf)
+    return WireInstance(str(task.get("name", "")), mgr, outputs)
+
+
+class WireInstance:
+    """Benchmark-instance stand-in rebuilt from wire output payloads."""
+
+    def __init__(self, name: str, mgr, outputs: list) -> None:
+        self.name = name
+        self.mgr = mgr
+        self.outputs = outputs
+
+
+def service_netsyn(task: dict) -> dict:
+    """Fleet entry point: one shared-network synthesis on warm state.
+
+    ``task`` carries ``benchmark`` (registry name) *or* ``outputs``
+    (wire ISF payloads), an optional ``config`` dict, and an optional
+    ``pool_seed`` snapshot from the server's service-lifetime pool.
+    Synthesis runs serially inside the worker (``jobs=1``) — the fleet
+    itself is the parallelism — and replies with the result payload plus
+    the run's warm-cover snapshot for the server to merge back.
+    """
+    from repro.engine import wire
+
+    try:
+        _maybe_refresh()
+        config = _netsyn_config(task.get("config") or {})
+        synthesizer = _WARM["synths"].get(config)
+        if synthesizer is None:
+            from repro.netsyn.synthesis import NetworkSynthesizer
+
+            synthesizer = NetworkSynthesizer(config)
+            _WARM["synths"][config] = synthesizer
+        instance = _task_instance(task)
+        result = synthesizer.synthesize(
+            instance,
+            pool_seed=task.get("pool_seed"),
+            collect_covers=True,
+        )
+        payload = wire.netsyn_result_to_payload(result)
+        pool = synthesizer.last_pool
+    except Exception as exc:  # noqa: BLE001 — every failure is a reply
+        return _error_envelope(exc)
+    _WARM["computed"] += 1
+    return {
+        "ok": True,
+        "payload": payload,
+        "pool": pool.snapshot() if pool is not None else None,
+        "worker": _worker_stats(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent-side fleet handle
+# ---------------------------------------------------------------------------
+
+
+class WorkerFleet:
+    """A fixed-size pool of pre-warmed decomposition workers.
+
+    ``prewarm=True`` (the default) force-spawns every worker at
+    construction by submitting one identification task per slot — the
+    executor grows a process per pending task until ``size`` — so the
+    first real request never pays fork + init latency.
+    """
+
+    def __init__(self, size: int | None = None, prewarm: bool = True) -> None:
+        if size is None:
+            size = max(2, min(8, os.cpu_count() or 2))
+        if size < 1:
+            raise ValueError(f"fleet size must be >= 1, got {size}")
+        self.size = size
+        self._executor = ProcessPoolExecutor(
+            max_workers=size,
+            mp_context=pool_context(),
+            initializer=_fleet_init,
+        )
+        self.stats = {"dispatched": 0, "failures": 0, "prewarmed": 0}
+        if prewarm:
+            self.prewarm()
+
+    def prewarm(self) -> list[int]:
+        """Spawn and identify every worker; returns the distinct pids."""
+        futures = [
+            self._executor.submit(_worker_ident, index)
+            for index in range(self.size)
+        ]
+        pids = sorted({future.result() for future in futures})
+        self.stats["prewarmed"] = len(pids)
+        return pids
+
+    async def run(self, func, arg: dict) -> dict:
+        """Dispatch one worker entry point without blocking the loop."""
+        loop = asyncio.get_running_loop()
+        self.stats["dispatched"] += 1
+        reply = await loop.run_in_executor(self._executor, func, arg)
+        if not reply.get("ok", False):
+            self.stats["failures"] += 1
+        return reply
+
+    def run_sync(self, func, arg: dict) -> dict:
+        """Blocking dispatch (CLI one-shots and tests without a loop)."""
+        self.stats["dispatched"] += 1
+        reply = self._executor.submit(func, arg).result()
+        if not reply.get("ok", False):
+            self.stats["failures"] += 1
+        return reply
+
+    def shutdown(self) -> None:
+        """Terminate the workers (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"WorkerFleet(size={self.size}, stats={self.stats})"
+
+
+__all__ = [
+    "NODE_LIMIT",
+    "WireInstance",
+    "WorkerFleet",
+    "service_decompose",
+    "service_netsyn",
+]

@@ -1,0 +1,474 @@
+"""Decomposition-as-a-service: asyncio front end over the worker fleet.
+
+Three layers, separable for testing:
+
+* :class:`DecompositionService` — transport-free request handler.  One
+  ``await service.handle(envelope)`` takes a ``repro-svc/1`` request
+  dict and returns a response dict; tests drive it directly with
+  ``asyncio.gather`` to exercise coalescing deterministically.
+* :class:`ServiceServer` — newline-delimited-JSON asyncio socket server
+  around a service.  Every received line becomes its own task, so one
+  connection can pipeline requests and duplicates across connections
+  coalesce.
+* :class:`ServerThread` — runs a server (and its event loop) on a
+  background thread for synchronous callers: tests, benchmarks, and the
+  CLI.
+
+Request flow for ``decompose``/``netsyn``: canonical cache key →
+single-flight coalescer → sharded on-disk cache → pre-warmed fleet.
+The key is *backend-free* (strategies + operator + canonical function
+hash), so requests differing only in backend — whose results are
+identical by the engine's cross-backend guarantee — share one flight
+and one cache entry.  ``netsyn`` requests additionally thread the
+service-lifetime :class:`~repro.netsyn.pool.DivisorPool` through the
+workers: each request is seeded with every warm cover the service has
+seen and its new covers are merged back, so later requests skip
+re-minimizing blocks earlier ones already solved — without ever moving
+network node ids (or anything else identity-relevant) across requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from time import perf_counter
+
+from repro.bdd.serialize import SerializationError, canonical_hash
+from repro.core.operators import EXPERIMENT_OPERATORS
+from repro.engine import wire
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import make_work_item
+from repro.netsyn.pool import DivisorPool
+from repro.service.coalesce import Coalescer
+from repro.service.fleet import (
+    WorkerFleet,
+    _netsyn_config,
+    service_decompose,
+    service_netsyn,
+)
+from repro.service.shards import ShardedResultCache
+
+
+class WorkerError(Exception):
+    """A worker-side failure, re-raised server-side with its type tag."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class DecompositionService:
+    """Transport-free request handler: coalescer + cache + fleet."""
+
+    def __init__(
+        self,
+        fleet: WorkerFleet | None = None,
+        jobs: int | None = None,
+        cache_dir=None,
+        cache_shards: int = 4,
+        cache_max_bytes: int | None = None,
+        cache_max_entries: int | None = None,
+        prewarm: bool = True,
+    ) -> None:
+        self.fleet = fleet if fleet is not None else WorkerFleet(jobs, prewarm=prewarm)
+        self._owns_fleet = fleet is None
+        self.cache = (
+            ShardedResultCache(
+                cache_dir,
+                shards=cache_shards,
+                max_bytes=cache_max_bytes,
+                max_entries=cache_max_entries,
+            )
+            if cache_dir is not None
+            else None
+        )
+        self.coalescer = Coalescer()
+        #: Service-lifetime warm-cover pool, merged from every netsyn run.
+        self.pool = DivisorPool(collect_covers=True)
+        self.stats = {"requests": 0, "errors": 0, "computed": 0, "cache_hits": 0}
+        self.shutdown_event = asyncio.Event()
+
+    # -- request handling -------------------------------------------------
+
+    async def handle(self, message) -> dict:
+        """Serve one ``repro-svc/1`` request; always returns an envelope."""
+        try:
+            kind, params, request_id = wire.parse_svc_request(message)
+        except SerializationError as exc:
+            raw_id = message.get("id") if isinstance(message, dict) else None
+            return wire.svc_error(raw_id, "bad-request", str(exc))
+        self.stats["requests"] += 1
+        t0 = perf_counter()
+        try:
+            if kind == "decompose":
+                result, stats = await self._decompose(params)
+            elif kind == "decompose_many":
+                result, stats = await self._decompose_many(params)
+            elif kind == "netsyn":
+                result, stats = await self._netsyn(params)
+            elif kind == "status":
+                result, stats = self.status(), {}
+            else:  # "shutdown" — parse_svc_request rejects anything else
+                self.shutdown_event.set()
+                result, stats = {"stopping": True}, {}
+        except WorkerError as exc:
+            self.stats["errors"] += 1
+            return wire.svc_error(request_id, exc.error_type, str(exc))
+        except SerializationError as exc:
+            self.stats["errors"] += 1
+            return wire.svc_error(request_id, "bad-request", str(exc))
+        except Exception as exc:  # noqa: BLE001 — a reply, never a crash
+            self.stats["errors"] += 1
+            return wire.svc_error(request_id, type(exc).__name__, str(exc))
+        stats["wall_s"] = round(perf_counter() - t0, 6)
+        return wire.svc_response(request_id, result, stats)
+
+    async def _serve_keyed(self, key: str, worker_func, work: dict):
+        """Coalesce → cache → fleet for one canonically keyed task.
+
+        Returns ``(reply_value, per_request_stats)`` where the reply
+        value is the leader's ``{"payload", "served_by", ...}`` dict —
+        shared verbatim with every coalesced follower.
+        """
+
+        async def compute() -> dict:
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.stats["cache_hits"] += 1
+                    return {"payload": hit, "served_by": "cache", "worker": None}
+            reply = await self.fleet.run(worker_func, work)
+            if not reply["ok"]:
+                error = reply["error"]
+                raise WorkerError(error["type"], error["message"])
+            self.stats["computed"] += 1
+            if worker_func is service_netsyn:
+                self.pool.merge(reply.get("pool"))
+            if self.cache is not None:
+                self.cache.put(key, reply["payload"])
+            return {
+                "payload": reply["payload"],
+                "served_by": "fleet",
+                "worker": reply.get("worker"),
+            }
+
+        value, coalesced = await self.coalescer.run(key, compute)
+        stats = {
+            "key": key,
+            "coalesced": coalesced,
+            "served_by": value["served_by"],
+            "worker": value["worker"],
+        }
+        return value["payload"], stats
+
+    async def _decompose(self, params: dict):
+        item = self._work_item(params)
+        key = ResultCache.key_for(
+            item["f"],
+            item["op"],
+            item["approximator"],
+            item["minimizer"],
+            item["verify"],
+            tuple(item["operators"]),
+        )
+        return await self._serve_keyed(key, service_decompose, item)
+
+    async def _decompose_many(self, params: dict):
+        raw_items = params.get("items")
+        if not isinstance(raw_items, list) or not raw_items:
+            raise SerializationError(
+                "decompose_many params need a non-empty 'items' list"
+            )
+        defaults = {
+            name: value for name, value in params.items() if name != "items"
+        }
+        outcomes = await asyncio.gather(
+            *(
+                self._decompose({**defaults, **item})
+                for item in raw_items
+            ),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        stats = {
+            "items": len(outcomes),
+            "coalesced": sum(1 for _, s in outcomes if s["coalesced"]),
+            "cache_hits": sum(
+                1 for _, s in outcomes if s["served_by"] == "cache"
+            ),
+        }
+        return {"results": [payload for payload, _ in outcomes]}, stats
+
+    async def _netsyn(self, params: dict):
+        # Building the config server-side validates the request *and*
+        # pins the identity key to NetsynConfig.key_payload(), which is
+        # backend-free by construction.
+        config = _netsyn_config(params.get("config") or {})
+        task = {"config": params.get("config") or {}}
+        if params.get("benchmark") is not None:
+            task["benchmark"] = str(params["benchmark"])
+        elif params.get("outputs"):
+            task["outputs"] = params["outputs"]
+            task["name"] = str(params.get("name", ""))
+        else:
+            raise SerializationError(
+                "netsyn params need 'benchmark' or a non-empty 'outputs' list"
+            )
+        key = canonical_hash(
+            {
+                "format": wire.SVC_FORMAT,
+                "netsyn": {
+                    "benchmark": task.get("benchmark"),
+                    "outputs": task.get("outputs"),
+                    "config": config.key_payload(),
+                },
+            }
+        )
+        task["pool_seed"] = self.pool.snapshot()
+        return await self._serve_keyed(key, service_netsyn, task)
+
+    def _work_item(self, params: dict) -> dict:
+        if not isinstance(params.get("f"), dict):
+            raise SerializationError(
+                "decompose params need 'f' (a repro-bdd/1 ISF payload)"
+            )
+        return make_work_item(
+            name=str(params.get("name", "")),
+            f_payload=params["f"],
+            op=str(params.get("op", "auto")),
+            approximator=str(params.get("approximator", "expand-full")),
+            minimizer=str(params.get("minimizer", "spp")),
+            verify=bool(params.get("verify", True)),
+            operators=tuple(params.get("operators", EXPERIMENT_OPERATORS)),
+            backend=str(params.get("backend", "auto")),
+        )
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def status(self) -> dict:
+        """Service counters: requests, fleet, coalescer, cache, pool."""
+        cache_stats = None
+        if self.cache is not None:
+            cache_stats = dict(self.cache.stats)
+            cache_stats["entries"] = len(self.cache)
+            cache_stats["shards"] = self.cache.n_shards
+        return {
+            "requests": dict(self.stats),
+            "fleet": {"size": self.fleet.size, **self.fleet.stats},
+            "coalesce": {
+                "rate": round(self.coalescer.coalesce_rate(), 4),
+                **self.coalescer.stats,
+            },
+            "cache": cache_stats,
+            "pool": {
+                "warm_covers": len(self.pool.snapshot()["covers"]),
+                **{
+                    name: self.pool.stats[name]
+                    for name in ("warm_lookups", "warm_hits", "warm_imported")
+                },
+            },
+        }
+
+    def close(self) -> None:
+        """Shut the fleet down (only if this service created it)."""
+        if self._owns_fleet:
+            self.fleet.shutdown()
+
+
+class ServiceServer:
+    """Newline-delimited-JSON asyncio server around one service."""
+
+    def __init__(
+        self,
+        service: DecompositionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        #: Live per-connection handler tasks; awaited (after cancel) in
+        #: :meth:`stop` so no coroutine is destroyed while suspended.
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``port=0`` to the real one."""
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        # One writer lock per connection: responses are whole lines, and
+        # pipelined requests may finish out of order (ids match them up).
+        lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(self._answer(line, writer, lock))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            # Cancellation comes from stop(): treat it like a client
+            # hangup so the task finishes (and cleans up) normally.
+            pass
+        finally:
+            try:
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Loop teardown (asyncio.run cancelling this handler) or
+                # a client that vanished mid-close: either way the
+                # connection is gone and there is nothing left to do.
+                pass
+
+    async def _answer(
+        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            response = wire.svc_error(None, "bad-json", str(exc))
+        else:
+            response = await self.service.handle(message)
+        data = json.dumps(
+            response, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+        try:
+            async with lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-reply; nothing to salvage
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            # Handlers parked on readline never wake on their own once
+            # we stop reading; cancel and collect them so the loop can
+            # close without destroying suspended coroutines.
+            for task in list(self._connections):
+                task.cancel()
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or external event set)."""
+        await self.service.shutdown_event.wait()
+        await self.stop()
+
+
+class ServerThread:
+    """A service server on a background thread, for synchronous callers.
+
+    The service (and its fleet) is constructed in the *calling* thread —
+    worker processes fork before the loop thread exists — then the
+    asyncio server runs on a daemon thread until :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        service: DecompositionService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs,
+    ) -> None:
+        self._external_service = service
+        self._service_kwargs = service_kwargs
+        self.host = host
+        self.port = port
+        self.service: DecompositionService | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "ServerThread":
+        self.service = self._external_service or DecompositionService(
+            **self._service_kwargs
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=120)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise TimeoutError("service server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _main(self) -> None:
+        server = ServiceServer(self.service, self.host, self.port)
+        try:
+            await server.start()
+        except BaseException as exc:  # bind failure etc.
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await server.serve_until_shutdown()
+
+    def stop(self) -> None:
+        """Signal shutdown, join the loop thread, release the fleet.
+
+        Idempotent, and safe after a wire-level ``shutdown`` request has
+        already stopped the loop.
+        """
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.shutdown_event.set)
+            except RuntimeError:
+                pass  # loop already closed by a shutdown request
+        if self._thread is not None:
+            self._thread.join(timeout=120)
+        if self._external_service is None and self.service is not None:
+            self.service.close()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "DecompositionService",
+    "ServerThread",
+    "ServiceServer",
+    "WorkerError",
+]

@@ -1,0 +1,108 @@
+"""Sharded, eviction-aware result store for the decomposition service.
+
+A :class:`ShardedResultCache` spreads one logical content-addressed
+store over ``shards`` independent :class:`~repro.engine.cache.ResultCache`
+directories (``shard-00/``, ``shard-01/``, ...), routed by a prefix of
+the entry key.  Keys are SHA-256 hashes, so the prefix is uniform and
+the shards stay balanced without any coordination.
+
+Sharding buys two things for a long-lived server:
+
+* **bounded eviction scans** — each shard enforces its own LRU budget
+  over its own (small) index, so a put never walks the whole store;
+* **independent hot sets** — a burst of writes in one key region can
+  only evict neighbours in its own shard, not the entire cache.
+
+The total ``max_bytes`` / ``max_entries`` budgets are divided evenly
+across shards.  Everything else — atomic writes, corrupt-entry-is-a-miss,
+mtime-ordered LRU — is inherited from :class:`ResultCache` per shard.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.cache import ResultCache
+
+
+class ShardedResultCache:
+    """N-way sharded :class:`~repro.engine.cache.ResultCache`.
+
+    The read/write API (:meth:`get` / :meth:`put`) and key helpers match
+    ``ResultCache``, so the service layer can treat either uniformly.
+    """
+
+    # Key builders are shared with the flat cache: the *routing* is the
+    # only thing this class adds.
+    key_for = staticmethod(ResultCache.key_for)
+    netsyn_key_for = staticmethod(ResultCache.netsyn_key_for)
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        shards: int = 4,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.cache_dir = Path(cache_dir)
+        self.n_shards = shards
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        per_bytes = None if max_bytes is None else max(1, max_bytes // shards)
+        per_entries = (
+            None if max_entries is None else max(1, max_entries // shards)
+        )
+        self.shards = [
+            ResultCache(
+                self.cache_dir / f"shard-{index:02d}",
+                max_bytes=per_bytes,
+                max_entries=per_entries,
+            )
+            for index in range(shards)
+        ]
+
+    def shard_for(self, key: str) -> ResultCache:
+        """The shard governing ``key`` (uniform over SHA-256 prefixes)."""
+        return self.shards[int(key[:8], 16) % self.n_shards]
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, key: str):
+        """Return the stored payload, or ``None`` on miss/corruption."""
+        return self.shard_for(key).get(key)
+
+    def put(self, key: str, payload) -> None:
+        """Store a payload; may evict LRU entries of the same shard."""
+        self.shard_for(key).put(key, payload)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Aggregated counters over every shard."""
+        totals = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0, "evictions": 0}
+        for shard in self.shards:
+            for name, value in shard.stats.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none yet)."""
+        stats = self.stats
+        total = stats["hits"] + stats["misses"]
+        return stats["hits"] / total if total else 0.0
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedResultCache({str(self.cache_dir)!r},"
+            f" shards={self.n_shards}, stats={self.stats})"
+        )
+
+
+__all__ = ["ShardedResultCache"]

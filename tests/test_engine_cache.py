@@ -113,15 +113,15 @@ def test_corrupt_entry_counts_exactly_one_miss_and_one_corrupt(tmp_path):
     key = "ef" + "0" * 62
 
     assert cache.get(key) is None  # cold
-    assert cache.stats == {"hits": 0, "misses": 1, "stores": 0, "corrupt": 0}
+    assert cache.stats == {"hits": 0, "misses": 1, "stores": 0, "corrupt": 0, "evictions": 0}
 
     cache.put(key, {"v": 1})
     assert cache.get(key) == {"v": 1}  # warm
-    assert cache.stats == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0}
+    assert cache.stats == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0, "evictions": 0}
 
     cache.path_for(key).write_text("{not json", encoding="utf-8")
     assert cache.get(key) is None  # corrupt
-    assert cache.stats == {"hits": 1, "misses": 2, "stores": 1, "corrupt": 1}
+    assert cache.stats == {"hits": 1, "misses": 2, "stores": 1, "corrupt": 1, "evictions": 0}
 
     # Repeat the whole sequence: counters advance linearly, no drift.
     cache.put(key, {"v": 2})
@@ -130,7 +130,7 @@ def test_corrupt_entry_counts_exactly_one_miss_and_one_corrupt(tmp_path):
         json.dumps({"format": "alien/1", "payload": {}}), encoding="utf-8"
     )
     assert cache.get(key) is None
-    assert cache.stats == {"hits": 2, "misses": 3, "stores": 2, "corrupt": 2}
+    assert cache.stats == {"hits": 2, "misses": 3, "stores": 2, "corrupt": 2, "evictions": 0}
     assert cache.hit_rate() == 2 / 5
 
 
@@ -177,3 +177,92 @@ def test_key_for_distinguishes_everything_else():
     assert base != ResultCache.key_for(payload, "AND", "expand-full", "espresso", True)
     assert base != ResultCache.key_for(payload, "AND", "expand-full", "spp", False)
     assert base != ResultCache.key_for({"other": 1}, "AND", "expand-full", "spp", True)
+
+
+# ---------------------------------------------------------------------------
+# LRU eviction budgets
+# ---------------------------------------------------------------------------
+
+
+def _key(index: int) -> str:
+    return f"{index:02x}" + "0" * 62
+
+
+def _backdate(cache: ResultCache, key: str, seconds_ago: float) -> None:
+    """Pin an entry's mtime (and the in-memory index) into the past."""
+    then = time.time() - seconds_ago
+    path = cache.path_for(key)
+    os.utime(path, (then, then))
+    cache._index_entry(key, then, path.stat().st_size)
+
+
+def test_max_entries_evicts_oldest_first(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=3)
+    for index in range(3):
+        cache.put(_key(index), {"v": index})
+        _backdate(cache, _key(index), 100 - index)
+    cache.put(_key(3), {"v": 3})
+    assert len(cache) == 3
+    assert cache.stats["evictions"] == 1
+    assert cache.get(_key(0)) is None  # the oldest entry went
+    assert cache.get(_key(3)) == {"v": 3}
+
+
+def test_max_bytes_evicts_until_within_budget(tmp_path):
+    probe = ResultCache(tmp_path / "probe")
+    probe.put(_key(0), {"v": 0})
+    entry_size = probe.path_for(_key(0)).stat().st_size
+
+    cache = ResultCache(tmp_path / "real", max_bytes=3 * entry_size)
+    for index in range(5):
+        cache.put(_key(index), {"v": index})
+        _backdate(cache, _key(index), 100 - index)
+    assert len(cache) == 3
+    assert cache.stats["evictions"] == 2
+    # Survivors are the most recently written ones.
+    assert cache.get(_key(0)) is None
+    assert cache.get(_key(1)) is None
+    assert cache.get(_key(4)) == {"v": 4}
+
+
+def test_get_refreshes_recency(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=2)
+    cache.put(_key(0), {"v": 0})
+    _backdate(cache, _key(0), 200)
+    cache.put(_key(1), {"v": 1})
+    _backdate(cache, _key(1), 100)
+    # Touch the older entry: it becomes the most recently used.
+    assert cache.get(_key(0)) == {"v": 0}
+    cache.put(_key(2), {"v": 2})
+    assert cache.get(_key(0)) == {"v": 0}
+    assert cache.get(_key(1)) is None  # LRU after the touch
+
+
+def test_put_never_evicts_its_own_entry(tmp_path):
+    cache = ResultCache(tmp_path, max_bytes=1)
+    cache.put(_key(0), {"v": "x" * 100})
+    assert cache.get(_key(0)) == {"v": "x" * 100}
+    assert cache.stats["evictions"] == 0
+    # The next write reclaims the over-budget predecessor.
+    cache.put(_key(1), {"v": 1})
+    assert cache.get(_key(0)) is None
+    assert cache.stats["evictions"] >= 1
+
+
+def test_budgets_govern_preexisting_entries_on_open(tmp_path):
+    cache = ResultCache(tmp_path)
+    for index in range(5):
+        cache.put(_key(index), {"v": index})
+        _backdate(cache, _key(index), 100 - index)
+    bounded = ResultCache(tmp_path, max_entries=2)
+    assert len(bounded) == 2
+    assert bounded.stats["evictions"] == 3
+    assert bounded.get(_key(4)) == {"v": 4}
+
+
+def test_unbounded_cache_never_evicts(tmp_path):
+    cache = ResultCache(tmp_path)
+    for index in range(20):
+        cache.put(_key(index), {"v": index})
+    assert len(cache) == 20
+    assert cache.stats["evictions"] == 0

@@ -367,3 +367,77 @@ def test_parallel_falls_back_to_serial_when_batch_search_fails(monkeypatch):
     assert network_to_payload(recovered.network) == network_to_payload(
         serial.network
     )
+
+
+# ---------------------------------------------------------------------------
+# Warm-cover pool snapshots (cross-request sharing)
+# ---------------------------------------------------------------------------
+
+
+def test_pool_snapshot_merge_round_trip():
+    from repro.netsyn.pool import POOL_SNAPSHOT_FORMAT
+
+    pool = DivisorPool(collect_covers=True)
+    payload = {"kind": "sop", "n_vars": 2, "cubes": [[1, 0]]}
+    pool.remember_cover("spp|abc", payload)
+    pool.remember_cover("spp|abc", {"kind": "sop", "n_vars": 2, "cubes": []})
+    snapshot = pool.snapshot()
+    assert snapshot["format"] == POOL_SNAPSHOT_FORMAT
+    assert snapshot["covers"] == {"spp|abc": payload}  # first write wins
+
+    other = DivisorPool()
+    assert other.warm_cover("spp|abc") is None  # empty: not even a lookup
+    assert other.stats["warm_lookups"] == 0
+    assert other.merge(snapshot) == 1
+    assert other.collect_covers  # merging implies participation
+    assert other.warm_cover("spp|abc") == payload
+    assert other.warm_cover("spp|missing") is None
+    assert other.stats == {
+        **other.stats,
+        "warm_lookups": 2,
+        "warm_hits": 1,
+        "warm_imported": 1,
+    }
+    assert other.merge(snapshot) == 0  # re-import is idempotent
+    assert other.merge(None) == 0
+
+
+def test_pool_merge_rejects_foreign_snapshots():
+    from repro.bdd.serialize import SerializationError
+
+    pool = DivisorPool()
+    with pytest.raises(SerializationError):
+        pool.merge({"format": "something-else/1", "covers": {}})
+    with pytest.raises(SerializationError):
+        pool.merge({"format": "repro-pool/1", "covers": ["not", "a", "dict"]})
+
+
+def test_collect_covers_off_skips_bookkeeping():
+    pool = DivisorPool()
+    pool.remember_cover("spp|abc", {"kind": "sop", "n_vars": 1, "cubes": []})
+    assert pool.snapshot()["covers"] == {}
+
+
+def test_warm_pool_replay_builds_identical_network():
+    config = NetsynConfig(backend="bdd")
+    first = NetworkSynthesizer(config)
+    cold = first.synthesize(load_benchmark("z4"), collect_covers=True)
+    seed = first.last_pool.snapshot()
+    assert seed["covers"]  # the run remembered its minimized covers
+
+    second = NetworkSynthesizer(config)
+    warm = second.synthesize(load_benchmark("z4"), pool_seed=seed)
+    assert warm.pool_stats["warm_hits"] > 0
+    assert network_to_payload(warm.network) == network_to_payload(cold.network)
+    assert warm.per_output == cold.per_output
+    assert warm.shared_area == cold.shared_area
+    assert warm.isolated_area == cold.isolated_area
+
+
+def test_cache_hit_leaves_no_last_pool(tmp_path):
+    synthesizer = NetworkSynthesizer(NetsynConfig())
+    synthesizer.synthesize(load_benchmark("z4"), cache=tmp_path)
+    assert synthesizer.last_pool is not None
+    cached = synthesizer.synthesize(load_benchmark("z4"), cache=tmp_path)
+    assert cached.cached
+    assert synthesizer.last_pool is None

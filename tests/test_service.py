@@ -1,0 +1,439 @@
+"""Decomposition service: coalescing, sharded cache, fleet, wire identity.
+
+The identity discipline under test: a service response's *result* must
+match what an in-process run produces, byte for byte, once the
+informational channels are stripped — ``timings``/``bdd_stats`` on
+decompose payloads; ``pool_stats``/``engine_stats``/``time_s`` on netsyn
+payloads.  Those channels report *how* a result was computed (wall
+time, which manager, warm hits) and legitimately differ between a warm
+worker and a cold process; everything else may not.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bdd.serialize import canonical_hash
+from repro.benchgen.registry import load_benchmark
+from repro.core.operators import EXPERIMENT_OPERATORS
+from repro.engine import wire
+from repro.engine.decomposer import Decomposer
+from repro.engine.parallel import make_work_item
+from repro.netsyn.synthesis import NetsynConfig, synthesize_instance
+from repro.service import (
+    Coalescer,
+    DecompositionService,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    ShardedResultCache,
+)
+
+INFORMATIONAL_RESULT_KEYS = frozenset(("timings", "bdd_stats"))
+INFORMATIONAL_NETSYN_KEYS = frozenset(("pool_stats", "engine_stats", "time_s"))
+
+
+def stripped(payload: dict, informational: frozenset) -> dict:
+    return {k: v for k, v in payload.items() if k not in informational}
+
+
+def work_item(isf, name="f", op="auto", backend="auto"):
+    return make_work_item(
+        name,
+        wire.isf_to_payload(isf),
+        op,
+        "expand-full",
+        "spp",
+        True,
+        EXPERIMENT_OPERATORS,
+        backend=backend,
+    )
+
+
+def in_process_payload(isf, name="f", op="auto", backend="auto"):
+    engine = Decomposer(
+        approximator="expand-full",
+        minimizer="spp",
+        operators=EXPERIMENT_OPERATORS,
+        verify=True,
+        backend=backend,
+    )
+    return wire.result_to_payload(engine.decompose(isf, op, name=name))
+
+
+def drive(service, envelopes):
+    """Run N ``handle`` coroutines concurrently on one fresh loop.
+
+    ``asyncio.gather`` starts the tasks in order under cooperative
+    scheduling: the leader registers its in-flight future before its
+    first await completes, so every duplicate deterministically joins
+    the flight — no socket timing involved.
+    """
+
+    async def _run():
+        return await asyncio.gather(*(service.handle(e) for e in envelopes))
+
+    return asyncio.run(_run())
+
+
+@pytest.fixture(scope="module")
+def z4():
+    return load_benchmark("z4")
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    thread = ServerThread(
+        jobs=2,
+        cache_dir=str(tmp_path_factory.mktemp("svc-cache")),
+        cache_shards=4,
+    )
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+# ---------------------------------------------------------------------------
+# Coalescer (unit)
+# ---------------------------------------------------------------------------
+
+
+def test_coalescer_runs_once_and_shares_value():
+    async def _run():
+        coalescer = Coalescer()
+        calls = {"n": 0}
+
+        async def compute():
+            calls["n"] += 1
+            await asyncio.sleep(0)
+            return {"value": calls["n"]}
+
+        outcomes = await asyncio.gather(
+            *(coalescer.run("k", compute) for _ in range(5))
+        )
+        assert calls["n"] == 1
+        values = {id(value) for value, _ in outcomes}
+        assert len(values) == 1  # literally the same object, not a copy
+        flags = sorted(flag for _, flag in outcomes)
+        assert flags == [False, True, True, True, True]
+        assert coalescer.stats == {"leaders": 1, "followers": 4}
+        assert len(coalescer) == 0  # flight cleaned up
+        assert 0.79 < coalescer.coalesce_rate() < 0.81
+
+    asyncio.run(_run())
+
+
+def test_coalescer_shares_failures_and_recovers():
+    async def _run():
+        coalescer = Coalescer()
+        calls = {"n": 0}
+
+        async def explode():
+            calls["n"] += 1
+            await asyncio.sleep(0)
+            raise ValueError("boom")
+
+        outcomes = await asyncio.gather(
+            *(coalescer.run("k", explode) for _ in range(3)),
+            return_exceptions=True,
+        )
+        assert calls["n"] == 1
+        assert all(isinstance(o, ValueError) for o in outcomes)
+        # A failed flight must not poison the key for later arrivals.
+        async def ok():
+            return "fine"
+
+        value, coalesced = await coalescer.run("k", ok)
+        assert (value, coalesced) == ("fine", False)
+
+    asyncio.run(_run())
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def _run():
+        coalescer = Coalescer()
+
+        async def make(n):
+            await asyncio.sleep(0)
+            return n
+
+        outcomes = await asyncio.gather(
+            *(coalescer.run(f"k{i}", lambda i=i: make(i)) for i in range(3))
+        )
+        assert [value for value, _ in outcomes] == [0, 1, 2]
+        assert coalescer.stats == {"leaders": 3, "followers": 0}
+
+    asyncio.run(_run())
+
+
+# ---------------------------------------------------------------------------
+# Sharded cache (unit)
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_cache_routes_by_prefix_and_aggregates(tmp_path):
+    cache = ShardedResultCache(tmp_path, shards=4)
+    keys = [canonical_hash({"i": i}) for i in range(16)]
+    for index, key in enumerate(keys):
+        cache.put(key, {"index": index})
+    assert len(cache) == 16
+    for index, key in enumerate(keys):
+        shard = cache.shard_for(key)
+        assert shard is cache.shards[int(key[:8], 16) % 4]
+        assert shard.path_for(key).exists()
+        assert cache.get(key) == {"index": index}
+    assert cache.get("ff" * 32) is None
+    stats = cache.stats
+    assert stats["stores"] == 16 and stats["hits"] == 16
+    assert stats["misses"] == 1 and stats["evictions"] == 0
+    assert 0.93 < cache.hit_rate() < 0.95
+    # Keys spread over more than one shard (SHA-256 prefixes are uniform).
+    assert sum(1 for shard in cache.shards if len(shard)) > 1
+
+
+def test_sharded_cache_evicts_within_the_loaded_shard(tmp_path):
+    cache = ShardedResultCache(tmp_path, shards=2, max_entries=4)
+    # Per-shard budget is 2; aim 4 keys at one shard to force eviction
+    # there while the other shard stays untouched.
+    target = 0
+    hot = [k for i in range(64) if
+           (k := canonical_hash({"i": i})) and int(k[:8], 16) % 2 == target][:4]
+    for index, key in enumerate(hot):
+        cache.put(key, {"index": index})
+    assert cache.stats["evictions"] == 2
+    assert len(cache.shards[target]) == 2
+    assert len(cache.shards[1 - target]) == 0
+
+
+def test_sharded_cache_rejects_bad_shard_count(tmp_path):
+    with pytest.raises(ValueError):
+        ShardedResultCache(tmp_path, shards=0)
+
+
+# ---------------------------------------------------------------------------
+# Service.handle: coalescing + identity (no sockets)
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_identical_requests_compute_once(z4):
+    service = DecompositionService(jobs=2)
+    try:
+        item = work_item(z4.outputs[1], name="o1")
+        envelopes = [
+            wire.svc_request("decompose", item, f"r{i}") for i in range(6)
+        ]
+        responses = drive(service, envelopes)
+        assert all(r["ok"] for r in responses)
+        # Byte-identical payloads: strip only the per-request envelope
+        # fields (id + service stats); the *results* must already agree.
+        bodies = {
+            json.dumps(r["result"], sort_keys=True) for r in responses
+        }
+        assert len(bodies) == 1
+        # ... computed exactly once:
+        assert service.fleet.stats["dispatched"] == 1
+        assert service.coalescer.stats == {"leaders": 1, "followers": 5}
+        flags = sorted(r["stats"]["coalesced"] for r in responses)
+        assert flags == [False] + [True] * 5
+        # The worker-side computation counter confirms a single warm
+        # worker ran the single computation.
+        workers = {
+            json.dumps(r["stats"]["worker"], sort_keys=True)
+            for r in responses
+        }
+        assert len(workers) == 1
+        assert responses[0]["stats"]["worker"]["computed"] == 1
+    finally:
+        service.close()
+
+
+def test_backend_variants_coalesce_and_match_both_backends(z4):
+    # The coalescing key is backend-free: a bdd and a bitset request for
+    # the same function share one flight, and the shared payload matches
+    # an in-process run of *either* backend (stripped of the
+    # informational channels).
+    service = DecompositionService(jobs=2)
+    try:
+        isf = z4.outputs[0]
+        envelopes = [
+            wire.svc_request(
+                "decompose", work_item(isf, name="o0", backend=backend), backend
+            )
+            for backend in ("bdd", "bitset")
+        ]
+        responses = drive(service, envelopes)
+        assert all(r["ok"] for r in responses)
+        assert service.fleet.stats["dispatched"] == 1
+        served = stripped(responses[0]["result"], INFORMATIONAL_RESULT_KEYS)
+        for backend in ("bdd", "bitset"):
+            expected = in_process_payload(isf, name="o0", backend=backend)
+            assert served == stripped(expected, INFORMATIONAL_RESULT_KEYS)
+    finally:
+        service.close()
+
+
+def test_decompose_many_orders_results_and_coalesces_duplicates(z4):
+    service = DecompositionService(jobs=2)
+    try:
+        items = [
+            work_item(z4.outputs[0], name="a"),
+            work_item(z4.outputs[1], name="b"),
+            work_item(z4.outputs[0], name="a"),  # intra-batch duplicate
+        ]
+        (response,) = drive(
+            service,
+            [wire.svc_request("decompose_many", {"items": items}, "batch")],
+        )
+        assert response["ok"]
+        results = response["result"]["results"]
+        assert len(results) == 3
+        assert results[0] == results[2]  # the duplicate shared the flight
+        assert results[0] != results[1]
+        assert response["stats"]["items"] == 3
+        assert response["stats"]["coalesced"] == 1
+        assert service.fleet.stats["dispatched"] == 2
+    finally:
+        service.close()
+
+
+def test_cache_persists_across_service_restarts(z4, tmp_path):
+    item = work_item(z4.outputs[2], name="o2")
+    envelope = wire.svc_request("decompose", item, "one")
+
+    first = DecompositionService(jobs=1, cache_dir=tmp_path)
+    try:
+        (response,) = drive(first, [envelope])
+        assert response["ok"]
+        assert response["stats"]["served_by"] == "fleet"
+        warm_payload = response["result"]
+    finally:
+        first.close()
+
+    second = DecompositionService(jobs=1, cache_dir=tmp_path, prewarm=False)
+    try:
+        (cached,) = drive(second, [envelope])
+        assert cached["ok"]
+        assert cached["stats"]["served_by"] == "cache"
+        assert cached["result"] == warm_payload  # byte-identical from disk
+        assert second.fleet.stats["dispatched"] == 0
+        assert second.stats["cache_hits"] == 1
+    finally:
+        second.close()
+
+
+def test_malformed_and_failing_requests_become_error_envelopes():
+    service = DecompositionService(jobs=1, prewarm=False)
+    try:
+        responses = drive(
+            service,
+            [
+                {"format": "not-svc", "kind": "decompose"},
+                wire.svc_request("decompose", {"name": "x"}, "no-f"),
+                wire.svc_request("netsyn", {"benchmark": "no-such"}, "nb"),
+                wire.svc_request("netsyn", {}, "nt"),
+            ],
+        )
+        assert [r["ok"] for r in responses] == [False] * 4
+        assert responses[0]["error"]["type"] == "bad-request"
+        assert responses[1]["error"]["type"] == "bad-request"
+        assert "'f'" in responses[1]["error"]["message"]
+        assert responses[2]["error"]["type"] == "KeyError"
+        assert responses[3]["error"]["type"] == "bad-request"
+        # Failures are replies, not crashes: the service still serves.
+        (status,) = drive(service, [wire.svc_request("status", None, "s")])
+        assert status["ok"]
+        assert status["result"]["requests"]["errors"] >= 3
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Socket server + client: wire identity end to end
+# ---------------------------------------------------------------------------
+
+
+def test_socket_decompose_matches_in_process_across_backends(server, z4):
+    with ServiceClient(server.host, server.port) as client:
+        for backend in ("bdd", "bitset"):
+            for index in (0, 3):
+                isf = z4.outputs[index]
+                payload, stats = client.decompose(
+                    work_item(isf, name=f"o{index}", backend=backend)
+                )
+                assert stats["served_by"] in ("fleet", "cache")
+                expected = in_process_payload(
+                    isf, name=f"o{index}", backend=backend
+                )
+                assert stripped(
+                    payload, INFORMATIONAL_RESULT_KEYS
+                ) == stripped(expected, INFORMATIONAL_RESULT_KEYS)
+
+
+def test_socket_netsyn_matches_in_process_and_warm_pool_stays_exact(
+    server, z4
+):
+    with ServiceClient(server.host, server.port) as client:
+        result, stats = client.netsyn(benchmark="z4")
+        expected = wire.netsyn_result_to_payload(
+            synthesize_instance(load_benchmark("z4"))
+        )
+        assert stripped(result, INFORMATIONAL_NETSYN_KEYS) == stripped(
+            expected, INFORMATIONAL_NETSYN_KEYS
+        )
+        # A different config is a different cache key, so this computes
+        # on the fleet — seeded with the first run's warm covers.
+        config = {"literal_threshold": 11}
+        warm, warm_stats = client.netsyn(benchmark="z4", config=config)
+        assert warm_stats["served_by"] == "fleet"
+        assert warm["pool_stats"]["warm_hits"] > 0
+        expected_warm = wire.netsyn_result_to_payload(
+            synthesize_instance(
+                load_benchmark("z4"), config=NetsynConfig(literal_threshold=11)
+            )
+        )
+        assert stripped(warm, INFORMATIONAL_NETSYN_KEYS) == stripped(
+            expected_warm, INFORMATIONAL_NETSYN_KEYS
+        )
+
+
+def test_status_probe_reports_all_sections(server):
+    with ServiceClient(server.host, server.port) as client:
+        status = client.status()
+    assert set(status) == {"requests", "fleet", "coalesce", "cache", "pool"}
+    assert status["fleet"]["size"] == 2
+    assert status["fleet"]["prewarmed"] >= 1
+    assert status["cache"]["shards"] == 4
+    assert status["cache"]["entries"] >= 1
+    assert status["pool"]["warm_covers"] >= 1
+
+
+def test_server_rejects_garbage_lines_and_keeps_serving(server):
+    import socket as socket_module
+
+    with socket_module.create_connection(
+        (server.host, server.port), timeout=60
+    ) as sock:
+        handle = sock.makefile("rwb")
+        handle.write(b"this is not json\n")
+        handle.flush()
+        reply = json.loads(handle.readline())
+        assert reply["ok"] is False
+        assert reply["error"]["type"] == "bad-json"
+    with ServiceClient(server.host, server.port) as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("decompose", {"name": "missing-f"})
+        assert excinfo.value.type == "bad-request"
+        assert client.status()["requests"]["requests"] >= 1
+
+
+def test_shutdown_request_stops_the_server():
+    thread = ServerThread(jobs=1, prewarm=False)
+    thread.start()
+    try:
+        with ServiceClient(thread.host, thread.port) as client:
+            assert client.shutdown() == {"stopping": True}
+        thread._thread.join(timeout=60)
+        assert not thread._thread.is_alive()
+    finally:
+        thread.stop()
