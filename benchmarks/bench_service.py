@@ -7,7 +7,7 @@ what serving buys over one-shot execution::
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_service.py --quick
 
-Four phases per run:
+Six phases per run:
 
 * **latency** — every output of every suite benchmark is decomposed as
   its own request against a warm, cache-less server; p50/p99 request
@@ -24,6 +24,16 @@ Four phases per run:
 * **netsyn** — each benchmark synthesized twice through the service;
   round two runs with the service-lifetime warm-cover pool and must
   still produce the identical network.
+* **faults** — injected failures against a dedicated server: a hung
+  worker (fleet-level ``service_sleep``) must trip the deadline, be
+  killed, and the slot must serve again (the row's wall time is the
+  timeout→recovered latency); then every fleet worker is SIGKILLed and
+  the next request must succeed with a payload byte-identical to the
+  healthy run's.
+* **admission** — a burst of concurrent distinct requests against a
+  ``max_inflight=1`` server: over-budget arrivals must get typed
+  ``overloaded`` errors, in-budget ones must complete, and every
+  rejected request must succeed when retried sequentially.
 
 Every service result is compared against an in-process run with the
 informational channels stripped (``timings``/``bdd_stats`` on decompose
@@ -53,7 +63,7 @@ from repro.engine import wire
 from repro.engine.decomposer import Decomposer
 from repro.engine.parallel import make_work_item
 from repro.netsyn.synthesis import synthesize_instance
-from repro.service import ServerThread, ServiceClient
+from repro.service import ServerThread, ServiceClient, ServiceError
 
 #: Report identifier; bump on any incompatible layout change.
 REPORT_FORMAT = "repro-bench-service/1"
@@ -331,6 +341,136 @@ def phase_netsyn(server: ServerThread, names: tuple[str, ...]) -> tuple[dict, bo
     return workloads, identical
 
 
+def phase_faults(item: dict) -> dict:
+    """Injected failures: hung-worker timeout, SIGKILLed fleet.
+
+    Returns two rows: ``svc:fault:timeout`` (wall = deadline expiry →
+    next request served, i.e. kill + respawn + recompute latency) and
+    ``svc:fault:crash`` (wall = first request latency after every
+    worker was SIGKILLed; identity vs the healthy run's payload).
+    """
+    import os
+    import signal
+
+    from repro.service.fleet import FleetTimeout, service_sleep
+
+    rows: dict[str, dict] = {}
+    with ServerThread(jobs=1) as server:
+        with ServiceClient(server.host, server.port) as client:
+            healthy, _stats = client.decompose(item)
+
+            # Hung worker: the fleet-level sleep stands in for a wedged
+            # CPU-bound sweep; the deadline must kill the worker and the
+            # next wire request must be served by the respawned slot.
+            timed_out = False
+
+            def hang_and_recover():
+                nonlocal timed_out
+                try:
+                    server.service.fleet.run_sync(
+                        service_sleep, {"seconds": 60.0}, timeout_s=0.25
+                    )
+                except FleetTimeout:
+                    timed_out = True
+                client.decompose(item)
+
+            recovery_wall, _ = _timed(hang_and_recover)
+            rows["svc:fault:timeout"] = {
+                "wall_s": recovery_wall,
+                "timed_out": timed_out,
+                "recovered": True,
+                "kills": server.service.fleet.stats["kills"],
+            }
+            print(
+                f"svc:fault:timeout      recover {1e3 * recovery_wall:7.2f}ms"
+                f"  {'timed-out+respawned' if timed_out else 'NO TIMEOUT'}",
+                file=sys.stderr,
+            )
+
+            # Crashed fleet: SIGKILL every worker, then request again.
+            for pid in server.service.fleet.pids():
+                os.kill(pid, signal.SIGKILL)
+            time.sleep(0.2)
+            crash_wall, (recovered, _stats) = _timed(
+                lambda: client.decompose(item)
+            )
+            identical = _stripped(
+                recovered, INFORMATIONAL_RESULT_KEYS
+            ) == _stripped(healthy, INFORMATIONAL_RESULT_KEYS)
+            rows["svc:fault:crash"] = {
+                "wall_s": crash_wall,
+                "identical": identical,
+                "restarts": server.service.fleet.stats["restarts"],
+            }
+            print(
+                f"svc:fault:crash        recover {1e3 * crash_wall:7.2f}ms"
+                f"  {'identical' if identical else 'MISMATCH'}",
+                file=sys.stderr,
+            )
+    return rows
+
+
+#: Distinct operators -> distinct request keys for the admission burst.
+ADMISSION_OPS = ("auto", "AND", "OR", "XOR", "NAND", "NOR")
+
+
+def phase_admission(base_item: dict) -> dict:
+    """Over-budget burst against ``max_inflight=1``: typed rejections."""
+    from repro.service import DecompositionService
+
+    service = DecompositionService(jobs=1, max_inflight=1)
+    outcomes: list[str] = [""] * len(ADMISSION_OPS)
+    with ServerThread(service=service) as server:
+        barrier = threading.Barrier(len(ADMISSION_OPS))
+
+        def fire(slot: int, op: str) -> None:
+            try:
+                with ServiceClient(server.host, server.port) as client:
+                    barrier.wait()
+                    client.decompose(dict(base_item, op=op))
+                    outcomes[slot] = "ok"
+            except ServiceError as exc:
+                outcomes[slot] = exc.type
+            except BaseException:  # noqa: BLE001 — reported in summary
+                outcomes[slot] = "error"
+
+        wall, _ = _timed(
+            lambda: _join_all(
+                [
+                    threading.Thread(target=fire, args=(slot, op))
+                    for slot, op in enumerate(ADMISSION_OPS)
+                ]
+            )
+        )
+        # Every rejected request must complete when sent in budget.
+        retried_ok = 0
+        with ServiceClient(server.host, server.port) as client:
+            for slot, op in enumerate(ADMISSION_OPS):
+                if outcomes[slot] == "overloaded":
+                    client.decompose(dict(base_item, op=op))
+                    retried_ok += 1
+    service.close()
+    completed = outcomes.count("ok")
+    overloaded = outcomes.count("overloaded")
+    errors = len(outcomes) - completed - overloaded
+    record = {
+        "wall_s": wall,
+        "clients": len(ADMISSION_OPS),
+        "completed": completed,
+        "overloaded": overloaded,
+        "errors": errors,
+        "retried_ok": retried_ok,
+        "ok": completed >= 1 and overloaded >= 1 and errors == 0
+        and retried_ok == overloaded,
+    }
+    print(
+        f"svc:admission          {completed} served, {overloaded} overloaded,"
+        f" {errors} errors, {retried_ok} retried ok",
+        file=sys.stderr,
+    )
+    return record
+
+
 def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
     suite = SUITE_QUICK if quick else SUITE_FULL
     calibration_s = calibration()
@@ -350,11 +490,15 @@ def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
         netsyn_workloads, netsyn_identical = phase_netsyn(server, suite)
 
     cache_record = phase_cache(suite_items, jobs, cache_dir)
+    fault_rows = phase_faults(suite_items[suite[0]][0])
+    admission_record = phase_admission(suite_items[largest][0])
 
     workloads = dict(latency_workloads)
     workloads.update(netsyn_workloads)
     workloads["svc:coalesce"] = coalesce_record
     workloads["svc:cache_warm"] = cache_record
+    workloads.update(fault_rows)
+    workloads["svc:admission"] = admission_record
     print(
         f"coalesce rate {coalesce_record['coalesce_rate']:.2f}"
         f"  cache hit rate {cache_record['hit_rate']:.2f}",
@@ -387,10 +531,19 @@ def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
             "coalesce_rate": round(coalesce_record["coalesce_rate"], 4),
             "coalesce_errors": coalesce_record["errors"],
             "cache_hit_rate": round(cache_record["hit_rate"], 4),
+            "timeout_recovered": (
+                fault_rows["svc:fault:timeout"]["timed_out"]
+                and fault_rows["svc:fault:timeout"]["recovered"]
+            ),
+            "crash_identical": fault_rows["svc:fault:crash"]["identical"],
+            "admission_overloaded": admission_record["overloaded"],
+            "admission_errors": admission_record["errors"],
+            "admission_ok": admission_record["ok"],
             "all_identical": (
                 latency_summary["all_identical"]
                 and netsyn_identical
                 and coalesce_record["identical_replies"]
+                and fault_rows["svc:fault:crash"]["identical"]
             ),
         },
     }
@@ -443,6 +596,15 @@ def main(argv: list[str] | None = None) -> int:
         failures.append("warm cache round produced no hits")
     if summary["coalesce_errors"]:
         failures.append("coalesce clients saw errors")
+    if not summary["timeout_recovered"]:
+        failures.append("hung-worker request did not time out and recover")
+    if not summary["crash_identical"]:
+        failures.append("post-crash payload diverged from the healthy run")
+    if not summary["admission_ok"]:
+        failures.append(
+            "admission burst did not produce typed overloaded rejections"
+            " alongside completed in-budget requests"
+        )
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

@@ -126,7 +126,12 @@ def service_invariants(report: dict) -> list[str]:
     The service must never change what gets computed (byte-identity),
     and the serving machinery must demonstrably engage: duplicate load
     coalesces without client errors, the warm cache round hits, and the
-    warm-fleet p50 beats the one-shot batch wall.
+    warm-fleet p50 beats the one-shot batch wall.  Reports that carry
+    the fault-injection and admission phases must additionally show a
+    hung worker timing out and recovering, a SIGKILLed fleet serving a
+    byte-identical payload, and an over-budget burst drawing typed
+    ``overloaded`` rejections (the ``is False`` guards keep older
+    reports without those phases passing).
     """
     summary = report.get("summary", {})
     failures: list[str] = []
@@ -142,6 +147,19 @@ def service_invariants(report: dict) -> list[str]:
         failures.append("warm cache round produced no hits")
     if not summary.get("warm_p50_below_oneshot"):
         failures.append("warm-fleet p50 did not beat the one-shot batch")
+    if summary.get("timeout_recovered") is False:
+        failures.append("hung-worker request did not time out and recover")
+    if summary.get("crash_identical") is False:
+        failures.append("post-crash payload diverged from the healthy run")
+    if summary.get("admission_errors", 0):
+        failures.append(
+            f"admission burst saw {summary['admission_errors']} untyped errors"
+        )
+    if summary.get("admission_ok") is False:
+        failures.append(
+            "admission burst did not reject over-budget load with typed"
+            " overloaded errors"
+        )
     return failures
 
 

@@ -19,9 +19,12 @@ Usage::
     python -m repro.cli serve [--host H] [--port P] [--jobs N]
                               [--cache-dir DIR] [--cache-shards N]
                               [--cache-max-mb MB] [--no-prewarm]
+                              [--timeout S] [--max-inflight N]
+                              [--max-line-kb KB] [--max-pending N]
     python -m repro.cli serve --status --port P
-    python -m repro.cli client <status|shutdown|netsyn|decompose> [names...]
-                               [--host H] --port P [--op auto]
+    python -m repro.cli client <status|metrics|shutdown|netsyn|decompose>
+                               [names...] [--host H] --port P [--op auto]
+                               [--timeout S]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -202,6 +205,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.cache_max_mb * 1024 * 1024 if args.cache_max_mb else None
         ),
         prewarm=not args.no_prewarm,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+        max_line_bytes=args.max_line_kb * 1024,
+        max_pending_per_conn=(
+            args.max_pending if args.max_pending > 0 else None
+        ),
     )
 
     async def _run() -> None:
@@ -234,16 +243,22 @@ def _cmd_client(args: argparse.Namespace) -> int:
         if args.action == "status":
             print(json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
+        if args.action == "metrics":
+            print(client.metrics(), end="")
+            return 0
         if args.action == "shutdown":
             print(json.dumps(client.shutdown()))
             return 0
         if not args.names:
             print(f"client {args.action} needs benchmark names", file=sys.stderr)
             return 2
+        timeout_s = args.timeout if args.timeout > 0 else None
         if args.action == "netsyn":
             rows = []
             for name in args.names:
-                result, stats = client.netsyn(benchmark=name)
+                result, stats = client.netsyn(
+                    benchmark=name, timeout_s=timeout_s
+                )
                 rows.append(
                     {
                         "name": name,
@@ -271,7 +286,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 }
                 for index, isf in enumerate(instance.outputs)
             )
-        result, stats = client.decompose_many(items, op=args.op)
+        defaults = {"op": args.op}
+        if timeout_s is not None:
+            defaults["timeout_s"] = timeout_s
+        result, stats = client.decompose_many(items, **defaults)
         rows = [
             {
                 "name": item["name"],
@@ -472,6 +490,36 @@ def main(argv: list[str] | None = None) -> int:
         help="skip force-spawning the fleet at startup",
     )
     serve.add_argument(
+        "--timeout", type=float, default=0.0, metavar="S",
+        help=(
+            "default per-request deadline in seconds; on expiry the"
+            " worker is killed and respawned and the client gets a typed"
+            " 'timeout' error (default: none; a request's timeout_s"
+            " param always wins)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=0, metavar="N",
+        help=(
+            "max concurrently admitted compute requests; beyond it"
+            " requests get a typed 'overloaded' error (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--max-line-kb", type=int, default=8192, metavar="KB",
+        help=(
+            "max request line size in KiB; larger lines get a typed"
+            " 'too-large' error and the connection closes (default: 8192)"
+        ),
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=0, metavar="N",
+        help=(
+            "max unanswered pipelined requests per connection; beyond it"
+            " requests get a typed 'overloaded' error (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
         "--status", action="store_true",
         help="probe a running server (--port) and print its counters",
     )
@@ -482,13 +530,18 @@ def main(argv: list[str] | None = None) -> int:
         help="send one request to a running decomposition service",
     )
     client.add_argument(
-        "action", choices=("status", "shutdown", "netsyn", "decompose")
+        "action",
+        choices=("status", "metrics", "shutdown", "netsyn", "decompose"),
     )
     client.add_argument("names", nargs="*", help="benchmark names")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=0, required=False)
     client.add_argument(
         "--op", default="auto", help="operator for decompose (default: auto)"
+    )
+    client.add_argument(
+        "--timeout", type=float, default=0.0, metavar="S",
+        help="server-side per-request deadline in seconds (default: server's)",
     )
     client.set_defaults(handler=_cmd_client)
 

@@ -37,7 +37,14 @@ NETSYN_RESULT_FORMAT = "repro-netsyn/1"
 SVC_FORMAT = "repro-svc/1"
 
 #: Request kinds the service protocol understands.
-SVC_KINDS = ("decompose", "decompose_many", "netsyn", "status", "shutdown")
+SVC_KINDS = (
+    "decompose",
+    "decompose_many",
+    "netsyn",
+    "status",
+    "metrics",
+    "shutdown",
+)
 
 
 # ---------------------------------------------------------------------------

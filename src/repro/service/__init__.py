@@ -12,7 +12,8 @@ in-process runs (informational counters aside) — the service changes
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.coalesce import Coalescer
-from repro.service.fleet import WorkerFleet
+from repro.service.fleet import FleetTimeout, WorkerCrashed, WorkerFleet
+from repro.service.metrics import render_prometheus
 from repro.service.server import (
     DecompositionService,
     ServerThread,
@@ -24,11 +25,14 @@ from repro.service.shards import ShardedResultCache
 __all__ = [
     "Coalescer",
     "DecompositionService",
+    "FleetTimeout",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
     "ShardedResultCache",
+    "WorkerCrashed",
     "WorkerError",
     "WorkerFleet",
+    "render_prometheus",
 ]

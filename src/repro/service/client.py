@@ -7,6 +7,14 @@ returned as ``(result, stats)``.  A server-side failure surfaces as
 ``"VerificationError"`` or ``"bad-request"``) so callers can branch
 without parsing messages.
 
+The protocol is strictly request/response per instance, so a socket
+timeout poisons the connection: the late reply is still in flight, and
+the next request would pair with the *previous* response.  The client
+therefore marks itself broken on any socket-level failure — the caller
+gets a typed ``ServiceError("timeout", ...)`` (or
+``"connection-closed"``), every later request fails fast with
+``"connection-closed"``, and recovery is a new client.
+
 The client is deliberately single-flight per instance: benchmarks and
 tests that want concurrency open one client per thread, which also
 exercises the server's cross-connection coalescing path.
@@ -37,23 +45,46 @@ class ServiceClient:
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        self._broken = False
 
     # -- core -------------------------------------------------------------
 
     def request(self, kind: str, params: dict | None = None):
         """Send one request; returns ``(result, stats)`` or raises."""
+        if self._broken:
+            raise ServiceError(
+                "connection-closed",
+                "connection was closed after an earlier timeout or socket"
+                " failure; open a new client",
+            )
         request_id = f"c{next(self._ids)}"
         envelope = wire.svc_request(kind, params, request_id)
         line = json.dumps(
             envelope, sort_keys=True, separators=(",", ":")
         ).encode("utf-8") + b"\n"
-        self._file.write(line)
-        self._file.flush()
-        raw = self._file.readline()
+        try:
+            self._file.write(line)
+            self._file.flush()
+            raw = self._file.readline()
+        except socket.timeout:
+            # The reply (if any) is still in flight; reading on would
+            # pair the next request with this response.  Poison the
+            # connection instead of desyncing it.
+            self._break()
+            raise ServiceError(
+                "timeout",
+                f"no reply within {self.timeout}s; connection closed"
+                f" (late replies cannot be re-paired) — open a new client",
+            ) from None
+        except (ConnectionError, OSError) as exc:
+            self._break()
+            raise ServiceError("connection-closed", str(exc)) from None
         if not raw:
+            self._break()
             raise ServiceError(
                 "connection-closed", "server closed the connection"
             )
@@ -72,10 +103,20 @@ class ServiceClient:
             raise ServiceError(str(error["type"]), str(error["message"]))
         return response["result"], response.get("stats", {})
 
+    def _break(self) -> None:
+        self._broken = True
+        self.close()
+
     # -- request kinds ----------------------------------------------------
 
-    def decompose(self, params: dict):
-        """One work item (``make_work_item`` fields); returns the payload."""
+    def decompose(self, params: dict, timeout_s: float | None = None):
+        """One work item (``make_work_item`` fields); returns the payload.
+
+        ``timeout_s`` sets the *server-side* deadline for this request
+        (the socket-level client timeout is separate and much larger).
+        """
+        if timeout_s is not None:
+            params = {**params, "timeout_s": timeout_s}
         return self.request("decompose", params)
 
     def decompose_many(self, items: list[dict], **defaults):
@@ -88,6 +129,7 @@ class ServiceClient:
         outputs: list[dict] | None = None,
         config: dict | None = None,
         name: str = "",
+        timeout_s: float | None = None,
     ):
         """One shared-network synthesis request."""
         params: dict = {"config": config or {}}
@@ -96,12 +138,19 @@ class ServiceClient:
         if outputs is not None:
             params["outputs"] = outputs
             params["name"] = name
+        if timeout_s is not None:
+            params["timeout_s"] = timeout_s
         return self.request("netsyn", params)
 
     def status(self) -> dict:
         """The server's live counters (fleet, coalescer, cache, pool)."""
         result, _stats = self.request("status")
         return result
+
+    def metrics(self) -> str:
+        """The server's counters as a Prometheus text-exposition page."""
+        result, _stats = self.request("metrics")
+        return result["text"]
 
     def shutdown(self) -> dict:
         """Ask the server to stop accepting and exit its serve loop."""
@@ -113,8 +162,13 @@ class ServiceClient:
     def close(self) -> None:
         try:
             self._file.close()
+        except (OSError, ValueError):
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServiceClient":
         return self

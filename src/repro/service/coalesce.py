@@ -5,15 +5,18 @@ only the first should pay for it.  The :class:`Coalescer` keys in-flight
 work by the request's canonical cache key — backend-free, so a ``bdd``
 and a ``bitset`` request for the same function coalesce soundly (the
 engine guarantees identical results on every backend) — and parks every
-duplicate on the leader's future.
+duplicate on the shared flight.
 
-The pattern is cooperative-scheduling-safe by construction: the leader
-registers its future *before* its first ``await``, so any duplicate that
-arrives while the computation is in flight finds the entry.  Followers
-wait through :func:`asyncio.shield`, so one cancelled client never
-cancels the shared computation under the others.  A leader's failure is
-shared too — every parked duplicate sees the same exception, matching
-what N independent computations would have raised.
+Each flight runs as a **detached task owned by the coalescer**, not by
+the arrival that started it: every waiter (leader and followers alike)
+awaits the task through :func:`asyncio.shield`, so one cancelled client
+— a hangup, or a connection torn down by the server — never cancels the
+shared computation under the others.  Even if *every* waiter is
+cancelled, the flight runs to completion and retires cleanly, so a
+later request on the same key starts a fresh flight instead of
+inheriting a corpse.  A flight's failure is shared too — every parked
+duplicate sees the same exception, matching what N independent
+computations would have raised — and retires the key just as cleanly.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ class Coalescer:
     """Single-flight gate over an async computation, keyed by string."""
 
     def __init__(self) -> None:
-        self._inflight: dict[str, asyncio.Future] = {}
+        self._inflight: dict[str, asyncio.Task] = {}
         self.stats = {"leaders": 0, "followers": 0}
 
     def __len__(self) -> int:
@@ -38,30 +41,30 @@ class Coalescer:
         """Run ``compute`` once per concurrent ``key``; share the value.
 
         Returns ``(value, coalesced)`` — ``coalesced`` is ``False`` for
-        the leader that actually computed and ``True`` for every
-        duplicate served from the leader's flight.
+        the arrival that started the flight and ``True`` for every
+        duplicate served from it.
         """
-        existing = self._inflight.get(key)
-        if existing is not None:
+        flight = self._inflight.get(key)
+        if flight is not None and not flight.done():
             self.stats["followers"] += 1
-            return await asyncio.shield(existing), True
+            return await asyncio.shield(flight), True
 
-        future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
+        flight = asyncio.get_running_loop().create_task(compute())
+        self._inflight[key] = flight
         self.stats["leaders"] += 1
-        try:
-            value = await compute()
-        except BaseException as exc:
-            future.set_exception(exc)
-            # Mark retrieved so a flight with zero followers does not
-            # log an "exception was never retrieved" warning.
-            future.exception()
-            raise
-        else:
-            future.set_result(value)
-            return value, False
-        finally:
-            del self._inflight[key]
+
+        def _retire(task: asyncio.Task) -> None:
+            # Only retire our own entry: a completed flight may already
+            # have been replaced by a newer one for the same key.
+            if self._inflight.get(key) is task:
+                del self._inflight[key]
+            # Mark a failure retrieved so a flight whose waiters were
+            # all cancelled does not log "exception was never retrieved".
+            if not task.cancelled():
+                task.exception()
+
+        flight.add_done_callback(_retire)
+        return await asyncio.shield(flight), False
 
     def coalesce_rate(self) -> float:
         """Fraction of arrivals that were absorbed into another flight."""

@@ -1,10 +1,10 @@
-"""Pre-warmed worker fleet: long-lived processes with warm engine state.
+"""Pre-warmed worker fleet: long-lived slot processes with warm state.
 
 The one-shot parallel path (:func:`repro.engine.parallel.run_parallel`)
 pays fork + import + manager construction on every batch.  A
-:class:`WorkerFleet` keeps a :class:`~concurrent.futures.ProcessPoolExecutor`
-of workers alive for the service's lifetime; each worker holds *warm*
-state in module globals:
+:class:`WorkerFleet` keeps a fixed set of **slot processes** alive for
+the service's lifetime; each worker holds *warm* state in module
+globals:
 
 * ``BDD`` managers keyed by the exact declared variable slice, so a
   request for a function over known variables skips manager
@@ -25,6 +25,27 @@ payload is byte-identical to a cold run's (informational counters like
 — the same correctness-by-reconstruction move the engine's own gc makes,
 applied at fleet scope.
 
+Why slot processes instead of a :class:`~concurrent.futures.ProcessPoolExecutor`:
+an executor hides *which* process runs a task, so a hung CPU-bound
+computation cannot be interrupted (cooperative cancellation never runs)
+and a crashed worker breaks the whole pool.  Each :class:`_Slot` here
+owns exactly one process and one duplex pipe, which buys the service's
+hardening guarantees directly:
+
+* **real cancellation** — a per-call ``timeout_s`` deadline on the
+  reply pipe; on expiry the slot's process is SIGKILLed and respawned,
+  and the caller gets :class:`FleetTimeout` (the server turns it into a
+  typed ``timeout`` error envelope).  Only the victim slot is touched.
+* **self-healing** — a dead worker (OOM kill, crash, external SIGKILL)
+  surfaces as pipe EOF on the very next interaction; the slot respawns
+  transparently and the request is retried once on the fresh worker
+  before :class:`WorkerCrashed` escapes.  ``restarts``/``kills``/
+  ``retries``/``timeouts`` counters surface every such event.
+* **exact prewarm accounting** — one process per slot means
+  :meth:`WorkerFleet.prewarm` identifies every worker over its own
+  pipe; ``stats["prewarmed"]`` counts each slot exactly once by
+  construction (no shared task queue for a fast worker to drain).
+
 Worker entry points return ``{"ok": ..., ...}`` envelopes instead of
 raising: a failed decomposition is a *result* the server turns into an
 error response, not a reason to lose the worker.
@@ -34,7 +55,10 @@ from __future__ import annotations
 
 import asyncio
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.parallel import (
     build_engine,
@@ -46,6 +70,15 @@ from repro.engine.parallel import (
 #: Combined live-node budget across one worker's warm managers; crossing
 #: it drops all warm state (managers, engines, synthesizers, instances).
 NODE_LIMIT = 500_000
+
+
+class FleetTimeout(Exception):
+    """A dispatched call missed its deadline; the worker was killed."""
+
+
+class WorkerCrashed(Exception):
+    """The worker died mid-request and the one retry died too."""
+
 
 # ---------------------------------------------------------------------------
 # Worker-side warm state (module globals; one copy per worker process)
@@ -73,9 +106,25 @@ def _fleet_init() -> None:
     import repro.netsyn.synthesis  # noqa: F401
 
 
-def _worker_ident(_index: int = 0) -> int:
-    """No-op task used to force-spawn (and identify) every worker."""
-    return os.getpid()
+def _worker_ident(_arg: dict) -> dict:
+    """No-op entry point used to confirm (and identify) a slot's worker."""
+    return {"ok": True, "pid": os.getpid(), "worker": _worker_stats()}
+
+
+def service_sleep(arg: dict) -> dict:
+    """Fault-injection entry point: hold the slot busy for ``seconds``.
+
+    Stands in for a hung CPU-bound computation in tests and the
+    fault-injection benchmark rows — a real BDD sweep cannot be made to
+    hang on demand, but the timeout/kill/respawn path it exercises is
+    identical.
+    """
+    time.sleep(float(arg.get("seconds", 0.0)))
+    return {
+        "ok": True,
+        "payload": {"slept": float(arg.get("seconds", 0.0))},
+        "worker": _worker_stats(),
+    }
 
 
 def _worker_stats() -> dict:
@@ -260,65 +309,276 @@ def service_netsyn(task: dict) -> dict:
     }
 
 
+def _slot_main(conn) -> None:
+    """Worker process body: serve ``(func, arg)`` calls over one pipe.
+
+    Entry points never raise (they return envelopes); anything that
+    still escapes — a pickling failure, a corrupted message — becomes an
+    ``ok: False`` envelope so the slot survives.  EOF (parent gone) or a
+    ``None`` sentinel ends the loop.
+    """
+    _fleet_init()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        func, arg = message
+        try:
+            reply = func(arg)
+        except BaseException as exc:  # noqa: BLE001 — slot must survive
+            reply = {
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+                "worker": None,
+            }
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
 # ---------------------------------------------------------------------------
 # Parent-side fleet handle
 # ---------------------------------------------------------------------------
 
 
-class WorkerFleet:
-    """A fixed-size pool of pre-warmed decomposition workers.
+class _Slot:
+    """One worker process plus the duplex pipe that addresses it.
 
-    ``prewarm=True`` (the default) force-spawns every worker at
-    construction by submitting one identification task per slot — the
-    executor grows a process per pending task until ``size`` — so the
-    first real request never pays fork + init latency.
+    The pipe is the liveness oracle: a worker that dies — killed by us
+    on timeout, or by anything else — closes its end, so the parent's
+    next ``poll``/``recv``/``send`` observes EOF instead of hanging.
     """
 
-    def __init__(self, size: int | None = None, prewarm: bool = True) -> None:
+    def __init__(self, index: int, ctx) -> None:
+        self.index = index
+        self._ctx = ctx
+        self.process = None
+        self.conn = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=_slot_main,
+            args=(child_conn,),
+            name=f"repro-fleet-{self.index}",
+            daemon=True,
+        )
+        self.process.start()
+        # The parent's copy of the child end must close so the child's
+        # death is observable as EOF on ``parent_conn``.
+        child_conn.close()
+        self.conn = parent_conn
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def call(self, func, arg: dict, timeout_s: float | None):
+        """Blocking round-trip; never raises for worker-side trouble.
+
+        Returns ``("ok", reply)``, ``("timeout", None)`` when no reply
+        arrived within ``timeout_s``, or ``("dead", detail)`` when the
+        worker process is gone (EOF / broken pipe).
+        """
+        try:
+            self.conn.send((func, arg))
+        except (BrokenPipeError, OSError):
+            return ("dead", f"slot {self.index}: send failed, worker is gone")
+        try:
+            if not self.conn.poll(timeout_s):
+                return ("timeout", None)
+            reply = self.conn.recv()
+        except (EOFError, OSError):
+            return (
+                "dead",
+                f"slot {self.index}: worker pid {self.pid} died mid-request",
+            )
+        return ("ok", reply)
+
+    def kill(self) -> None:
+        """SIGKILL the worker (the only interrupt a busy loop obeys)."""
+        if self.process is not None:
+            try:
+                self.process.kill()
+            except (OSError, AttributeError, ValueError):
+                pass
+            self.process.join(timeout=30)
+        self._close_conn()
+
+    def stop(self) -> None:
+        """Cooperative shutdown: sentinel, short grace, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(timeout=5)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=30)
+        self._close_conn()
+
+    def _close_conn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerFleet:
+    """A fixed-size fleet of pre-warmed decomposition slot processes.
+
+    ``prewarm=True`` (the default) identifies every slot's worker over
+    its own pipe at construction, so the first real request never pays
+    fork + init latency and ``stats["prewarmed"]`` counts each slot
+    exactly once.
+
+    Dispatch (:meth:`run` / :meth:`run_sync`) is slot-addressed: a call
+    checks out a free slot, does the pipe round-trip on a worker thread
+    (the asyncio loop never blocks), and heals the slot before releasing
+    it — kill + respawn on timeout, respawn + one retry on a dead
+    worker.  ``stats`` surfaces every event: ``timeouts``, ``kills``,
+    ``restarts``, ``retries`` on top of the dispatch counters.
+    """
+
+    def __init__(
+        self, size: int | None = None, prewarm: bool = True
+    ) -> None:
         if size is None:
             size = max(2, min(8, os.cpu_count() or 2))
         if size < 1:
             raise ValueError(f"fleet size must be >= 1, got {size}")
         self.size = size
-        self._executor = ProcessPoolExecutor(
-            max_workers=size,
-            mp_context=pool_context(),
-            initializer=_fleet_init,
+        self._ctx = pool_context()
+        self._slots = [_Slot(index, self._ctx) for index in range(size)]
+        self._free: deque[_Slot] = deque(self._slots)
+        self._slot_ready = threading.Condition()
+        self._threads = ThreadPoolExecutor(
+            max_workers=size, thread_name_prefix="repro-fleet-io"
         )
-        self.stats = {"dispatched": 0, "failures": 0, "prewarmed": 0}
+        self._closed = False
+        self.stats = {
+            "dispatched": 0,
+            "failures": 0,
+            "prewarmed": 0,
+            "timeouts": 0,
+            "kills": 0,
+            "restarts": 0,
+            "retries": 0,
+        }
         if prewarm:
             self.prewarm()
 
-    def prewarm(self) -> list[int]:
-        """Spawn and identify every worker; returns the distinct pids."""
-        futures = [
-            self._executor.submit(_worker_ident, index)
-            for index in range(self.size)
-        ]
-        pids = sorted({future.result() for future in futures})
-        self.stats["prewarmed"] = len(pids)
-        return pids
+    # -- dispatch ----------------------------------------------------------
 
-    async def run(self, func, arg: dict) -> dict:
-        """Dispatch one worker entry point without blocking the loop."""
+    async def run(self, func, arg: dict, timeout_s: float | None = None) -> dict:
+        """Dispatch one worker entry point without blocking the loop.
+
+        Raises :class:`FleetTimeout` when the call misses ``timeout_s``
+        (the slot's worker has already been killed and respawned) and
+        :class:`WorkerCrashed` when the worker died and the one retry
+        died too.  Either way the slot is healthy again on return.
+        """
         loop = asyncio.get_running_loop()
         self.stats["dispatched"] += 1
-        reply = await loop.run_in_executor(self._executor, func, arg)
+        reply = await loop.run_in_executor(
+            self._threads, self._dispatch, func, arg, timeout_s
+        )
         if not reply.get("ok", False):
             self.stats["failures"] += 1
         return reply
 
-    def run_sync(self, func, arg: dict) -> dict:
+    def run_sync(self, func, arg: dict, timeout_s: float | None = None) -> dict:
         """Blocking dispatch (CLI one-shots and tests without a loop)."""
         self.stats["dispatched"] += 1
-        reply = self._executor.submit(func, arg).result()
+        reply = self._dispatch(func, arg, timeout_s)
         if not reply.get("ok", False):
             self.stats["failures"] += 1
         return reply
+
+    def _dispatch(self, func, arg: dict, timeout_s: float | None) -> dict:
+        """Checkout → call → heal → release, on the calling thread."""
+        slot = self._checkout()
+        try:
+            outcome, detail = slot.call(func, arg, timeout_s)
+            if outcome == "dead":
+                # The worker died under this request (or an earlier kill
+                # raced shutdown): respawn and retry once on the fresh
+                # worker — warm state is gone but results are identical
+                # by the cold-equals-warm guarantee.
+                self._respawn(slot)
+                self.stats["retries"] += 1
+                outcome, detail = slot.call(func, arg, timeout_s)
+            if outcome == "timeout":
+                slot.kill()
+                self.stats["kills"] += 1
+                self.stats["timeouts"] += 1
+                self._respawn(slot)
+                raise FleetTimeout(
+                    f"no reply within {timeout_s}s; worker killed and"
+                    f" slot {slot.index} respawned"
+                )
+            if outcome == "dead":
+                self._respawn(slot)
+                raise WorkerCrashed(str(detail))
+            return detail
+        finally:
+            self._release(slot)
+
+    def _checkout(self) -> _Slot:
+        with self._slot_ready:
+            while not self._free:
+                self._slot_ready.wait()
+            return self._free.popleft()
+
+    def _release(self, slot: _Slot) -> None:
+        with self._slot_ready:
+            self._free.append(slot)
+            self._slot_ready.notify()
+
+    def _respawn(self, slot: _Slot) -> None:
+        slot.spawn()
+        self.stats["restarts"] += 1
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def prewarm(self) -> list[int]:
+        """Identify every slot's worker; returns the (distinct) pids.
+
+        Each slot has its own process and pipe, so every worker is
+        counted exactly once — there is no shared queue for one fast
+        worker to drain (the ``ProcessPoolExecutor`` flake this fleet
+        design retired).
+        """
+        futures = [
+            self._threads.submit(slot.call, _worker_ident, {}, None)
+            for slot in self._slots
+        ]
+        pids = []
+        for future in futures:
+            outcome, reply = future.result()
+            if outcome == "ok" and reply.get("ok"):
+                pids.append(reply["pid"])
+        self.stats["prewarmed"] = len(set(pids))
+        return sorted(pids)
+
+    def pids(self) -> list[int]:
+        """Current worker pids, one per slot (kill targets for tests)."""
+        return [slot.pid for slot in self._slots if slot.pid is not None]
 
     def shutdown(self) -> None:
         """Terminate the workers (idempotent)."""
-        self._executor.shutdown(wait=True)
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            slot.stop()
+        self._threads.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerFleet":
         return self
@@ -332,8 +592,11 @@ class WorkerFleet:
 
 __all__ = [
     "NODE_LIMIT",
+    "FleetTimeout",
     "WireInstance",
+    "WorkerCrashed",
     "WorkerFleet",
     "service_decompose",
     "service_netsyn",
+    "service_sleep",
 ]

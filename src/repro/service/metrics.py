@@ -1,0 +1,60 @@
+"""Prometheus text-exposition rendering of the service's counters.
+
+The ``status`` request already aggregates every live counter the
+service keeps — requests, fleet health, coalescer, cache shards,
+divisor pool, admission control.  :func:`render_prometheus` flattens
+that nested dict into the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+scraper (or ``curl | grep``) can watch the service without speaking
+``repro-svc/1``: one ``repro_<section>_<name>`` sample per numeric
+counter.
+
+Rendering is a pure function of the status dict — no server state, no
+registry — so the ``metrics`` request kind, the CLI's
+``repro-bidec client metrics``, and the tests all share one definition
+of the scrape page.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Content type a Prometheus scraper expects for this page.
+CONTENT_TYPE = "text/plain; version=0.0.4"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(prefix: str, section: str, name: str) -> str:
+    return _NAME_OK.sub("_", f"{prefix}_{section}_{name}")
+
+
+def render_prometheus(status: dict, prefix: str = "repro") -> str:
+    """Flatten a service ``status`` dict into Prometheus text format.
+
+    Every numeric leaf of every section becomes a gauge sample
+    (booleans count as 0/1); ``None`` sections (e.g. ``cache`` on a
+    cache-less server) and non-numeric leaves (pid lists, string
+    labels) are skipped.  Output is sorted, so the page is stable for
+    diffing and byte-identical across renders of the same counters.
+    """
+    lines: list[str] = []
+    for section in sorted(status):
+        mapping = status[section]
+        if not isinstance(mapping, dict):
+            continue
+        for name in sorted(mapping):
+            value = mapping[name]
+            if isinstance(value, bool):
+                value = int(value)
+            if value is None or not isinstance(value, (int, float)):
+                continue
+            metric = _metric_name(prefix, section, name)
+            lines.append(f"# HELP {metric} repro service counter {section}.{name}")
+            lines.append(f"# TYPE {metric} gauge")
+            value_text = repr(float(value)) if isinstance(value, float) else str(value)
+            lines.append(f"{metric} {value_text}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]

@@ -14,17 +14,37 @@ Three layers, separable for testing:
   background thread for synchronous callers: tests, benchmarks, and the
   CLI.
 
-Request flow for ``decompose``/``netsyn``: canonical cache key →
-single-flight coalescer → sharded on-disk cache → pre-warmed fleet.
-The key is *backend-free* (strategies + operator + canonical function
-hash), so requests differing only in backend — whose results are
-identical by the engine's cross-backend guarantee — share one flight
-and one cache entry.  ``netsyn`` requests additionally thread the
-service-lifetime :class:`~repro.netsyn.pool.DivisorPool` through the
-workers: each request is seeded with every warm cover the service has
-seen and its new covers are merged back, so later requests skip
-re-minimizing blocks earlier ones already solved — without ever moving
-network node ids (or anything else identity-relevant) across requests.
+Request flow for ``decompose``/``netsyn``: admission control →
+canonical cache key → single-flight coalescer → sharded on-disk cache →
+pre-warmed fleet.  The key is *backend-free* (strategies + operator +
+canonical function hash), so requests differing only in backend — whose
+results are identical by the engine's cross-backend guarantee — share
+one flight and one cache entry.  ``netsyn`` requests additionally
+thread the service-lifetime :class:`~repro.netsyn.pool.DivisorPool`
+through the workers: each request is seeded with every warm cover the
+service has seen and its new covers are merged back, so later requests
+skip re-minimizing blocks earlier ones already solved — without ever
+moving network node ids (or anything else identity-relevant) across
+requests.
+
+Hardening (the traffic layer):
+
+* **timeouts** — every compute request resolves a deadline from its
+  ``timeout_s`` param (falling back to the server-wide default); on
+  expiry the fleet kills and respawns the slot's worker — real
+  cancellation, a CPU-bound sweep cannot be interrupted cooperatively —
+  and the waiter (plus every coalesced follower) gets a typed
+  ``timeout`` error envelope.  The flight retires cleanly, so a later
+  request on the same key recomputes.  With coalesced arrivals the
+  *flight leader's* deadline governs the shared computation.
+* **admission control** — ``max_inflight`` bounds concurrently admitted
+  compute envelopes (``overloaded``), ``max_line_bytes`` bounds one
+  request line (``too-large``), ``max_pending_per_conn`` bounds
+  unanswered pipelined requests per connection (``overloaded``); every
+  rejection is typed and counted instead of queueing unboundedly.
+* **metrics** — the ``metrics`` request kind renders the ``status``
+  counters in Prometheus text exposition format
+  (:mod:`repro.service.metrics`).
 """
 
 from __future__ import annotations
@@ -42,12 +62,22 @@ from repro.engine.parallel import make_work_item
 from repro.netsyn.pool import DivisorPool
 from repro.service.coalesce import Coalescer
 from repro.service.fleet import (
+    FleetTimeout,
+    WorkerCrashed,
     WorkerFleet,
     _netsyn_config,
     service_decompose,
     service_netsyn,
 )
+from repro.service.metrics import CONTENT_TYPE, render_prometheus
 from repro.service.shards import ShardedResultCache
+
+#: Request kinds that occupy fleet/cache capacity (admission-controlled).
+COMPUTE_KINDS = frozenset(("decompose", "decompose_many", "netsyn"))
+
+#: Default per-line budget: generous for wire ISF payloads, small
+#: enough that one abusive client cannot balloon the server's buffers.
+DEFAULT_MAX_LINE_BYTES = 8 * 1024 * 1024
 
 
 class WorkerError(Exception):
@@ -59,7 +89,7 @@ class WorkerError(Exception):
 
 
 class DecompositionService:
-    """Transport-free request handler: coalescer + cache + fleet."""
+    """Transport-free request handler: admission + coalescer + cache + fleet."""
 
     def __init__(
         self,
@@ -70,6 +100,10 @@ class DecompositionService:
         cache_max_bytes: int | None = None,
         cache_max_entries: int | None = None,
         prewarm: bool = True,
+        timeout_s: float | None = None,
+        max_inflight: int | None = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        max_pending_per_conn: int | None = None,
     ) -> None:
         self.fleet = fleet if fleet is not None else WorkerFleet(jobs, prewarm=prewarm)
         self._owns_fleet = fleet is None
@@ -86,19 +120,53 @@ class DecompositionService:
         self.coalescer = Coalescer()
         #: Service-lifetime warm-cover pool, merged from every netsyn run.
         self.pool = DivisorPool(collect_covers=True)
-        self.stats = {"requests": 0, "errors": 0, "computed": 0, "cache_hits": 0}
+        #: Server-wide default deadline; a request's ``timeout_s`` wins.
+        self.timeout_s = timeout_s
+        self.max_inflight = max_inflight
+        self.max_line_bytes = max_line_bytes
+        self.max_pending_per_conn = max_pending_per_conn
+        self.stats = {
+            "requests": 0,
+            "errors": 0,
+            "computed": 0,
+            "cache_hits": 0,
+            "timeouts": 0,
+        }
+        #: Typed-rejection counters (admission control).
+        self.admission = {"overloaded": 0, "too_large": 0}
+        #: Compute envelopes currently admitted (gauge, not a counter).
+        self.inflight = 0
         self.shutdown_event = asyncio.Event()
 
     # -- request handling -------------------------------------------------
 
     async def handle(self, message) -> dict:
         """Serve one ``repro-svc/1`` request; always returns an envelope."""
+        # Malformed traffic is traffic: count it before rejecting, so
+        # admission monitoring sees bad requests in requests/errors.
+        self.stats["requests"] += 1
         try:
             kind, params, request_id = wire.parse_svc_request(message)
         except SerializationError as exc:
+            self.stats["errors"] += 1
             raw_id = message.get("id") if isinstance(message, dict) else None
             return wire.svc_error(raw_id, "bad-request", str(exc))
-        self.stats["requests"] += 1
+        admitted = kind in COMPUTE_KINDS
+        if (
+            admitted
+            and self.max_inflight is not None
+            and self.inflight >= self.max_inflight
+        ):
+            self.admission["overloaded"] += 1
+            self.stats["errors"] += 1
+            return wire.svc_error(
+                request_id,
+                "overloaded",
+                f"{self.inflight} requests in flight (limit"
+                f" {self.max_inflight}); retry later",
+            )
+        if admitted:
+            self.inflight += 1
         t0 = perf_counter()
         try:
             if kind == "decompose":
@@ -109,6 +177,12 @@ class DecompositionService:
                 result, stats = await self._netsyn(params)
             elif kind == "status":
                 result, stats = self.status(), {}
+            elif kind == "metrics":
+                result = {
+                    "content_type": CONTENT_TYPE,
+                    "text": render_prometheus(self.status()),
+                }
+                stats = {}
             else:  # "shutdown" — parse_svc_request rejects anything else
                 self.shutdown_event.set()
                 result, stats = {"stopping": True}, {}
@@ -121,14 +195,30 @@ class DecompositionService:
         except Exception as exc:  # noqa: BLE001 — a reply, never a crash
             self.stats["errors"] += 1
             return wire.svc_error(request_id, type(exc).__name__, str(exc))
+        finally:
+            if admitted:
+                self.inflight -= 1
         stats["wall_s"] = round(perf_counter() - t0, 6)
         return wire.svc_response(request_id, result, stats)
 
-    async def _serve_keyed(self, key: str, worker_func, work: dict):
+    def _timeout_for(self, params: dict) -> float | None:
+        """Resolve a request's deadline (param beats server default)."""
+        raw = params.get("timeout_s")
+        if raw is None:
+            return self.timeout_s
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+            raise SerializationError(
+                f"timeout_s must be a positive number, got {raw!r}"
+            )
+        return float(raw)
+
+    async def _serve_keyed(
+        self, key: str, worker_func, work: dict, timeout_s: float | None
+    ):
         """Coalesce → cache → fleet for one canonically keyed task.
 
         Returns ``(reply_value, per_request_stats)`` where the reply
-        value is the leader's ``{"payload", "served_by", ...}`` dict —
+        value is the flight's ``{"payload", "served_by", ...}`` dict —
         shared verbatim with every coalesced follower.
         """
 
@@ -138,7 +228,13 @@ class DecompositionService:
                 if hit is not None:
                     self.stats["cache_hits"] += 1
                     return {"payload": hit, "served_by": "cache", "worker": None}
-            reply = await self.fleet.run(worker_func, work)
+            try:
+                reply = await self.fleet.run(worker_func, work, timeout_s)
+            except FleetTimeout as exc:
+                self.stats["timeouts"] += 1
+                raise WorkerError("timeout", str(exc)) from None
+            except WorkerCrashed as exc:
+                raise WorkerError("worker-crashed", str(exc)) from None
             if not reply["ok"]:
                 error = reply["error"]
                 raise WorkerError(error["type"], error["message"])
@@ -163,6 +259,7 @@ class DecompositionService:
         return value["payload"], stats
 
     async def _decompose(self, params: dict):
+        timeout_s = self._timeout_for(params)
         item = self._work_item(params)
         key = ResultCache.key_for(
             item["f"],
@@ -172,7 +269,7 @@ class DecompositionService:
             item["verify"],
             tuple(item["operators"]),
         )
-        return await self._serve_keyed(key, service_decompose, item)
+        return await self._serve_keyed(key, service_decompose, item, timeout_s)
 
     async def _decompose_many(self, params: dict):
         raw_items = params.get("items")
@@ -203,6 +300,7 @@ class DecompositionService:
         return {"results": [payload for payload, _ in outcomes]}, stats
 
     async def _netsyn(self, params: dict):
+        timeout_s = self._timeout_for(params)
         # Building the config server-side validates the request *and*
         # pins the identity key to NetsynConfig.key_payload(), which is
         # backend-free by construction.
@@ -228,7 +326,7 @@ class DecompositionService:
             }
         )
         task["pool_seed"] = self.pool.snapshot()
-        return await self._serve_keyed(key, service_netsyn, task)
+        return await self._serve_keyed(key, service_netsyn, task, timeout_s)
 
     def _work_item(self, params: dict) -> dict:
         if not isinstance(params.get("f"), dict):
@@ -249,7 +347,8 @@ class DecompositionService:
     # -- introspection / lifecycle ----------------------------------------
 
     def status(self) -> dict:
-        """Service counters: requests, fleet, coalescer, cache, pool."""
+        """Service counters: requests, fleet, coalescer, cache, pool,
+        admission."""
         cache_stats = None
         if self.cache is not None:
             cache_stats = dict(self.cache.stats)
@@ -257,7 +356,11 @@ class DecompositionService:
             cache_stats["shards"] = self.cache.n_shards
         return {
             "requests": dict(self.stats),
-            "fleet": {"size": self.fleet.size, **self.fleet.stats},
+            "fleet": {
+                "size": self.fleet.size,
+                **self.fleet.stats,
+                "pids": self.fleet.pids(),
+            },
             "coalesce": {
                 "rate": round(self.coalescer.coalesce_rate(), 4),
                 **self.coalescer.stats,
@@ -269,6 +372,14 @@ class DecompositionService:
                     name: self.pool.stats[name]
                     for name in ("warm_lookups", "warm_hits", "warm_imported")
                 },
+            },
+            "admission": {
+                "inflight": self.inflight,
+                "max_inflight": self.max_inflight,
+                "max_line_bytes": self.max_line_bytes,
+                "max_pending_per_conn": self.max_pending_per_conn,
+                "default_timeout_s": self.timeout_s,
+                **self.admission,
             },
         }
 
@@ -298,7 +409,10 @@ class ServiceServer:
     async def start(self) -> None:
         """Bind and start accepting; resolves ``port=0`` to the real one."""
         self._server = await asyncio.start_server(
-            self._serve_client, self.host, self.port
+            self._serve_client,
+            self.host,
+            self.port,
+            limit=self.service.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -315,10 +429,45 @@ class ServiceServer:
         pending: set[asyncio.Task] = set()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The stream buffer overran ``max_line_bytes``; the
+                    # connection is desynced beyond repair (part of the
+                    # oversized line is already consumed), so reject and
+                    # hang up instead of buffering without bound.
+                    self.service.admission["too_large"] += 1
+                    await self._send(
+                        writer,
+                        lock,
+                        wire.svc_error(
+                            None,
+                            "too-large",
+                            f"request line exceeds"
+                            f" {self.service.max_line_bytes} bytes",
+                        ),
+                    )
+                    break
                 if not line:
                     break
                 if not line.strip():
+                    continue
+                cap = self.service.max_pending_per_conn
+                if cap is not None and len(pending) >= cap:
+                    # Unanswered pipelined requests on this connection
+                    # hit the cap: typed rejection, no task created.
+                    self.service.admission["overloaded"] += 1
+                    await self._send(
+                        writer,
+                        lock,
+                        wire.svc_error(
+                            _peek_request_id(line),
+                            "overloaded",
+                            f"{len(pending)} unanswered requests on this"
+                            f" connection (limit {cap}); read replies"
+                            f" before pipelining more",
+                        ),
+                    )
                     continue
                 task = asyncio.create_task(self._answer(line, writer, lock))
                 pending.add(task)
@@ -349,9 +498,18 @@ class ServiceServer:
         try:
             message = json.loads(line)
         except ValueError as exc:
+            # Unparseable traffic is still traffic: count it where the
+            # admission monitoring looks.
+            self.service.stats["requests"] += 1
+            self.service.stats["errors"] += 1
             response = wire.svc_error(None, "bad-json", str(exc))
         else:
             response = await self.service.handle(message)
+        await self._send(writer, lock, response)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, response: dict
+    ) -> None:
         data = json.dumps(
             response, sort_keys=True, separators=(",", ":")
         ).encode("utf-8") + b"\n"
@@ -379,6 +537,19 @@ class ServiceServer:
         """Run until a ``shutdown`` request (or external event set)."""
         await self.service.shutdown_event.wait()
         await self.stop()
+
+
+def _peek_request_id(line: bytes) -> str | None:
+    """Best-effort id extraction for errors sent without full handling."""
+    try:
+        message = json.loads(line)
+    except ValueError:
+        return None
+    if isinstance(message, dict):
+        request_id = message.get("id")
+        if request_id is None or isinstance(request_id, str):
+            return request_id
+    return None
 
 
 class ServerThread:
@@ -467,6 +638,8 @@ class ServerThread:
 
 
 __all__ = [
+    "COMPUTE_KINDS",
+    "DEFAULT_MAX_LINE_BYTES",
     "DecompositionService",
     "ServerThread",
     "ServiceServer",

@@ -24,11 +24,15 @@ from repro.netsyn.synthesis import NetsynConfig, synthesize_instance
 from repro.service import (
     Coalescer,
     DecompositionService,
+    FleetTimeout,
     ServerThread,
     ServiceClient,
     ServiceError,
     ShardedResultCache,
+    WorkerFleet,
+    render_prometheus,
 )
+from repro.service.fleet import _worker_ident, service_sleep
 
 INFORMATIONAL_RESULT_KEYS = frozenset(("timings", "bdd_stats"))
 INFORMATIONAL_NETSYN_KEYS = frozenset(("pool_stats", "engine_stats", "time_s"))
@@ -340,10 +344,15 @@ def test_malformed_and_failing_requests_become_error_envelopes():
         assert "'f'" in responses[1]["error"]["message"]
         assert responses[2]["error"]["type"] == "KeyError"
         assert responses[3]["error"]["type"] == "bad-request"
+        # Malformed traffic is *visible* traffic: even the envelope that
+        # failed to parse is counted in requests and errors.
+        assert service.stats["requests"] == 4
+        assert service.stats["errors"] == 4
         # Failures are replies, not crashes: the service still serves.
         (status,) = drive(service, [wire.svc_request("status", None, "s")])
         assert status["ok"]
-        assert status["result"]["requests"]["errors"] >= 3
+        assert status["result"]["requests"]["errors"] == 4
+        assert status["result"]["requests"]["requests"] == 5
     finally:
         service.close()
 
@@ -400,12 +409,25 @@ def test_socket_netsyn_matches_in_process_and_warm_pool_stays_exact(
 def test_status_probe_reports_all_sections(server):
     with ServiceClient(server.host, server.port) as client:
         status = client.status()
-    assert set(status) == {"requests", "fleet", "coalesce", "cache", "pool"}
+    assert set(status) == {
+        "requests",
+        "fleet",
+        "coalesce",
+        "cache",
+        "pool",
+        "admission",
+    }
     assert status["fleet"]["size"] == 2
-    assert status["fleet"]["prewarmed"] >= 1
+    assert status["fleet"]["prewarmed"] == 2
+    assert len(status["fleet"]["pids"]) == 2
+    for counter in ("timeouts", "kills", "restarts", "retries"):
+        assert status["fleet"][counter] >= 0
     assert status["cache"]["shards"] == 4
     assert status["cache"]["entries"] >= 1
     assert status["pool"]["warm_covers"] >= 1
+    assert status["admission"]["overloaded"] == 0
+    assert status["admission"]["too_large"] == 0
+    assert status["admission"]["inflight"] == 0
 
 
 def test_server_rejects_garbage_lines_and_keeps_serving(server):
@@ -425,6 +447,345 @@ def test_server_rejects_garbage_lines_and_keeps_serving(server):
             client.request("decompose", {"name": "missing-f"})
         assert excinfo.value.type == "bad-request"
         assert client.status()["requests"]["requests"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Hardening: cancellation, self-healing, admission control, metrics
+# ---------------------------------------------------------------------------
+
+
+def test_coalescer_detached_flight_survives_leader_cancellation():
+    # The docstring's promise: one cancelled client never cancels the
+    # shared computation under the others — including the client that
+    # *started* the flight.
+    async def _run():
+        coalescer = Coalescer()
+        calls = {"n": 0}
+        release = asyncio.Event()
+
+        async def compute():
+            calls["n"] += 1
+            await release.wait()
+            return {"value": calls["n"]}
+
+        leader = asyncio.create_task(coalescer.run("k", compute))
+        await asyncio.sleep(0)  # leader registers the flight
+        follower = asyncio.create_task(coalescer.run("k", compute))
+        await asyncio.sleep(0)  # follower joins it
+        leader.cancel()
+        await asyncio.gather(leader, return_exceptions=True)
+        assert leader.cancelled()
+        release.set()
+        value, coalesced = await follower
+        assert value == {"value": 1}
+        assert coalesced is True
+        assert calls["n"] == 1
+        # The flight retired cleanly: a later arrival starts fresh.
+        assert len(coalescer) == 0
+        value2, coalesced2 = await coalescer.run("k", compute)
+        assert (value2, coalesced2) == ({"value": 2}, False)
+
+    asyncio.run(_run())
+
+
+def test_coalescer_flight_completes_even_if_every_waiter_cancels():
+    async def _run():
+        coalescer = Coalescer()
+        done = asyncio.Event()
+
+        async def compute():
+            await asyncio.sleep(0)
+            done.set()
+            return "computed"
+
+        waiter = asyncio.create_task(coalescer.run("k", compute))
+        await asyncio.sleep(0)
+        waiter.cancel()
+        await asyncio.gather(waiter, return_exceptions=True)
+        await done.wait()  # flight ran to completion regardless
+        await asyncio.sleep(0)  # let the retire callback run
+        assert len(coalescer) == 0
+
+    asyncio.run(_run())
+
+
+def test_prewarm_counts_every_slot_exactly_once():
+    # One process per slot means prewarm cannot flake below size (the
+    # executor-queue race where one fast worker grabbed two idents).
+    fleet = WorkerFleet(size=3, prewarm=False)
+    try:
+        for _ in range(5):
+            pids = fleet.prewarm()
+            assert len(pids) == 3
+            assert len(set(pids)) == 3
+            assert fleet.stats["prewarmed"] == 3
+        assert sorted(fleet.pids()) == pids
+    finally:
+        fleet.shutdown()
+
+
+def test_fleet_timeout_kills_and_respawns_the_slot():
+    fleet = WorkerFleet(size=1)
+    try:
+        (victim,) = fleet.pids()
+        with pytest.raises(FleetTimeout):
+            fleet.run_sync(service_sleep, {"seconds": 60.0}, timeout_s=0.2)
+        assert fleet.stats["timeouts"] == 1
+        assert fleet.stats["kills"] == 1
+        assert fleet.stats["restarts"] == 1
+        (replacement,) = fleet.pids()
+        assert replacement != victim
+        # The slot is free and healthy: the next request succeeds.
+        reply = fleet.run_sync(service_sleep, {"seconds": 0.0}, timeout_s=30)
+        assert reply["ok"] and reply["worker"]["pid"] == replacement
+    finally:
+        fleet.shutdown()
+
+
+def test_fleet_sigkill_worker_is_replaced_and_request_retries():
+    import os
+    import signal
+    import time
+
+    fleet = WorkerFleet(size=1)
+    try:
+        (victim,) = fleet.pids()
+        os.kill(victim, signal.SIGKILL)
+        time.sleep(0.2)
+        reply = fleet.run_sync(_worker_ident, {}, timeout_s=60)
+        assert reply["ok"]
+        assert reply["pid"] != victim
+        assert fleet.stats["restarts"] >= 1
+        assert fleet.stats["retries"] >= 1
+    finally:
+        fleet.shutdown()
+
+
+def test_sigkilled_worker_payload_is_byte_identical_to_healthy_run(z4):
+    import os
+    import signal
+    import time
+
+    with ServerThread(jobs=1) as thread:
+        item = work_item(z4.outputs[1], name="o1")
+        with ServiceClient(thread.host, thread.port) as client:
+            healthy, _stats = client.decompose(item)
+            for pid in thread.service.fleet.pids():
+                os.kill(pid, signal.SIGKILL)
+            time.sleep(0.2)
+            # Cache-less server + retired flight: this recomputes on the
+            # replacement worker (cold state) and must match byte for
+            # byte once the informational channels are stripped.
+            recovered, stats = client.decompose(item)
+            assert stats["served_by"] == "fleet"
+        assert stripped(recovered, INFORMATIONAL_RESULT_KEYS) == stripped(
+            healthy, INFORMATIONAL_RESULT_KEYS
+        )
+        status = thread.service.status()
+        assert status["fleet"]["restarts"] >= 1
+
+
+def test_wire_timeout_is_typed_and_does_not_pin_the_slot(z4):
+    # A deadline no real decomposition can meet: the request times out,
+    # the worker is killed and respawned, and the *same key* computes
+    # fine afterwards — the flight did not corrupt later arrivals.
+    with ServerThread(jobs=1) as thread:
+        item = work_item(z4.outputs[0], name="o0")
+        with ServiceClient(thread.host, thread.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.decompose(item, timeout_s=0.001)
+            assert excinfo.value.type == "timeout"
+            payload, stats = client.decompose(item)
+            assert stats["served_by"] == "fleet"
+            assert payload["verified"] is True
+            status = client.status()
+        assert status["fleet"]["timeouts"] == 1
+        assert status["fleet"]["kills"] == 1
+        assert status["requests"]["timeouts"] == 1
+
+
+def test_timeout_propagates_to_coalesced_followers(z4):
+    service = DecompositionService(jobs=1)
+    try:
+        item = work_item(z4.outputs[0], name="o0")
+        doomed = wire.svc_request(
+            "decompose", {**item, "timeout_s": 0.001}, "lead"
+        )
+        follower = wire.svc_request("decompose", dict(item), "follow")
+        responses = drive(service, [doomed, follower])
+        assert [r["ok"] for r in responses] == [False, False]
+        assert {r["error"]["type"] for r in responses} == {"timeout"}
+        # The key is not poisoned: a later request recomputes cleanly.
+        (ok,) = drive(service, [wire.svc_request("decompose", item, "later")])
+        assert ok["ok"]
+        assert ok["stats"]["served_by"] == "fleet"
+    finally:
+        service.close()
+
+
+def test_invalid_timeout_param_is_a_bad_request(z4):
+    service = DecompositionService(jobs=1, prewarm=False)
+    try:
+        item = work_item(z4.outputs[0], name="o0")
+        responses = drive(
+            service,
+            [
+                wire.svc_request("decompose", {**item, "timeout_s": -1}, "n"),
+                wire.svc_request("decompose", {**item, "timeout_s": "x"}, "s"),
+            ],
+        )
+        assert [r["error"]["type"] for r in responses] == ["bad-request"] * 2
+        assert service.fleet.stats["dispatched"] == 0
+    finally:
+        service.close()
+
+
+def test_max_inflight_rejects_overbudget_burst_with_typed_errors(z4):
+    service = DecompositionService(jobs=1, max_inflight=1)
+    try:
+        envelopes = [
+            wire.svc_request(
+                "decompose", work_item(z4.outputs[0], op=op), f"r-{op}"
+            )
+            for op in ("AND", "OR", "XOR")
+        ]
+        responses = drive(service, envelopes)
+        # gather starts the handlers in order: the first is admitted and
+        # parks on the fleet; the rest are over budget, deterministically.
+        assert [r["ok"] for r in responses] == [True, False, False]
+        assert {r["error"]["type"] for r in responses[1:]} == {"overloaded"}
+        assert service.admission["overloaded"] == 2
+        assert service.inflight == 0  # gauge returns to idle
+        # In-budget traffic completes: send the rejects again, one at a time.
+        for envelope in envelopes[1:]:
+            (response,) = drive(service, [envelope])
+            assert response["ok"]
+    finally:
+        service.close()
+
+
+def test_oversized_request_line_gets_typed_too_large_error(z4):
+    import socket as socket_module
+
+    service = DecompositionService(jobs=1, prewarm=False, max_line_bytes=4096)
+    with ServerThread(service=service) as thread:
+        with socket_module.create_connection(
+            (thread.host, thread.port), timeout=60
+        ) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"x" * 8192 + b"\n")
+            handle.flush()
+            reply = json.loads(handle.readline())
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == "too-large"
+            assert handle.readline() == b""  # desynced connection closed
+        # The server survives and serves new connections.
+        with ServiceClient(thread.host, thread.port) as client:
+            assert client.status()["admission"]["too_large"] == 1
+    service.close()
+
+
+def test_per_connection_pending_cap_rejects_pipelining_abuse(z4):
+    import socket as socket_module
+
+    service = DecompositionService(jobs=1, max_pending_per_conn=1)
+    with ServerThread(service=service) as thread:
+        item = work_item(z4.outputs[0], name="o0")
+        lines = [
+            json.dumps(wire.svc_request("decompose", item, f"p{i}"))
+            for i in range(3)
+        ]
+        with socket_module.create_connection(
+            (thread.host, thread.port), timeout=120
+        ) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(("\n".join(lines) + "\n").encode("utf-8"))
+            handle.flush()
+            replies = [json.loads(handle.readline()) for _ in range(3)]
+        by_id = {reply["id"]: reply for reply in replies}
+        # The first request is in flight when lines 2 and 3 are read, so
+        # both trip the cap; replies keep their request ids.
+        assert by_id["p0"]["ok"] is True
+        assert by_id["p1"]["error"]["type"] == "overloaded"
+        assert by_id["p2"]["error"]["type"] == "overloaded"
+        assert service.admission["overloaded"] == 2
+    service.close()
+
+
+def test_client_timeout_marks_connection_broken():
+    import socket as socket_module
+    import threading
+    import time
+
+    # A deliberately slow server: reads the request, replies after the
+    # client's socket deadline has long passed.
+    listener = socket_module.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def slow_server():
+        conn, _addr = listener.accept()
+        with conn:
+            handle = conn.makefile("rwb")
+            handle.readline()
+            time.sleep(1.0)
+            try:
+                handle.write(
+                    json.dumps(
+                        wire.svc_response("c1", {"late": True})
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                handle.flush()
+            except (BrokenPipeError, ConnectionError, OSError):
+                pass
+
+    thread = threading.Thread(target=slow_server, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=0.2)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("status")
+        assert excinfo.value.type == "timeout"
+        # The late reply must never pair with a later request: the
+        # connection is poisoned and every further call fails fast.
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("status")
+        assert excinfo.value.type == "connection-closed"
+    finally:
+        thread.join(timeout=30)
+        listener.close()
+
+
+def test_metrics_request_renders_prometheus_exposition(server):
+    with ServiceClient(server.host, server.port) as client:
+        result, _stats = client.request("metrics")
+        text = client.metrics()
+    assert result["content_type"].startswith("text/plain")
+    # Rendering is a pure function of the status counters.
+    assert render_prometheus(server.service.status()).startswith("# HELP repro_")
+    lines = text.strip().splitlines()
+    samples = [line for line in lines if not line.startswith("#")]
+    assert samples, "metrics page has no samples"
+    for line in samples:
+        name, value = line.rsplit(" ", 1)
+        assert name.startswith("repro_")
+        float(value)  # every sample parses as a number
+    names = {line.rsplit(" ", 1)[0] for line in samples}
+    # The hardening counters are all on the page.
+    for expected in (
+        "repro_fleet_restarts",
+        "repro_fleet_kills",
+        "repro_fleet_timeouts",
+        "repro_admission_overloaded",
+        "repro_admission_too_large",
+        "repro_requests_requests",
+        "repro_coalesce_rate",
+    ):
+        assert expected in names
+    # TYPE comments precede their samples.
+    assert any(line.startswith("# TYPE repro_fleet_size gauge") for line in lines)
 
 
 def test_shutdown_request_stops_the_server():
