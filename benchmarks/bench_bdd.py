@@ -445,8 +445,40 @@ def kernel_isop_stream(quick: bool) -> dict:
     }
 
 
+def kernel_reorder(quick: bool) -> dict:
+    """Sifting reorder on a blocked-order interconnect function.
+
+    ``OR(x_i AND y_i)`` declared blocked (all x's, then all y's) is the
+    textbook exponential-order function: 2^(k+1) - 1 nodes blocked,
+    3k + 2 interleaved.  The kernel builds it blocked, runs
+    :meth:`repro.bdd.manager.BDD.reorder`, and records the reduction —
+    the committed evidence that sifting finds the interleaved order.
+    The function is checked semantically (satcount) before and after.
+    """
+    k = 7 if quick else 8
+    names = [f"x{i}" for i in range(k)] + [f"y{i}" for i in range(k)]
+    mgr = BDD(names)
+    f = mgr.false
+    for i in range(k):
+        f = f | (mgr.var(f"x{i}") & mgr.var(f"y{i}"))
+    nodes_before = mgr.node_count()
+    count_before = f.satcount()
+    wall, stats = _timed(mgr.reorder)
+    assert f.satcount() == count_before, "reorder changed the function"
+    return {
+        "wall_s": wall,
+        "k": k,
+        "nodes_before": nodes_before,
+        "nodes_after": mgr.node_count(),
+        "reduction": round(nodes_before / mgr.node_count(), 3),
+        "swaps": stats["swaps"],
+        "satcount": count_before,
+    }
+
+
 KERNELS = {
     "kernel:adder-build": kernel_adder_build,
+    "kernel:reorder": kernel_reorder,
     "kernel:negation-mix": kernel_negation_mix,
     "kernel:satcount": kernel_satcount,
     "kernel:isop": kernel_isop,
@@ -464,8 +496,18 @@ KERNELS = {
 # ---------------------------------------------------------------------------
 
 
-def suite_workload(name: str, backend: str = "auto") -> tuple[dict, list[str]]:
-    """Build one synthetic benchmark and decompose every output (AND)."""
+def suite_workload(
+    name: str, backend: str = "auto", reorder: bool = False
+) -> tuple[dict, list[str]]:
+    """Build one synthetic benchmark and decompose every output (AND).
+
+    ``reorder=True`` runs the batch with an aggressive gc + sifting
+    trigger (thresholds of 1 — every request ends in a collection and
+    a reorder), then fingerprints the inputs *after* the run: dumps are
+    declaration-order-normalized, so the hashes must still match the
+    committed baselines byte for byte.  This is the CI smoke proving
+    reordering never leaks into results.
+    """
     from repro.backend import support_size
     from repro.benchgen.registry import load_benchmark
     from repro.engine.decomposer import Decomposer
@@ -473,13 +515,33 @@ def suite_workload(name: str, backend: str = "auto") -> tuple[dict, list[str]]:
     build_wall, instance = _timed(lambda: load_benchmark(name))
     hashes = [function_fingerprint(isf.on) for isf in instance.outputs]
 
-    engine = Decomposer(backend=backend)
-    decomp_wall, results = _timed(
-        lambda: engine.decompose_many(
-            [(f"{name}:f{i}", isf) for i, isf in enumerate(instance.outputs)],
-            op="AND",
+    if reorder:
+        engine = Decomposer(backend=backend, reorder_threshold=1)
+        decomp_wall, results = _timed(
+            lambda: engine.decompose_many(
+                [
+                    (f"{name}:f{i}", isf)
+                    for i, isf in enumerate(instance.outputs)
+                ],
+                op="AND",
+                gc_threshold=1,
+            )
         )
-    )
+        # Re-fingerprint through the (possibly reordered) manager: any
+        # leak of the current order into the wire format shows up as a
+        # hash mismatch against the committed baseline.
+        hashes = [function_fingerprint(isf.on) for isf in instance.outputs]
+    else:
+        engine = Decomposer(backend=backend)
+        decomp_wall, results = _timed(
+            lambda: engine.decompose_many(
+                [
+                    (f"{name}:f{i}", isf)
+                    for i, isf in enumerate(instance.outputs)
+                ],
+                op="AND",
+            )
+        )
     assert all(r.verified for r in results)
     record = {
         "wall_s": build_wall + decomp_wall,
@@ -495,6 +557,8 @@ def suite_workload(name: str, backend: str = "auto") -> tuple[dict, list[str]]:
         "literal_cost": sum(r.literal_cost for r in results),
         "cache_hit_rate": _cache_hit_rate(instance.mgr),
     }
+    if reorder:
+        record["reorder"] = True
     return record, hashes
 
 
@@ -586,7 +650,7 @@ def backend_comparison(workloads: dict, suite: tuple) -> dict:
     }
 
 
-def run(quick: bool, label: str) -> dict:
+def run(quick: bool, label: str, reorder: bool = False) -> dict:
     suite = SUITE_QUICK if quick else SUITE_FULL
     workloads: dict[str, dict] = {}
     hashes: dict[str, list[str]] = {}
@@ -612,7 +676,9 @@ def run(quick: bool, label: str) -> dict:
             # single trajectory row does.
             best = None
             for _ in range(3):
-                record, function_hashes = suite_workload(name, backend)
+                record, function_hashes = suite_workload(
+                    name, backend, reorder=reorder
+                )
                 if best is None or record["wall_s"] < best[0]["wall_s"]:
                     best = (record, function_hashes)
             # The production auto row keeps the historical key so
@@ -626,6 +692,7 @@ def run(quick: bool, label: str) -> dict:
         "format": REPORT_FORMAT,
         "label": label,
         "quick": quick,
+        "reorder": reorder,
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "calibration_s": round(calibration_s, 6),
@@ -657,9 +724,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="prior report to compute speedups against",
     )
+    parser.add_argument(
+        "--reorder",
+        action="store_true",
+        help=(
+            "run suite rows with aggressive gc + sifting reorder between"
+            " requests; hashes must still match any baseline byte for byte"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    report = run(args.quick, args.label)
+    report = run(args.quick, args.label, reorder=args.reorder)
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
         report["comparison"] = compare(report, baseline)

@@ -341,6 +341,16 @@ class BitsetBDD:
         self.clear_caches()
         return {"marked": 0, "swept": 0, "nodes": 0}
 
+    def reorder(self, max_growth: float = 1.2) -> dict:
+        """Dense tables address variables positionally: a no-op, kept
+        for surface parity with :meth:`repro.bdd.manager.BDD.reorder`."""
+        return {
+            "before": 0,
+            "after": 0,
+            "swaps": 0,
+            "order": list(self.var_names),
+        }
+
     def stats(self) -> dict:
         """Manager health counters (same shape as the BDD manager's)."""
         return {
@@ -824,6 +834,10 @@ def function_from_bdd(function, target: BitsetBDD) -> BitsetFunction:
 
     src = function.mgr
     level_map = level_map_by_name(src.var_names, target)
+    # The walk reads *source levels*; route the declaration-indexed map
+    # through the source's current order (a reordered BDD is fine here —
+    # the per-node mask combination needs no monotonicity).
+    level_map = [level_map[var] for var in src._level_var]
     mask = target._mask
     var_bits, nvar_bits = target._var_bits, target._nvar_bits
     src_level, src_low, src_high = src._level, src._low, src._high
@@ -860,6 +874,9 @@ def function_to_bdd(function: BitsetFunction, target):
 
     src = function.mgr
     level_map = level_map_by_name(src.var_names, target)
+    # A reordered BDD target breaks the monotonicity the bottom-up
+    # ``_mk`` rebuild relies on; fall back to a semantic ``ite`` build.
+    structural = all(a < b for a, b in zip(level_map, level_map[1:]))
     n = src._n
     cache: dict[tuple[int, int], int] = {}
 
@@ -873,11 +890,12 @@ def function_to_bdd(function: BitsetFunction, target):
         if cached is not None:
             return cached
         half = width >> 1
-        edge = target._mk(
-            level_map[level],
-            rec(level + 1, bits & ((1 << half) - 1), half),
-            rec(level + 1, bits >> half, half),
-        )
+        low = rec(level + 1, bits & ((1 << half) - 1), half)
+        high = rec(level + 1, bits >> half, half)
+        if structural:
+            edge = target._mk(level_map[level], low, high)
+        else:
+            edge = target._ite(target._mk(level_map[level], 0, 1), high, low)
         cache[key] = edge
         return edge
 

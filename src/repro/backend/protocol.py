@@ -27,14 +27,18 @@ from __future__ import annotations
 from abc import ABC
 
 from repro.backend.bitset import MAX_BITSET_VARS, BitsetBDD, BitsetFunction
+from repro.backend.calibration import support_boundary
 from repro.bdd.manager import BDD, Function
 
 #: Names accepted wherever a backend is selected.
 BACKENDS = ("auto", "bdd", "bitset")
 
-#: Default ``backend="auto"`` support threshold: below (or at) this many
-#: support variables the dense table wins comfortably.
-DEFAULT_BITSET_SUPPORT = 16
+#: Default ``backend="auto"`` support threshold: at or below this many
+#: support variables the dense table measured faster on every suite
+#: benchmark.  Derived from the committed calibration rows
+#: (:mod:`repro.backend.calibration`) rather than hard-coded, so the
+#: shipped default tracks the evidence.
+DEFAULT_BITSET_SUPPORT = support_boundary()
 
 #: ``auto`` never picks the bitset backend above this many *declared*
 #: variables, regardless of support — the dense table is over the full

@@ -26,11 +26,29 @@ the representation upgrades of mature packages (CUDD, BuDDy, Sylvan):
   ``_mk`` calls (node indices of live handles are never remapped, so
   handle hashes stay stable).  Computed tables are invalidated on sweep.
 
-Variable order is the order of :meth:`BDD.add_var` calls.  There is no
-dynamic *reordering* — benchmark functions in this reproduction use
-their natural variable order, as the paper's flow does — but the
-manager does reclaim memory: bounded computed tables plus ``gc()`` keep
-long-running batches at their live working-set size.
+Variable order starts as the order of :meth:`BDD.add_var` calls, and
+:meth:`BDD.reorder` may change it dynamically (Rudell sifting over
+in-place adjacent-level swaps).  Two indirection layers decouple
+clients from the physical order:
+
+* **Variable maps.**  ``_var_level``/``_level_var`` translate between a
+  variable's declaration index and its current level; every entry point
+  that names a variable (``var``, ``cube``, ``minterm``, ``product``,
+  evaluation, minterm enumeration) goes through them, so the declared
+  semantics — variable 0 is the most significant minterm bit — hold
+  under any physical order.
+* **Handle slots.**  Each :class:`Function` owns a slot in a manager
+  slot table mapping slot -> edge.  Adjacent-level swaps rewrite nodes
+  *in place* (a rewritten node keeps its index and its semantic
+  function), so edges held by live handles never change — the slot
+  table is the checked invariant for that: :meth:`reorder` asserts
+  every live handle's edge still matches its slot, and handle hashes
+  are derived from the (stable) slot.
+
+Serialized dumps and :func:`repro.bdd.serialize.canonical_hash` are
+normalized to declaration order and therefore byte-stable across
+reorders.  The manager also reclaims memory: bounded computed tables
+plus ``gc()`` keep long-running batches at their live working-set size.
 """
 
 from __future__ import annotations
@@ -107,6 +125,17 @@ class BDD:
     ) -> None:
         self._var_names: list[str] = []
         self._var_index: dict[str, int] = {}
+        # Order maps: declaration index <-> current level.  Identity
+        # until :meth:`reorder` permutes them; ``_order_is_identity``
+        # lets hot paths skip the indirection entirely.
+        self._var_level: list[int] = []
+        self._level_var: list[int] = []
+        self._order_is_identity = True
+        # Handle slot table: slot -> edge (interned; ``_edge_slot`` is
+        # the inverse).  Slots 0/1 are pinned to the constants.
+        self._slot_edge: list[int] = [0, 1]
+        self._edge_slot: dict[int, int] = {0: 0, 1: 1}
+        self._slot_free: list[int] = []
         # Parallel node arrays indexed by *node index* (edge >> 1).
         # Index 0 is the single terminal; children are stored as edges.
         self._level: list[int] = [TERMINAL_LEVEL]
@@ -145,8 +174,12 @@ class BDD:
     # ------------------------------------------------------------------
     @property
     def var_names(self) -> tuple[str, ...]:
-        """Declared variable names, in BDD order (index 0 on top)."""
+        """Declared variable names, in declaration order."""
         return tuple(self._var_names)
+
+    def var_order(self) -> tuple[str, ...]:
+        """Variable names in the *current* BDD order (level 0 first)."""
+        return tuple(self._var_names[v] for v in self._level_var)
 
     @property
     def n_vars(self) -> int:
@@ -160,22 +193,26 @@ class BDD:
         index = len(self._var_names)
         self._var_names.append(name)
         self._var_index[name] = index
+        # New variables always enter below all existing levels, which
+        # keeps both order maps consistent under any prior reorder.
+        self._var_level.append(index)
+        self._level_var.append(index)
         # Satcounts are relative to the declared space; widening it
         # invalidates them (the other tables key on edges only).
         self._satcount_cache.clear()
-        return Function(self, self._mk(index, 0, 1))
+        return Function(self, self._mk(self._var_level[index], 0, 1))
 
     def var(self, name: str) -> "Function":
         """Return the projection function of a declared variable."""
-        return Function(self, self._mk(self._var_index[name], 0, 1))
+        return Function(self, self._mk(self._var_level[self._var_index[name]], 0, 1))
 
     def var_at(self, index: int) -> "Function":
-        """Return the projection function of the variable at ``index``."""
-        return Function(self, self._mk(index, 0, 1))
+        """Return the projection function of the variable declared at ``index``."""
+        return Function(self, self._mk(self._var_level[index], 0, 1))
 
     def level_of(self, name: str) -> int:
-        """Return the BDD level (order position) of variable ``name``."""
-        return self._var_index[name]
+        """Return the current BDD level (order position) of variable ``name``."""
+        return self._var_level[self._var_index[name]]
 
     # ------------------------------------------------------------------
     # Constants and cubes
@@ -197,7 +234,10 @@ class BDD:
         bottom-up with ``_mk`` only — no apply calls, no cache traffic.
         """
         levels = sorted(
-            ((self._var_index[name], bool(value)) for name, value in assignment.items()),
+            (
+                (self._var_level[self._var_index[name]], bool(value))
+                for name, value in assignment.items()
+            ),
             reverse=True,
         )
         return Function(self, self._cube_edge(levels))
@@ -217,9 +257,10 @@ class BDD:
         convention, see :mod:`repro.utils.bitops`).
         """
         n = self.n_vars
+        level_var = self._level_var
         edge = 1
         for level in range(n - 1, -1, -1):
-            bit = (minterm_index >> (n - 1 - level)) & 1
+            bit = (minterm_index >> (n - 1 - level_var[level])) & 1
             edge = self._mk(level, 0, edge) if bit else self._mk(level, edge, 0)
         return Function(self, edge)
 
@@ -254,26 +295,35 @@ class BDD:
         key = (pos, neg, factors) if factors else (pos, neg)
         edge = table.get(key)
         if edge is None:
+            var_level = self._var_level
             edge = self._cube_edge(self._literal_levels(pos, neg))
             for i, j, phase in factors:
-                xj = self._mk(j, 0, 1)
-                low = xj if phase else xj ^ 1
-                edge = self._ite(edge, self._mk(i, low, low ^ 1), 0)
+                # The factor is symmetric in its variables; build it with
+                # whichever sits higher in the *current* order on top.
+                li, lj = var_level[i], var_level[j]
+                if li > lj:
+                    li, lj = lj, li
+                xb = self._mk(lj, 0, 1)
+                low = xb if phase else xb ^ 1
+                edge = self._ite(edge, self._mk(li, low, low ^ 1), 0)
             table.put(key, edge)
         return Function(self, edge)
 
-    @staticmethod
-    def _literal_levels(pos: int, neg: int) -> list[tuple[int, bool]]:
-        """(level, polarity) pairs of literal masks, deepest first."""
+    def _literal_levels(self, pos: int, neg: int) -> list[tuple[int, bool]]:
+        """(level, polarity) pairs of literal masks, deepest level first."""
+        var_level = self._var_level
         literals: list[tuple[int, bool]] = []
         index = 0
         mask = pos | neg
         while mask:
             if mask & 1:
-                literals.append((index, bool((pos >> index) & 1)))
+                literals.append((var_level[index], bool((pos >> index) & 1)))
             mask >>= 1
             index += 1
-        literals.reverse()
+        if self._order_is_identity:
+            literals.reverse()
+        else:
+            literals.sort(reverse=True)
         return literals
 
     def _wrap(self, edge: int) -> "Function":
@@ -682,6 +732,26 @@ class BDD:
         for table in self._user_tables.values():
             table.clear()
 
+    def _slot_for(self, edge: int) -> int:
+        """Intern ``edge`` in the handle slot table and return its slot.
+
+        Every :class:`Function` holds a slot; equal edges share one slot
+        while any holder is alive, so slot-derived hashes respect handle
+        equality.  Freed slots (see :meth:`gc`) are recycled only after
+        no live handle can hold the old edge.
+        """
+        slot = self._edge_slot.get(edge)
+        if slot is None:
+            free = self._slot_free
+            if free:
+                slot = free.pop()
+                self._slot_edge[slot] = edge
+            else:
+                slot = len(self._slot_edge)
+                self._slot_edge.append(edge)
+            self._edge_slot[edge] = slot
+        return slot
+
     def _compact_handles(self) -> None:
         """Drop dead weakrefs from the handle registry (amortized)."""
         live = {key: r for key, r in self._handles.items() if r() is not None}
@@ -758,11 +828,21 @@ class BDD:
             if not marked[index]:
                 del self._unique[key]
         terminal = TERMINAL_LEVEL
+        edge_slot = self._edge_slot
+        slot_free = self._slot_free
         for index in swept:
             # Park dead slots on the terminal so stray reads are inert.
             self._level[index] = terminal
             self._low[index] = 0
             self._high[index] = 0
+            # Release handle slots of both swept edges: no live handle
+            # holds them (a held edge keeps its node marked), so the
+            # slot ids are free for reuse.
+            base = index << 1
+            for edge in (base, base | 1):
+                slot = edge_slot.pop(edge, None)
+                if slot is not None:
+                    slot_free.append(slot)
         self._free.extend(swept)
         self.clear_caches()
         self._gc_runs += 1
@@ -772,6 +852,274 @@ class BDD:
             "swept": len(swept),
             "nodes": self.node_count(),
         }
+
+    # ------------------------------------------------------------------
+    # Dynamic variable reordering (Rudell sifting)
+    # ------------------------------------------------------------------
+    def reorder(self, max_growth: float = 1.2) -> dict:
+        """Sift every variable to its locally best level; returns stats.
+
+        Classic Rudell sifting over in-place adjacent-level swaps: each
+        variable (most populated levels first) is moved through the
+        whole order — toward the closer boundary first — the live node
+        count is tracked at every position, and the variable is parked
+        at the best position seen.  ``max_growth`` aborts a sifting
+        direction once the table exceeds that multiple of the best size
+        recorded for the variable.
+
+        The swaps rewrite affected nodes *in place*: a node that stays
+        live keeps its index, so every edge held by a live
+        :class:`Function` keeps both its value and its function — the
+        closing audit asserts each live handle still matches its slot.
+        Runs :meth:`gc` first (computed tables hold edges of arbitrary
+        reachability and are dropped wholesale), and like ``gc`` it is
+        only legal between operations, never inside one.
+        """
+        n = self.n_vars
+        if n < 2:
+            return {
+                "before": self.node_count(),
+                "after": self.node_count(),
+                "swaps": 0,
+                "order": list(self.var_order()),
+            }
+        gc_stats = self.gc()
+        before = self.node_count()
+        # Reference counts over live nodes: one per stored child edge
+        # plus one per live handle edge.  Post-gc every unique-table
+        # node is live, so this is exact.
+        ref = [0] * len(self._level)
+        low_of, high_of = self._low, self._high
+        for node in self._unique.values():
+            ref[low_of[node] >> 1] += 1
+            ref[high_of[node] >> 1] += 1
+        for weak in self._handles.values():
+            handle = weak()
+            if handle is not None:
+                ref[handle.node >> 1] += 1
+        by_level: dict[int, set[int]] = {level: set() for level in range(n)}
+        for key, node in self._unique.items():
+            by_level[key[0]].add(node)
+        size = len(self._unique)
+        swaps = 0
+        order = sorted(
+            range(n), key=lambda v: (-len(by_level[self._var_level[v]]), v)
+        )
+        for var in order:
+            size, done = self._sift_var(var, size, ref, by_level, max_growth)
+            swaps += done
+        self._order_is_identity = self._var_level == list(range(n))
+        # Audit the slot invariant: reorder must not move handle edges.
+        slot_edge = self._slot_edge
+        for weak in self._handles.values():
+            handle = weak()
+            if handle is not None and slot_edge[handle._slot] != handle.node:
+                raise AssertionError("reorder moved a live handle edge")
+        return {
+            "before": before,
+            "after": self.node_count(),
+            "swaps": swaps,
+            "gc": gc_stats,
+            "order": list(self.var_order()),
+        }
+
+    def _sift_var(
+        self,
+        var: int,
+        size: int,
+        ref: list[int],
+        by_level: dict[int, set[int]],
+        max_growth: float,
+    ) -> tuple[int, int]:
+        """Sift one variable to its best level; returns ``(size, swaps)``."""
+        n = self.n_vars
+        var_level = self._var_level
+        start = var_level[var]
+        best_size = size
+        best_level = start
+        swaps = 0
+
+        def swap_toward(target: int) -> None:
+            nonlocal size, swaps
+            position = var_level[var]
+            if position < target:
+                size += self._swap_adjacent(position, ref, by_level)
+            else:
+                size += self._swap_adjacent(position - 1, ref, by_level)
+            swaps += 1
+
+        def sweep(target: int) -> None:
+            nonlocal best_size, best_level
+            while var_level[var] != target:
+                swap_toward(target)
+                if size < best_size:
+                    best_size = size
+                    best_level = var_level[var]
+                elif size > best_size * max_growth:
+                    break
+
+        if start >= n - 1 - start:
+            sweep(n - 1)
+            sweep(0)
+        else:
+            sweep(0)
+            sweep(n - 1)
+        while var_level[var] != best_level:
+            swap_toward(best_level)
+        return size, swaps
+
+    def _swap_adjacent(
+        self, level: int, ref: list[int], by_level: dict[int, set[int]]
+    ) -> int:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Nodes at ``level`` that depend on ``level + 1`` are rewritten in
+        their own slots (children swapped per the standard level-swap
+        cofactor identity), so no edge held by any parent or handle ever
+        changes; independent upper nodes and surviving lower nodes just
+        trade levels.  ``ref``/``by_level`` are the sifting scratch
+        structures and are kept exact.  Returns the change in live node
+        count (created minus killed).
+        """
+        unique = self._unique
+        level_of, low_of, high_of = self._level, self._low, self._high
+        lower_level = level + 1
+        upper = by_level[level]
+        lower = by_level[lower_level]
+
+        # Phase A: pull every key of both levels so the re-inserts below
+        # can never collide with a stale entry.
+        for node in upper:
+            del unique[(level, low_of[node], high_of[node])]
+        for node in lower:
+            del unique[(lower_level, low_of[node], high_of[node])]
+
+        # Phase B: upper nodes with no child at the lower level keep
+        # their children and simply move down one level.  Re-inserted
+        # first, so the dependent rewrites below reuse them.
+        dependents: list[int] = []
+        moved_down: set[int] = set()
+        for node in upper:
+            lo, hi = low_of[node], high_of[node]
+            if (
+                level_of[lo >> 1] == lower_level
+                or level_of[hi >> 1] == lower_level
+            ):
+                dependents.append(node)
+            else:
+                level_of[node] = lower_level
+                unique[(lower_level, lo, hi)] = node
+                moved_down.add(node)
+        dependents.sort()
+
+        created = 0
+        born: set[int] = set()
+        dead: list[int] = []
+        edge_slot = self._edge_slot
+        slot_free = self._slot_free
+        terminal = TERMINAL_LEVEL
+
+        def mk_local(low: int, high: int) -> int:
+            # _mk pinned to ``lower_level``: increfs children on node
+            # creation and keeps the scratch ref array in step.
+            nonlocal created
+            if low == high:
+                return low
+            out = 0
+            if high & 1:
+                low ^= 1
+                high ^= 1
+                out = 1
+            key = (lower_level, low, high)
+            node = unique.get(key)
+            if node is None:
+                node = self._new_node(lower_level, low, high, key)
+                if node >= len(ref):
+                    ref.extend([0] * (node + 1 - len(ref)))
+                else:
+                    ref[node] = 0
+                ref[low >> 1] += 1
+                ref[high >> 1] += 1
+                born.add(node)
+                created += 1
+            return (node << 1) | out
+
+        def kill(node: int) -> None:
+            # Cascade-unlink a refcount-zero node.  Freed indices are
+            # parked locally and handed to ``_free`` only after phase D:
+            # mid-swap reuse would corrupt the level checks above.
+            stack = [node]
+            while stack:
+                dying = stack.pop()
+                key = (level_of[dying], low_of[dying], high_of[dying])
+                if unique.get(key) == dying:
+                    del unique[key]
+                group = by_level.get(level_of[dying])
+                if group is not None:
+                    group.discard(dying)
+                for child in (low_of[dying], high_of[dying]):
+                    child_index = child >> 1
+                    if child_index:
+                        ref[child_index] -= 1
+                        if ref[child_index] == 0:
+                            stack.append(child_index)
+                level_of[dying] = terminal
+                low_of[dying] = 0
+                high_of[dying] = 0
+                base = dying << 1
+                for edge in (base, base | 1):
+                    slot = edge_slot.pop(edge, None)
+                    if slot is not None:
+                        slot_free.append(slot)
+                dead.append(dying)
+
+        # Phase C: rewrite each dependent in its own slot.  With upper
+        # variable u and lower variable v, the swapped node is
+        # v ? (u ? f11 : f01) : (u ? f10 : f00) — cofactors read from
+        # the *original* children, which stay intact until the last
+        # referencing dependent has been rewritten.
+        for node in dependents:
+            lo, hi = low_of[node], high_of[node]
+            lo_index, lo_bit = lo >> 1, lo & 1
+            hi_index = hi >> 1  # stored high edges are regular
+            if level_of[lo_index] == lower_level:
+                f00 = low_of[lo_index] ^ lo_bit
+                f01 = high_of[lo_index] ^ lo_bit
+            else:
+                f00 = f01 = lo
+            if level_of[hi_index] == lower_level:
+                f10 = low_of[hi_index]
+                f11 = high_of[hi_index]
+            else:
+                f10 = f11 = hi
+            new_low = mk_local(f00, f10)
+            new_high = mk_local(f01, f11)  # regular: f11 is a stored high
+            ref[new_low >> 1] += 1
+            ref[new_high >> 1] += 1
+            for old in (lo, hi):
+                old_index = old >> 1
+                if old_index:
+                    ref[old_index] -= 1
+                    if ref[old_index] == 0:
+                        kill(old_index)
+            low_of[node] = new_low
+            high_of[node] = new_high
+            unique[(level, new_low, new_high)] = node
+
+        # Phase D: surviving original lower nodes move up one level
+        # (kill() already dropped the dead ones from ``lower``).
+        for node in lower:
+            level_of[node] = level
+            unique[(level, low_of[node], high_of[node])] = node
+
+        by_level[level] = set(dependents) | lower
+        by_level[lower_level] = moved_down | born
+        self._free.extend(dead)
+        var_level, level_var = self._var_level, self._level_var
+        u, v = level_var[level], level_var[lower_level]
+        level_var[level], level_var[lower_level] = v, u
+        var_level[u], var_level[v] = lower_level, level
+        return created - len(dead)
 
     # ------------------------------------------------------------------
     # Quantification / substitution
@@ -988,27 +1336,55 @@ class BDD:
     def _iter_minterms(self, u: int) -> Iterator[int]:
         n = self.n_vars
         level_of, low_of, high_of = self._level, self._low, self._high
-        # Depth-first with an explicit stack, low branch first so indices
-        # come out in increasing order.
-        stack: list[tuple[int, int, int]] = [(u, 0, 0)]
+        if self._order_is_identity:
+            # Depth-first with an explicit stack, low branch first so
+            # indices come out in increasing order.
+            stack: list[tuple[int, int, int]] = [(u, 0, 0)]
+            while stack:
+                edge, level, prefix = stack.pop()
+                if edge == 0:
+                    continue
+                if level == n:
+                    yield prefix
+                    continue
+                index = edge >> 1
+                if level_of[index] > level:
+                    # Free variable: expand both branches.
+                    stack.append((edge, level + 1, (prefix << 1) | 1))
+                    stack.append((edge, level + 1, prefix << 1))
+                else:
+                    complement = edge & 1
+                    stack.append(
+                        (high_of[index] ^ complement, level + 1, (prefix << 1) | 1)
+                    )
+                    stack.append((low_of[index] ^ complement, level + 1, prefix << 1))
+            return
+        # Reordered: the bit weight of the variable at level ``l`` is its
+        # declaration position, so indices no longer arrive sorted from a
+        # low-first walk — collect and sort (same indices either way).
+        level_var = self._level_var
+        weights = [1 << (n - 1 - level_var[level]) for level in range(n)]
+        out: list[int] = []
+        stack = [(u, 0, 0)]
         while stack:
-            edge, level, prefix = stack.pop()
+            edge, level, accum = stack.pop()
             if edge == 0:
                 continue
             if level == n:
-                yield prefix
+                out.append(accum)
                 continue
             index = edge >> 1
             if level_of[index] > level:
-                # Free variable: expand both branches.
-                stack.append((edge, level + 1, (prefix << 1) | 1))
-                stack.append((edge, level + 1, prefix << 1))
+                stack.append((edge, level + 1, accum | weights[level]))
+                stack.append((edge, level + 1, accum))
             else:
                 complement = edge & 1
                 stack.append(
-                    (high_of[index] ^ complement, level + 1, (prefix << 1) | 1)
+                    (high_of[index] ^ complement, level + 1, accum | weights[level])
                 )
-                stack.append((low_of[index] ^ complement, level + 1, prefix << 1))
+                stack.append((low_of[index] ^ complement, level + 1, accum))
+        out.sort()
+        yield from out
 
     def _support(self, u: int) -> set[int]:
         seen: set[int] = set()
@@ -1028,12 +1404,13 @@ class BDD:
     def _eval(self, u: int, minterm_index: int) -> bool:
         n = self.n_vars
         level_of, low_of, high_of = self._level, self._low, self._high
+        level_var = self._level_var
         edge = u
         while edge > 1:
             index = edge >> 1
             complement = edge & 1
-            level = level_of[index]
-            bit = (minterm_index >> (n - 1 - level)) & 1
+            var = level_var[level_of[index]]
+            bit = (minterm_index >> (n - 1 - var)) & 1
             edge = (high_of[index] if bit else low_of[index]) ^ complement
         return edge == 1
 
@@ -1051,11 +1428,15 @@ class Function:
     root set of :meth:`BDD.gc`.
     """
 
-    __slots__ = ("mgr", "node", "__weakref__")
+    __slots__ = ("mgr", "node", "_slot", "__weakref__")
 
     def __init__(self, mgr: BDD, node: int) -> None:
         self.mgr = mgr
         self.node = node
+        # Slot indirection: ``node`` is the hot-path edge, ``_slot`` the
+        # stable identity checked against the slot table at reorder
+        # boundaries (reorder keeps edges in place, and asserts so).
+        self._slot = mgr._slot_for(node)
         handles = mgr._handles
         handles[id(self)] = _weakref(self)
         if len(handles) > mgr._handle_limit:
@@ -1070,7 +1451,9 @@ class Function:
         )
 
     def __hash__(self) -> int:
-        return hash((id(self.mgr), self.node))
+        # Slot, not edge: slots are interned per edge, so equal handles
+        # hash equal, and the id survives reorders by construction.
+        return hash((id(self.mgr), self._slot))
 
     def __repr__(self) -> str:
         return f"<Function node={self.node} nodes={self.mgr.size(self)}>"
@@ -1155,9 +1538,19 @@ class Function:
 
     # -- structure -------------------------------------------------------------
     def support(self) -> tuple[str, ...]:
-        """Names of the variables the function actually depends on."""
-        names = self.mgr.var_names
-        return tuple(names[level] for level in sorted(self.mgr._support(self.node)))
+        """Names of the variables the function actually depends on.
+
+        Always in declaration order, whatever the current BDD order.
+        """
+        mgr = self.mgr
+        names = mgr.var_names
+        level_var = mgr._level_var
+        return tuple(
+            names[var]
+            for var in sorted(
+                level_var[level] for level in mgr._support(self.node)
+            )
+        )
 
     def size(self) -> int:
         """Number of BDD nodes of this function."""

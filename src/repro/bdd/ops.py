@@ -130,8 +130,21 @@ def isop(lower: Function, upper: Function) -> tuple[list[dict[str, bool]], Funct
         raise ValueError("isop requires lower <= upper")
     names = mgr.var_names
     if isinstance(lower, Function):
-        cover_edge, cubes = _isop_edges(mgr, lower.node, upper.node)
-        realized = Function(mgr, cover_edge)
+        if not mgr._order_is_identity:
+            # The recursion splits on the current top level, so its cube
+            # sequence depends on the physical order.  Run it in a
+            # declaration-order shadow: covers (and everything minimized
+            # from them) stay byte-identical across reorders.
+            shadow = BDD(list(names))
+            cover_edge, cubes = _isop_edges(
+                shadow,
+                transfer(lower, shadow).node,
+                transfer(upper, shadow).node,
+            )
+            realized = transfer(Function(shadow, cover_edge), mgr)
+        else:
+            cover_edge, cubes = _isop_edges(mgr, lower.node, upper.node)
+            realized = Function(mgr, cover_edge)
     else:
         from repro.backend.bitset import isop_dense
 
@@ -164,7 +177,17 @@ def isop_cubes(lower: Function, upper: Function):
         raise ValueError("isop requires lower <= upper")
     names = mgr.var_names
     if isinstance(lower, Function):
-        stream = _isop_stream_edges(mgr, lower.node, upper.node)
+        if not mgr._order_is_identity:
+            # Same declaration-order normalization as :func:`isop` — the
+            # shadow stays alive through the generator closure.
+            shadow = BDD(list(names))
+            stream = _isop_stream_edges(
+                shadow,
+                transfer(lower, shadow).node,
+                transfer(upper, shadow).node,
+            )
+        else:
+            stream = _isop_stream_edges(mgr, lower.node, upper.node)
     else:
         from repro.backend.bitset import isop_stream_dense
 
@@ -256,14 +279,19 @@ def cube_to_function(mgr: BDD, cube: dict[str, bool]) -> Function:
 
 
 def level_map_by_name(var_names, target) -> list[int]:
-    """Target level of every source variable, in source order.
+    """Current target level of every source variable, in source order.
 
     The variable contract every cross-manager move shares (structural
     transfer, dense conversion, serializer load): each source variable
     must be declared in ``target`` and the shared variables must keep
-    their relative order.  Raises :class:`ValueError` otherwise.
+    their relative *declaration* order.  Raises :class:`ValueError`
+    otherwise.  The returned levels are the target's **current** levels;
+    when the target has been reordered they need not be monotonic, and
+    structural (``_mk``) consumers must fall back to a semantic rebuild.
     """
     mapped = []
+    positions = []
+    index_of = getattr(target, "_var_index", None)
     for name in var_names:
         try:
             mapped.append(target.level_of(name))
@@ -271,7 +299,10 @@ def level_map_by_name(var_names, target) -> list[int]:
             raise ValueError(
                 f"target manager does not declare variable {name!r}"
             ) from None
-    if mapped != sorted(mapped):
+        if index_of is not None:
+            positions.append(index_of[name])
+    check = positions if index_of is not None else mapped
+    if check != sorted(check):
         raise ValueError(
             "variable orders of source and target managers are incompatible"
         )
@@ -311,9 +342,17 @@ def transfer(function: Function, target: BDD) -> Function:
         from repro.bdd import serialize
 
         return serialize.load(serialize.dump(function), target)
-    # Source levels are var_names positions, so the validated list maps
-    # directly by index.
-    level_map = dict(enumerate(level_map_by_name(src.var_names, target)))
+    # The copy walks *source levels*, so index the validated declaration
+    # map through the source's current order.
+    decl_levels = level_map_by_name(src.var_names, target)
+    level_map = [decl_levels[var] for var in src._level_var]
+    # When either side has been reordered the per-level map may invert
+    # somewhere; a structural ``_mk`` copy would build an unordered
+    # diagram, so those moves rebuild semantically through ``ite``.
+    structural = all(a < b for a, b in zip(level_map, level_map[1:]))
+    var_edges = (
+        None if structural else [target._mk(lvl, 0, 1) for lvl in level_map]
+    )
 
     # Iterative post-order copy.  ``copied[i]`` is the target edge of the
     # *plain* (uncomplemented) function of source node index ``i``;
@@ -329,9 +368,14 @@ def transfer(function: Function, target: BDD) -> Function:
         if expanded:
             low_edge = copied[low >> 1] ^ (low & 1)
             high_edge = copied[high >> 1] ^ (high & 1)
-            copied[index] = target._mk(
-                level_map[src_level[index]], low_edge, high_edge
-            )
+            if structural:
+                copied[index] = target._mk(
+                    level_map[src_level[index]], low_edge, high_edge
+                )
+            else:
+                copied[index] = target._ite(
+                    var_edges[src_level[index]], high_edge, low_edge
+                )
         else:
             stack.append((index, True))
             stack.append((high >> 1, False))

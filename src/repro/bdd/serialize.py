@@ -57,6 +57,20 @@ def dump_many(functions: Iterable[tuple[str, Function]]) -> dict:
         if function.mgr is not mgr:
             raise ValueError("all dumped functions must share one manager")
 
+    if isinstance(mgr, BDD) and not mgr._order_is_identity:
+        # Dumps are normalized to declaration order (node levels index
+        # into ``vars``), so a reordered manager dumps through a
+        # declaration-order shadow — payloads, fingerprints, and every
+        # cache key derived from them stay byte-identical across
+        # reorders.
+        from repro.bdd.ops import transfer
+
+        shadow = BDD(list(mgr.var_names))
+        labeled = [
+            (label, transfer(function, shadow)) for label, function in labeled
+        ]
+        mgr = shadow
+
     if not isinstance(mgr, BDD):
         from repro.backend.bitset import BitsetBDD, dense_dump_nodes
 
@@ -149,6 +163,10 @@ def load_many(data: dict, mgr: BDD | None = None) -> dict[str, Function]:
             level_map = level_map_by_name(var_names, mgr)
         except ValueError as exc:
             raise SerializationError(str(exc)) from None
+    # A reordered BDD target yields non-monotonic current levels; the
+    # bottom-up ``_mk`` rebuild needs monotonicity, so those targets
+    # rebuild semantically through ``ite`` instead.
+    structural = all(a < b for a, b in zip(level_map, level_map[1:]))
 
     # Both backends expose the same three hooks: constant raw values to
     # seed the ref list, a raw node constructor, and a handle wrapper.
@@ -165,7 +183,14 @@ def load_many(data: dict, mgr: BDD | None = None) -> dict[str, Function]:
                     f"node ref out of range: ({low}, {high}) with"
                     f" {len(refs)} nodes built"
                 )
-            refs.append(mgr._mk(level_map[level], refs[low], refs[high]))
+            if structural:
+                refs.append(mgr._mk(level_map[level], refs[low], refs[high]))
+            else:
+                refs.append(
+                    mgr._ite(
+                        mgr._mk(level_map[level], 0, 1), refs[high], refs[low]
+                    )
+                )
         result = {}
         for label, ref in roots.items():
             if not isinstance(ref, int) or not 0 <= ref < len(refs):

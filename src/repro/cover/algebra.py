@@ -1,0 +1,331 @@
+"""Mask-native cover algebra: whole-cover operations on packed masks.
+
+The minimizer inner loops (espresso EXPAND/REDUCE/IRREDUNDANT, the 2-SPP
+merge/expand sweeps, Quine-McCluskey column construction and the unate
+covering solver) spend their time asking tiny questions — "does this
+cube contain that one?", "what is the distance?", "is anything here a
+tautology?" — millions of times.  Routing every question through a
+:class:`~repro.cover.cube.Cube` or
+:class:`~repro.spp.pseudocube.Pseudocube` object allocates, hashes and
+validates a handle per candidate, which profiling shows is the floor on
+small-width rows (the minimizer scaffolding, not representation ops).
+
+:class:`CoverAlgebra` keeps a cover as two parallel arrays of packed
+``(pos, neg)`` literal masks — bit ``i`` of ``pos``/``neg`` set when
+variable ``i`` appears positively/negatively, exactly the
+:class:`~repro.cover.cube.Cube` convention — and answers the questions
+with plain integer arithmetic over whole covers.  ``Cube``/``Cover``
+(and ``Pseudocube``/``SppCover`` on the 2-SPP side) remain the public
+vocabulary, materialized only at API boundaries; in the hot loops they
+are thin views over these masks.
+
+The module-level ``mask_*`` primitives are the single-pair building
+blocks; every one of them is differentially pinned against the
+``Cube``/``Cover`` reference implementations and a BDD oracle in
+``tests/test_cover_algebra.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.cover.cover import Cover
+from repro.cover.cube import Cube
+
+__all__ = [
+    "CoverAlgebra",
+    "mask_consensus",
+    "mask_contains",
+    "mask_distance",
+    "mask_intersects",
+    "mask_sharp",
+    "mask_supercube",
+]
+
+
+# ---------------------------------------------------------------------------
+# Single-pair mask primitives
+# ---------------------------------------------------------------------------
+
+
+def mask_contains(a_pos: int, a_neg: int, b_pos: int, b_neg: int) -> bool:
+    """True iff cube ``a`` contains cube ``b`` (every literal of ``a`` in ``b``)."""
+    return not ((a_pos & ~b_pos) | (a_neg & ~b_neg))
+
+
+def mask_intersects(a_pos: int, a_neg: int, b_pos: int, b_neg: int) -> bool:
+    """True iff the cubes share at least one minterm (no conflicting literal)."""
+    return not ((a_pos & b_neg) | (a_neg & b_pos))
+
+
+def mask_distance(a_pos: int, a_neg: int, b_pos: int, b_neg: int) -> int:
+    """Number of variables on which the cubes hold conflicting literals."""
+    return ((a_pos & b_neg) | (a_neg & b_pos)).bit_count()
+
+
+def mask_supercube(
+    a_pos: int, a_neg: int, b_pos: int, b_neg: int
+) -> tuple[int, int]:
+    """Smallest cube containing both (literal-wise intersection)."""
+    return a_pos & b_pos, a_neg & b_neg
+
+
+def mask_consensus(
+    a_pos: int, a_neg: int, b_pos: int, b_neg: int
+) -> tuple[int, int] | None:
+    """Consensus term when the distance is exactly 1, else ``None``."""
+    conflict = (a_pos & b_neg) | (a_neg & b_pos)
+    if conflict.bit_count() != 1:
+        return None
+    return (a_pos | b_pos) & ~conflict, (a_neg | b_neg) & ~conflict
+
+
+def mask_sharp(
+    a_pos: int, a_neg: int, b_pos: int, b_neg: int
+) -> list[tuple[int, int]]:
+    """Cubes covering ``a ∧ ¬b`` (the non-disjoint sharp ``a # b``).
+
+    One term ``a ∧ ¬l`` per literal ``l`` of ``b`` that ``a`` leaves
+    free; positive literals of ``b`` first (ascending variable), then
+    negative ones.  When the cubes are disjoint the result is ``[a]``.
+    """
+    if (a_pos & b_neg) | (a_neg & b_pos):
+        return [(a_pos, a_neg)]
+    out: list[tuple[int, int]] = []
+    free_pos = b_pos & ~a_pos
+    while free_pos:
+        bit = free_pos & -free_pos
+        free_pos ^= bit
+        out.append((a_pos, a_neg | bit))
+    free_neg = b_neg & ~a_neg
+    while free_neg:
+        bit = free_neg & -free_neg
+        free_neg ^= bit
+        out.append((a_pos | bit, a_neg))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Whole-cover algebra
+# ---------------------------------------------------------------------------
+
+
+class CoverAlgebra:
+    """A cover as parallel arrays of packed ``(pos, neg)`` literal masks.
+
+    Mutable (``append``) during construction inside minimizer loops;
+    treat instances handed across function boundaries as frozen.
+    """
+
+    __slots__ = ("n_vars", "pos", "neg")
+
+    def __init__(
+        self,
+        n_vars: int,
+        pos: Iterable[int] = (),
+        neg: Iterable[int] = (),
+    ) -> None:
+        self.n_vars = n_vars
+        self.pos: list[int] = list(pos)
+        self.neg: list[int] = list(neg)
+        if len(self.pos) != len(self.neg):
+            raise ValueError("pos and neg arrays must align")
+
+    # -- constructors / views ---------------------------------------------
+    @classmethod
+    def from_cover(cls, cover: Cover) -> "CoverAlgebra":
+        return cls(
+            cover.n_vars,
+            [cube.pos for cube in cover.cubes],
+            [cube.neg for cube in cover.cubes],
+        )
+
+    @classmethod
+    def from_masks(
+        cls, n_vars: int, masks: Iterable[tuple[int, int]]
+    ) -> "CoverAlgebra":
+        out = cls(n_vars)
+        for pos, neg in masks:
+            out.pos.append(pos)
+            out.neg.append(neg)
+        return out
+
+    @classmethod
+    def from_isop(
+        cls, n_vars: int, cube_dicts: list[dict[str, bool]], names
+    ) -> "CoverAlgebra":
+        """Build straight from :func:`repro.bdd.ops.isop` output."""
+        index = {name: position for position, name in enumerate(names)}
+        out = cls(n_vars)
+        for entry in cube_dicts:
+            pos = neg = 0
+            for name, value in entry.items():
+                bit = 1 << index[name]
+                if value:
+                    pos |= bit
+                else:
+                    neg |= bit
+            out.pos.append(pos)
+            out.neg.append(neg)
+        return out
+
+    def to_cover(self) -> Cover:
+        """Materialize ``Cube`` views (the API boundary, not the hot loop)."""
+        return Cover(
+            self.n_vars,
+            [
+                Cube(self.n_vars, pos, neg)
+                for pos, neg in zip(self.pos, self.neg)
+            ],
+        )
+
+    def copy(self) -> "CoverAlgebra":
+        return CoverAlgebra(self.n_vars, self.pos, self.neg)
+
+    # -- container behaviour ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self.pos)
+
+    def append(self, pos: int, neg: int) -> None:
+        self.pos.append(pos)
+        self.neg.append(neg)
+
+    def masks(self) -> Iterator[tuple[int, int]]:
+        return zip(self.pos, self.neg)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverAlgebra({len(self.pos)} cubes,"
+            f" {self.literal_count()} literals)"
+        )
+
+    # -- measures ----------------------------------------------------------
+    def literal_counts(self) -> list[int]:
+        """Per-cube literal counts, one popcount per cube."""
+        return [
+            (pos | neg).bit_count() for pos, neg in zip(self.pos, self.neg)
+        ]
+
+    def literal_count(self) -> int:
+        return sum(self.literal_counts())
+
+    def cube_count(self) -> int:
+        return len(self.pos)
+
+    # -- vectorized tests over the whole cover ------------------------------
+    def has_tautology(self) -> bool:
+        """Single-cube tautology test: some cube binds no variable."""
+        return any(
+            not (pos | neg) for pos, neg in zip(self.pos, self.neg)
+        )
+
+    def any_superset_of(self, pos: int, neg: int) -> bool:
+        """True iff some cube of the cover contains the cube ``(pos, neg)``."""
+        for a_pos, a_neg in zip(self.pos, self.neg):
+            if not ((a_pos & ~pos) | (a_neg & ~neg)):
+                return True
+        return False
+
+    def supersets_of(self, pos: int, neg: int) -> list[int]:
+        """Indices of cubes containing the cube ``(pos, neg)``."""
+        return [
+            index
+            for index, (a_pos, a_neg) in enumerate(zip(self.pos, self.neg))
+            if not ((a_pos & ~pos) | (a_neg & ~neg))
+        ]
+
+    def subsets_of(self, pos: int, neg: int) -> list[int]:
+        """Indices of cubes contained in the cube ``(pos, neg)``."""
+        return [
+            index
+            for index, (a_pos, a_neg) in enumerate(zip(self.pos, self.neg))
+            if not ((pos & ~a_pos) | (neg & ~a_neg))
+        ]
+
+    def intersecting(self, pos: int, neg: int) -> list[int]:
+        """Indices of cubes sharing at least one minterm with ``(pos, neg)``."""
+        return [
+            index
+            for index, (a_pos, a_neg) in enumerate(zip(self.pos, self.neg))
+            if not ((a_pos & neg) | (a_neg & pos))
+        ]
+
+    def distances_to(self, pos: int, neg: int) -> list[int]:
+        """Per-cube literal-conflict distances to the cube ``(pos, neg)``."""
+        return [
+            ((a_pos & neg) | (a_neg & pos)).bit_count()
+            for a_pos, a_neg in zip(self.pos, self.neg)
+        ]
+
+    def consensus_with(self, pos: int, neg: int) -> list[tuple[int, int]]:
+        """Consensus terms of each distance-1 cube with ``(pos, neg)``."""
+        out: list[tuple[int, int]] = []
+        for a_pos, a_neg in zip(self.pos, self.neg):
+            conflict = (a_pos & neg) | (a_neg & pos)
+            if conflict.bit_count() == 1:
+                out.append(
+                    (
+                        (a_pos | pos) & ~conflict,
+                        (a_neg | neg) & ~conflict,
+                    )
+                )
+        return out
+
+    def sharp_with(self, pos: int, neg: int) -> "CoverAlgebra":
+        """The cover with cube ``(pos, neg)`` sharped out of every cube."""
+        out = CoverAlgebra(self.n_vars)
+        for a_pos, a_neg in zip(self.pos, self.neg):
+            for s_pos, s_neg in mask_sharp(a_pos, a_neg, pos, neg):
+                out.pos.append(s_pos)
+                out.neg.append(s_neg)
+        return out
+
+    def supercube(self) -> tuple[int, int] | None:
+        """Smallest cube containing the whole cover (``None`` if empty)."""
+        if not self.pos:
+            return None
+        pos = neg = -1
+        for a_pos, a_neg in zip(self.pos, self.neg):
+            pos &= a_pos
+            neg &= a_neg
+        return pos, neg
+
+    # -- structural cleanups -------------------------------------------------
+    def single_cube_containment(self) -> "CoverAlgebra":
+        """Drop cubes contained in a single other cube.
+
+        Exact mask-native counterpart of
+        :meth:`repro.cover.cover.Cover.single_cube_containment`: stable
+        ascending-literal-count order, keep a cube unless an already-kept
+        cube contains it.
+        """
+        order = sorted(
+            range(len(self.pos)),
+            key=lambda i: (self.pos[i] | self.neg[i]).bit_count(),
+        )
+        kept_pos: list[int] = []
+        kept_neg: list[int] = []
+        for index in order:
+            pos, neg = self.pos[index], self.neg[index]
+            contained = False
+            for k_pos, k_neg in zip(kept_pos, kept_neg):
+                if not ((k_pos & ~pos) | (k_neg & ~neg)):
+                    contained = True
+                    break
+            if not contained:
+                kept_pos.append(pos)
+                kept_neg.append(neg)
+        return CoverAlgebra(self.n_vars, kept_pos, kept_neg)
+
+    def deduplicated(self) -> "CoverAlgebra":
+        """Drop exact duplicate cubes, keeping first occurrences in order."""
+        seen: set[tuple[int, int]] = set()
+        out = CoverAlgebra(self.n_vars)
+        for pos, neg in zip(self.pos, self.neg):
+            key = (pos, neg)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.pos.append(pos)
+            out.neg.append(neg)
+        return out

@@ -105,6 +105,7 @@ class Decomposer:
         backend: str = "auto",
         bitset_support: int = DEFAULT_BITSET_SUPPORT,
         bitset_max_vars: int = DEFAULT_BITSET_MAX_VARS,
+        reorder_threshold: int | None = None,
     ) -> None:
         self.default_approximator = approximator
         self.default_minimizer = minimizer
@@ -120,6 +121,11 @@ class Decomposer:
         self.backend = backend
         self.bitset_support = bitset_support
         self.bitset_max_vars = bitset_max_vars
+        #: When set, :meth:`decompose_many` follows any auto-gc sweep
+        #: that leaves more than this many live nodes with a sifting
+        #: reorder of the shared manager (results are unaffected — only
+        #: peak memory; see :meth:`repro.bdd.manager.BDD.reorder`).
+        self.reorder_threshold = reorder_threshold
         self._divisor_cache: dict[tuple, Divisor] = {}
         self._cover_cache: dict[tuple, object] = {}
         #: One shadow manager per (backend, variable slice): converted
@@ -322,6 +328,7 @@ class Decomposer:
         jobs: int = 1,
         cache: "ResultCache | str | None" = None,
         gc_threshold: int | None = 500_000,
+        reorder_threshold: int | None = None,
         executor: "object | None" = None,
     ) -> list[DecomposeResult]:
         """Decompose a batch of functions over one shared BDD manager.
@@ -350,6 +357,12 @@ class Decomposer:
         nodes unreachable from live handles (results computed so far,
         pending inputs, and engine memos all hold handles, so reclaim
         never changes results — only memory).  ``None`` disables it.
+        ``reorder_threshold`` (default: the engine's
+        ``reorder_threshold``) escalates a sweep that still leaves more
+        live nodes than the threshold to a sifting reorder of the shared
+        manager — a stronger memory lever with the same no-observable-
+        effect guarantee (covers, networks, serialized payloads, and
+        cache keys are all declaration-order-normalized).
 
         ``backend`` overrides the engine default per batch; dispatch is
         still **per item** (``"auto"`` sends each function to the
@@ -448,6 +461,11 @@ class Decomposer:
             pending.append(index)
 
         backend_spec = backend if backend is not None else self.backend
+        reorder_spec = (
+            reorder_threshold
+            if reorder_threshold is not None
+            else self.reorder_threshold
+        )
         if pending and parallel_dispatch:
             from repro.engine.parallel import make_work_item, run_parallel
 
@@ -461,6 +479,7 @@ class Decomposer:
                     verify_flag,
                     operator_names,
                     backend=backend_spec,
+                    reorder_threshold=reorder_spec,
                 )
                 for index in pending
             ]
@@ -482,6 +501,7 @@ class Decomposer:
             # sweep after every request while reclaiming nothing.  After
             # each collection, back off to twice the surviving size.
             effective_threshold = gc_threshold
+            effective_reorder = reorder_spec
             for index in pending:
                 label, isf, original_n_vars = batch[index]
                 result = self.decompose(
@@ -513,6 +533,24 @@ class Decomposer:
                             shadow.node_count()
                             for shadow in self._shadow_managers.values()
                         )
+                        if (
+                            effective_reorder is not None
+                            and live > effective_reorder
+                        ):
+                            # Collection alone did not get under the
+                            # reorder bound — sift the live managers.
+                            # Reorder is observable only through peak
+                            # node counts: every result, dump, and
+                            # cache key is declaration-order-normalized.
+                            shared.reorder()
+                            for shadow in self._shadow_managers.values():
+                                sift = getattr(shadow, "reorder", None)
+                                if sift is not None:
+                                    sift()
+                            live = shared.node_count() + sum(
+                                shadow.node_count()
+                                for shadow in self._shadow_managers.values()
+                            )
                         effective_threshold = max(effective_threshold, 2 * live)
         return results
 

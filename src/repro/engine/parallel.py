@@ -38,6 +38,7 @@ def make_work_item(
     verify: bool,
     operators: tuple[str, ...],
     backend: str = "auto",
+    reorder_threshold: int | None = None,
 ) -> dict:
     """Bundle one request as a picklable work item.
 
@@ -47,6 +48,9 @@ def make_work_item(
     ``"auto"`` against the rebuilt function — same function, same
     support, same decision — so per-item dispatch survives the process
     boundary (and cannot change the result either way).
+    ``reorder_threshold`` forwards the parent's reorder policy so warm
+    workers (the service fleet) bound their managers the same way; it
+    never affects results, only worker memory.
     """
     return {
         "name": name,
@@ -57,6 +61,7 @@ def make_work_item(
         "verify": verify,
         "operators": list(operators),
         "backend": backend,
+        "reorder_threshold": reorder_threshold,
     }
 
 
@@ -73,6 +78,7 @@ def engine_spec_key(item: dict) -> tuple:
         tuple(item["operators"]),
         bool(item["verify"]),
         item.get("backend", "auto"),
+        item.get("reorder_threshold"),
     )
 
 
@@ -86,6 +92,7 @@ def build_engine(item: dict):
         operators=item["operators"],
         verify=item["verify"],
         backend=item.get("backend", "auto"),
+        reorder_threshold=item.get("reorder_threshold"),
     )
 
 

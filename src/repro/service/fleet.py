@@ -139,12 +139,29 @@ def _worker_stats() -> dict:
 
 
 def _maybe_refresh() -> None:
-    """Drop all warm state once the node tables outgrow ``NODE_LIMIT``.
+    """Bound the warm node tables: gc + reorder first, drop as last resort.
 
-    Engines and synthesizers hold memo entries rooted in the warm
-    managers, so managers and consumers are dropped *together* — a memo
-    outliving its manager would pin the whole table in memory.
+    Once the combined live-node count outgrows ``NODE_LIMIT`` the warm
+    managers are first collected and sifted in place
+    (:meth:`repro.bdd.manager.BDD.gc` then
+    :meth:`~repro.bdd.manager.BDD.reorder` — neither is observable in
+    results, dumps, or cache keys).  Only if the total *still* exceeds
+    the limit is all warm state dropped.  Engines and synthesizers hold
+    memo entries rooted in the warm managers, so managers and consumers
+    are dropped *together* — a memo outliving its manager would pin the
+    whole table in memory.
     """
+    total = sum(mgr.node_count() for mgr in _WARM["managers"].values())
+    total += sum(
+        inst.mgr.node_count() for inst in _WARM["instances"].values()
+    )
+    if total <= NODE_LIMIT:
+        return
+    for mgr in _WARM["managers"].values():
+        mgr.gc()
+        sift = getattr(mgr, "reorder", None)
+        if sift is not None:
+            sift()
     total = sum(mgr.node_count() for mgr in _WARM["managers"].values())
     total += sum(
         inst.mgr.node_count() for inst in _WARM["instances"].values()

@@ -15,6 +15,16 @@ Two engines, dispatched by :func:`minimize_spp`:
   ``x1 x3' x4 + x1 x3 x4' = x1 (x3 ^ x4)`` — (b) expand factors against
   the off-set, and (c) remove redundant pseudoproducts, until the cost
   stops improving.
+
+The heuristic inner loops run mask-natively on ``(pos, neg, xors)``
+triples (see :mod:`repro.cover.algebra` for the SOP-side counterpart):
+merge scans, expansion candidates and irredundancy items are plain
+tuples, and :class:`~repro.spp.pseudocube.Pseudocube` /
+:class:`~repro.spp.spp_cover.SppCover` objects materialize only at the
+API boundaries.  The original pseudocube-object passes are retained
+(``algebra=False``) as the reference implementation for the
+differential tests and the on/off ablation benchmark; both paths issue
+the identical oracle-call sequence and produce byte-identical covers.
 """
 
 from __future__ import annotations
@@ -22,13 +32,229 @@ from __future__ import annotations
 from repro.bdd.manager import BDD, Function
 from repro.boolfunc.isf import ISF
 from repro.cover.cover import Cover
-from repro.spp.pseudocube import Pseudocube, XorFactor
+from repro.spp.pseudocube import Pseudocube, XorFactor, make_xor_factor
 from repro.spp.spp_cover import SppCover
 from repro.twolevel.chains import ChainMemo, irredundant_sweep
 from repro.twolevel.covering import CoveringProblem, solve_covering
 from repro.twolevel.espresso import espresso_minimize
 from repro.cover.cube import Cube
 from repro.utils.bitops import bit_indices
+
+#: A pseudoproduct in the mask-native loops: ``(pos, neg, xors)`` with
+#: the same conventions as :class:`Pseudocube` attributes.
+_NO_XORS: frozenset[XorFactor] = frozenset()
+
+
+def _triple_of(pc: Pseudocube) -> tuple[int, int, frozenset[XorFactor]]:
+    return (pc.pos, pc.neg, pc.xors)
+
+
+def _triple_literal_count(triple: tuple) -> int:
+    pos, neg, xors = triple
+    return (pos | neg).bit_count() + 2 * len(xors)
+
+
+# ---------------------------------------------------------------------------
+# Mask-native passes (primary path)
+# ---------------------------------------------------------------------------
+
+
+def _try_merge_masks(a: tuple, b: tuple) -> tuple | None:
+    """Merge two pseudocube triples if their union is again a pseudocube.
+
+    Mask-native counterpart of :func:`_try_merge`; no ``Pseudocube`` is
+    built for rejected pairs (the overwhelming majority of the O(n²)
+    scan in :func:`_merge_fixpoint_masks`).
+    """
+    a_pos, a_neg, a_xors = a
+    b_pos, b_neg, b_xors = b
+    if a_xors == b_xors:
+        if (a_pos | a_neg) != (b_pos | b_neg):
+            return None
+        conflict = (a_pos & b_neg) | (a_neg & b_pos)
+        agree = (a_pos ^ b_pos) | (a_neg ^ b_neg)
+        if agree != conflict:
+            return None  # same bound set but inconsistent literal patterns
+        count = conflict.bit_count()
+        if count == 1:
+            # Classic distance-1 merge: drop the conflicting literal.
+            return (a_pos & ~conflict, a_neg & ~conflict, a_xors)
+        if count == 2:
+            # Opposite polarities on two variables: forms an XOR factor.
+            low = conflict & -conflict
+            high = conflict ^ low
+            var_a = low.bit_length() - 1
+            var_b = high.bit_length() - 1
+            value_a = 1 if a_pos & low else 0
+            value_b = 1 if a_pos & high else 0
+            factor = make_xor_factor(var_a, var_b, value_a ^ value_b)
+            return (
+                a_pos & ~conflict,
+                a_neg & ~conflict,
+                a_xors | {factor},
+            )
+        return None
+    if a_pos == b_pos and a_neg == b_neg:
+        difference = a_xors ^ b_xors
+        if len(difference) == 2:
+            first, second = sorted(difference)
+            if (
+                first.i == second.i
+                and first.j == second.j
+                and first.phase != second.phase
+            ):
+                # Both phases of the same XOR pair: the factor cancels.
+                own = first if first in a_xors else second
+                return (a_pos, a_neg, a_xors - {own})
+    return None
+
+
+def _merge_fixpoint_masks(triples: list[tuple]) -> list[tuple]:
+    """Apply pairwise merges until none applies (mask-native)."""
+    pseudocubes = list(dict.fromkeys(triples))
+    merged = True
+    while merged:
+        merged = False
+        count = len(pseudocubes)
+        for index_a in range(count):
+            if merged:
+                break
+            for index_b in range(index_a + 1, count):
+                union = _try_merge_masks(
+                    pseudocubes[index_a], pseudocubes[index_b]
+                )
+                if union is not None:
+                    rest = [
+                        triple
+                        for position, triple in enumerate(pseudocubes)
+                        if position not in (index_a, index_b)
+                    ]
+                    rest.append(union)
+                    pseudocubes = list(dict.fromkeys(rest))
+                    merged = True
+                    break
+    return pseudocubes
+
+
+def _spp_expand_masks(
+    triples: list[tuple],
+    off: Function,
+    mgr: BDD,
+    memo: "ExpandMemo | None" = None,
+) -> list[tuple]:
+    """Expand each pseudoproduct triple against the off-set.
+
+    Same move order and memo discipline as the reference
+    :func:`_spp_expand` — factor drops first, then literal-pair
+    weakenings — but candidates live and die as plain masks; nothing is
+    allocated on rejection and no ``Pseudocube`` is built at all.
+    """
+    if memo is None:
+        def region_ok(pos: int, neg: int, xors: frozenset) -> bool:
+            return mgr.spp_product(pos, neg, xors).disjoint(off)
+
+        dead_ends = None
+    else:
+        accept_memo = memo.accept
+        dead_ends = memo.dead_ends
+
+        def region_ok(pos: int, neg: int, xors: frozenset) -> bool:
+            key = (pos, neg, xors)
+            verdict = accept_memo.get(key)
+            if verdict is None:
+                verdict = mgr.spp_product(pos, neg, xors).disjoint(off)
+                accept_memo[key] = verdict
+            return verdict
+
+    expanded: list[tuple] = []
+    order = sorted(triples, key=lambda t: -_triple_literal_count(t))
+    for triple in order:
+        if dead_ends is not None and triple in dead_ends:
+            expanded.append(triple)
+            continue
+        current = triple
+        changed = True
+        while changed:
+            changed = False
+            pos, neg, xors = current
+            for var in bit_indices(pos):
+                bit = 1 << var
+                if region_ok(pos & ~bit, neg | bit, xors):
+                    current = (pos & ~bit, neg & ~bit, xors)
+                    changed = True
+                    break
+            if changed:
+                continue
+            for var in bit_indices(neg):
+                bit = 1 << var
+                if region_ok(pos | bit, neg & ~bit, xors):
+                    current = (pos & ~bit, neg & ~bit, xors)
+                    changed = True
+                    break
+            if changed:
+                continue
+            for factor in sorted(xors):
+                flipped = (xors - {factor}) | {
+                    XorFactor(factor.i, factor.j, factor.phase ^ 1)
+                }
+                if region_ok(pos, neg, frozenset(flipped)):
+                    current = (pos, neg, xors - {factor})
+                    changed = True
+                    break
+            if changed:
+                continue
+            # Same order as the factors() literal walk: positive
+            # literals by ascending variable, then negative ones.
+            literal_vars = list(bit_indices(pos)) + list(bit_indices(neg))
+            for position, var_a in enumerate(literal_vars):
+                for var_b in literal_vars[position + 1 :]:
+                    bit_a, bit_b = 1 << var_a, 1 << var_b
+                    pair = bit_a | bit_b
+                    flipped_pos = (pos & ~pair) | (neg & pair)
+                    flipped_neg = (neg & ~pair) | (pos & pair)
+                    if region_ok(flipped_pos, flipped_neg, xors):
+                        value_a = 1 if pos & bit_a else 0
+                        value_b = 1 if pos & bit_b else 0
+                        factor = make_xor_factor(
+                            var_a, var_b, value_a ^ value_b
+                        )
+                        current = (
+                            pos & ~pair,
+                            neg & ~pair,
+                            xors | {factor},
+                        )
+                        changed = True
+                        break
+                if changed:
+                    break
+        if dead_ends is not None:
+            # The loop exits only after a full scan of ``current`` found
+            # nothing acceptable: ``current`` is a dead end for this off.
+            dead_ends.add(current)
+        expanded.append(current)
+    return list(dict.fromkeys(expanded))
+
+
+def _spp_irredundant_masks(
+    triples: list[tuple],
+    dc: Function,
+    mgr: BDD,
+    memo: ChainMemo | None = None,
+) -> list[tuple]:
+    """Irredundancy sweep over triples (items stay plain tuples)."""
+    if not triples:
+        return triples
+    return irredundant_sweep(
+        triples,
+        lambda triple: mgr.spp_product(triple[0], triple[1], triple[2]),
+        dc,
+        memo,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pseudocube-object passes (reference implementation; ablation baseline)
+# ---------------------------------------------------------------------------
 
 
 def _try_merge(first: Pseudocube, second: Pseudocube) -> Pseudocube | None:
@@ -69,7 +295,7 @@ def _try_merge(first: Pseudocube, second: Pseudocube) -> Pseudocube | None:
 
 
 def _merge_fixpoint(cover: SppCover) -> SppCover:
-    """Apply pairwise merges until none applies."""
+    """Apply pairwise merges until none applies (reference path)."""
     pseudocubes = list(dict.fromkeys(cover.pseudocubes))
     merged = True
     while merged:
@@ -99,7 +325,7 @@ def _spp_expand(
     mgr: BDD,
     memo: "ExpandMemo | None" = None,
 ) -> SppCover:
-    """Expand each pseudoproduct against the off-set.
+    """Expand each pseudoproduct against the off-set (reference path).
 
     Tries factor drops first (literal win of 1 or 2), then literal-pair
     weakenings (no literal change, doubles coverage — enabling later
@@ -116,13 +342,6 @@ def _spp_expand(
     ``(pseudocube, off)`` and ``off`` is fixed for the whole
     minimization, so memoization cannot change the result.
     """
-    # Every expansion move doubles a pseudocube's region: the candidate
-    # covers ``current ∪ flipped`` where ``flipped`` complements the
-    # touched literal(s) or XOR phase.  ``current`` is off-disjoint by
-    # the cover invariant, so *candidate ∩ off = flipped ∩ off* — the
-    # scan tests the flipped region directly and only materializes a
-    # candidate pseudocube on acceptance (rejections, the overwhelming
-    # majority on wide functions, allocate nothing).
     if memo is None:
         def region_ok(pos: int, neg: int, xors: frozenset) -> bool:
             return mgr.spp_product(pos, neg, xors).disjoint(off)
@@ -193,7 +412,11 @@ def _spp_expand(
 
 
 class ExpandMemo:
-    """Cross-restart memo for :func:`_spp_expand` (one off-set)."""
+    """Cross-restart memo for the expansion passes (one off-set).
+
+    Keys are ``(pos, neg, xors)`` triples on both the mask-native and
+    the reference path, so a memo is freely shared between them.
+    """
 
     __slots__ = ("accept", "dead_ends")
 
@@ -210,7 +433,7 @@ def _spp_irredundant(
     mgr: BDD,
     memo: ChainMemo | None = None,
 ) -> SppCover:
-    """Single irredundancy sweep with prefix/suffix unions.
+    """Single irredundancy sweep with prefix/suffix unions (reference).
 
     ``memo`` interns the prefix/suffix OR chains across the restart
     rounds of :func:`minimize_spp_heuristic` (see
@@ -228,7 +451,14 @@ def _spp_irredundant(
 
 def sop_to_spp(cover: Cover) -> SppCover:
     """Lift an SOP cover and apply the merge fixpoint (no oracle needed)."""
-    return _merge_fixpoint(SppCover.from_cover(cover))
+    triples = [(cube.pos, cube.neg, _NO_XORS) for cube in cover.cubes]
+    return SppCover(
+        cover.n_vars,
+        [
+            Pseudocube(cover.n_vars, pos, neg, xors)
+            for pos, neg, xors in _merge_fixpoint_masks(triples)
+        ],
+    )
 
 
 def minimize_spp_heuristic(
@@ -236,12 +466,16 @@ def minimize_spp_heuristic(
     initial: Cover | SppCover | None = None,
     max_iterations: int = 6,
     memoize_expansion: bool = True,
+    algebra: bool = True,
 ) -> SppCover:
     """Heuristic 2-SPP minimization (benchmark-scale workhorse).
 
     ``memoize_expansion`` shares candidate off-set verdicts across the
-    expansion restarts (see :func:`_spp_expand`); disabling it exists
-    only so the ablation benchmark can measure the win.
+    expansion restarts (see :func:`_spp_expand_masks`); disabling it
+    exists only so the ablation benchmark can measure the win.
+    ``algebra=False`` routes through the pseudocube-object reference
+    passes — same oracle calls, same cover — for the differential tests
+    and the on/off ablation benchmark.
     """
     mgr = isf.mgr
     on, dc, off = isf.on, isf.dc, isf.off
@@ -250,8 +484,65 @@ def minimize_spp_heuristic(
     if off.is_false:
         return SppCover(mgr.n_vars, [Pseudocube.tautology(mgr.n_vars)])
 
+    if not algebra:
+        return _minimize_spp_heuristic_pc(
+            isf, initial, max_iterations, memoize_expansion
+        )
+
     if initial is None:
-        spp = SppCover.from_cover(espresso_minimize(isf))
+        base = espresso_minimize(isf)
+        triples = [(cube.pos, cube.neg, _NO_XORS) for cube in base.cubes]
+    elif isinstance(initial, Cover):
+        triples = [(cube.pos, cube.neg, _NO_XORS) for cube in initial.cubes]
+    else:
+        triples = [_triple_of(pc) for pc in initial.pseudocubes]
+
+    n_vars = mgr.n_vars
+    triples = _merge_fixpoint_masks(triples)
+    chains = ChainMemo()
+    triples = _spp_irredundant_masks(triples, dc, mgr, chains)
+    best = triples
+    best_cost = _triples_cost(triples)
+    memo = ExpandMemo() if memoize_expansion else None
+    for _iteration in range(max_iterations):
+        triples = _spp_expand_masks(triples, off, mgr, memo)
+        triples = _merge_fixpoint_masks(triples)
+        triples = _spp_irredundant_masks(triples, dc, mgr, chains)
+        cost = _triples_cost(triples)
+        if cost < best_cost:
+            best, best_cost = triples, cost
+        else:
+            break
+
+    result = SppCover(
+        n_vars,
+        [Pseudocube(n_vars, pos, neg, xors) for pos, neg, xors in best],
+    )
+    realized = result.to_function(mgr)
+    if not (on <= realized and realized <= isf.upper):
+        raise AssertionError("2-SPP synthesis produced an invalid cover")
+    return result
+
+
+def _triples_cost(triples: list[tuple]) -> tuple[int, int]:
+    """Lexicographic ``(pseudoproducts, literals)`` cost of triples."""
+    return (
+        len(triples),
+        sum(_triple_literal_count(triple) for triple in triples),
+    )
+
+
+def _minimize_spp_heuristic_pc(
+    isf: ISF,
+    initial: Cover | SppCover | None,
+    max_iterations: int,
+    memoize_expansion: bool,
+) -> SppCover:
+    """The pre-algebra loop, pseudocube objects throughout (reference)."""
+    mgr = isf.mgr
+    on, dc, off = isf.on, isf.dc, isf.off
+    if initial is None:
+        spp = SppCover.from_cover(espresso_minimize(isf, algebra=False))
     elif isinstance(initial, Cover):
         spp = SppCover.from_cover(initial)
     else:

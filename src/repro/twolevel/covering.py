@@ -7,7 +7,12 @@ candidate implicants with costs.
 The solver applies the classic reductions — essential columns, row
 dominance, column dominance — and then branches on the row with the
 fewest covering columns, using a maximal-independent-set lower bound for
-pruning.
+pruning.  Internally row sets are packed integer bitmasks (bit ``r`` =
+row ``r``): subset tests, intersections and cardinalities in the
+reduction loops are single ``&``/``|``/``bit_count`` operations instead
+of per-element ``set`` traffic.  The public :class:`CoveringProblem`
+still speaks ``frozenset`` columns; :meth:`CoveringProblem.from_masks`
+is the zero-conversion entry for mask-native callers.
 
 :func:`probe_interval_cubes` is the planning-side companion: a bounded
 first-k probe of an interval's ISOP cover size, built on the lazy
@@ -17,8 +22,10 @@ first-k probe of an interval's ISOP cover size, built on the lazy
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import islice
+
+from repro.utils.bitops import bit_indices
 
 
 def probe_interval_cubes(lower, upper, limit: int) -> int:
@@ -48,17 +55,43 @@ class CoveringProblem:
 
     ``columns[j]`` is the set of row indices column ``j`` covers;
     ``costs[j]`` its positive cost.  Rows are ``range(n_rows)``.
+    ``column_masks`` carries the same columns as packed row bitmasks —
+    derived automatically, or supplied directly via :meth:`from_masks`.
     """
 
     n_rows: int
     columns: list[frozenset[int]]
     costs: list[float]
+    column_masks: list[int] = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if len(self.columns) != len(self.costs):
             raise ValueError("columns and costs must align")
         if any(cost <= 0 for cost in self.costs):
             raise ValueError("costs must be positive")
+        if self.column_masks is None:
+            self.column_masks = [
+                _rows_to_mask(rows) for rows in self.columns
+            ]
+        elif len(self.column_masks) != len(self.costs):
+            raise ValueError("column_masks and costs must align")
+
+    @classmethod
+    def from_masks(
+        cls, n_rows: int, column_masks: list[int], costs: list[float]
+    ) -> "CoveringProblem":
+        """Build from packed row bitmasks without intermediate sets."""
+        columns = [
+            frozenset(bit_indices(mask)) for mask in column_masks
+        ]
+        return cls(n_rows, columns, costs, column_masks=list(column_masks))
+
+
+def _rows_to_mask(rows) -> int:
+    mask = 0
+    for row in rows:
+        mask |= 1 << row
+    return mask
 
 
 def solve_covering(
@@ -69,48 +102,56 @@ def solve_covering(
     Raises ``ValueError`` if some row cannot be covered.  ``max_nodes``
     bounds the branch-and-bound search; if exhausted, the best solution
     found so far is returned (still a valid cover), making the solver
-    usable as an any-time heuristic on large instances.
+    usable as an any-time heuristic on large instances.  Ties (equal
+    cardinality, equal cost) break toward the lowest row/column index,
+    so results are reproducible across runs and machines.
     """
-    column_rows = [set(rows) for rows in problem.columns]
+    column_rows = problem.column_masks
     costs = problem.costs
-    all_rows = set(range(problem.n_rows))
-    coverable = set().union(*column_rows) if column_rows else set()
-    if all_rows - coverable:
-        raise ValueError(f"rows {sorted(all_rows - coverable)} cannot be covered")
+    all_rows = (1 << problem.n_rows) - 1
+    coverable = 0
+    for mask in column_rows:
+        coverable |= mask
+    if all_rows & ~coverable:
+        raise ValueError(
+            f"rows {list(bit_indices(all_rows & ~coverable))} cannot be covered"
+        )
 
     best_solution: list[int] | None = None
     best_cost = float("inf")
     nodes_visited = 0
 
-    def row_to_columns(rows: set[int], active: list[int]) -> dict[int, list[int]]:
-        table: dict[int, list[int]] = {row: [] for row in rows}
+    def row_to_columns(rows: int, active: list[int]) -> dict[int, list[int]]:
+        table: dict[int, list[int]] = {row: [] for row in bit_indices(rows)}
         for j in active:
-            for row in column_rows[j] & rows:
+            for row in bit_indices(column_rows[j] & rows):
                 table[row].append(j)
         return table
 
-    def lower_bound(rows: set[int], active: list[int]) -> float:
+    def lower_bound(rows: int, active: list[int]) -> float:
         """Greedy maximal independent set of rows: sum of each row's
         cheapest covering column is a valid lower bound."""
-        remaining = set(rows)
+        remaining = rows
         table = row_to_columns(rows, active)
         bound = 0.0
         while remaining:
             # Pick the row whose covering columns are fewest (hardest row).
-            row = min(remaining, key=lambda r: len(table[r]))
+            row = min(
+                bit_indices(remaining), key=lambda r: len(table[r])
+            )
             cols = table[row]
             if not cols:
                 return float("inf")
             bound += min(costs[j] for j in cols)
             # Remove all rows sharing a column with `row` (not independent).
-            touched = set()
+            touched = 0
             for j in cols:
                 touched |= column_rows[j]
-            remaining -= touched
-            remaining.discard(row)
+            remaining &= ~touched
+            remaining &= ~(1 << row)
         return bound
 
-    def search(rows: set[int], active: list[int], chosen: list[int], cost: float) -> None:
+    def search(rows: int, active: list[int], chosen: list[int], cost: float) -> None:
         nonlocal best_solution, best_cost, nodes_visited
         nodes_visited += 1
         if nodes_visited > max_nodes:
@@ -124,7 +165,6 @@ def solve_covering(
             return
 
         # Reductions loop.
-        rows = set(rows)
         active = list(active)
         chosen = list(chosen)
         changed = True
@@ -139,7 +179,7 @@ def solve_covering(
                     j = cols[0]
                     chosen.append(j)
                     cost += costs[j]
-                    rows -= column_rows[j]
+                    rows &= ~column_rows[j]
                     active = [k for k in active if k != j]
                     changed = True
                     break
@@ -148,7 +188,8 @@ def solve_covering(
             # Column dominance: drop k if some j covers a superset at <= cost.
             pruned = []
             active_sorted = sorted(
-                active, key=lambda j: (-len(column_rows[j] & rows), costs[j])
+                active,
+                key=lambda j: (-(column_rows[j] & rows).bit_count(), costs[j]),
             )
             kept: list[int] = []
             for j in active_sorted:
@@ -157,7 +198,8 @@ def solve_covering(
                     pruned.append(j)
                     continue
                 dominated = any(
-                    j_rows <= (column_rows[k] & rows) and costs[k] <= costs[j]
+                    not (j_rows & ~(column_rows[k] & rows))
+                    and costs[k] <= costs[j]
                     for k in kept
                 )
                 if dominated:
@@ -177,13 +219,13 @@ def solve_covering(
 
         # Branch on the hardest row.
         table = row_to_columns(rows, active)
-        branch_row = min(rows, key=lambda r: len(table[r]))
+        branch_row = min(bit_indices(rows), key=lambda r: len(table[r]))
         candidates = sorted(table[branch_row], key=lambda j: costs[j])
         if not candidates:
             return
         for j in candidates:
             search(
-                rows - column_rows[j],
+                rows & ~column_rows[j],
                 [k for k in active if k != j],
                 chosen + [j],
                 cost + costs[j],
@@ -197,18 +239,18 @@ def solve_covering(
 
 
 def _greedy_cover(
-    rows: set[int], column_rows: list[set[int]], costs: list[float]
+    rows: int, column_rows: list[int], costs: list[float]
 ) -> list[int]:
-    remaining = set(rows)
+    remaining = rows
     chosen: list[int] = []
     while remaining:
         best_j = max(
             range(len(column_rows)),
-            key=lambda j: (len(column_rows[j] & remaining) / costs[j]),
+            key=lambda j: ((column_rows[j] & remaining).bit_count() / costs[j]),
         )
         gain = column_rows[best_j] & remaining
         if not gain:
             raise ValueError("greedy fallback stuck: uncoverable rows remain")
         chosen.append(best_j)
-        remaining -= gain
+        remaining &= ~gain
     return chosen

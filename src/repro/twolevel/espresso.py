@@ -6,6 +6,15 @@ by the rest of the cover plus the dc-set?") are answered exactly with BDD
 operations instead of unate recursion on covers.  This keeps the
 implementation compact and exactly correct while preserving espresso's
 cost behaviour (product count first, literal count second).
+
+The inner loops run on :class:`~repro.cover.algebra.CoverAlgebra` —
+parallel arrays of packed ``(pos, neg)`` literal masks — so no ``Cube``
+or ``Cover`` object is built per candidate; cubes materialize only at
+the :func:`espresso_minimize` API boundary.  The original cube-object
+passes are retained (``algebra=False``) as the reference implementation
+for the differential tests and the on/off ablation benchmark; both paths
+issue the identical oracle-call sequence and produce byte-identical
+covers.
 """
 
 from __future__ import annotations
@@ -13,14 +22,17 @@ from __future__ import annotations
 from repro.bdd.manager import BDD, Function
 from repro.bdd.ops import isop
 from repro.boolfunc.isf import ISF
+from repro.cover.algebra import CoverAlgebra
 from repro.cover.cover import Cover
 from repro.cover.cube import Cube
 from repro.twolevel.chains import ChainMemo, irredundant_sweep
 from repro.utils.bitops import bit_indices
 
 
-def supercube_of(function: Function, n_vars: int) -> Cube | None:
-    """Smallest cube containing a non-empty function (``None`` if empty)."""
+def supercube_masks_of(
+    function: Function, n_vars: int
+) -> tuple[int, int] | None:
+    """Masks of the smallest cube containing a function (``None`` if empty)."""
     if function.is_false:
         return None
     mgr = function.mgr
@@ -31,7 +43,15 @@ def supercube_of(function: Function, n_vars: int) -> Cube | None:
             pos |= 1 << var
         elif function <= ~literal:
             neg |= 1 << var
-    return Cube(n_vars, pos, neg)
+    return pos, neg
+
+
+def supercube_of(function: Function, n_vars: int) -> Cube | None:
+    """Smallest cube containing a non-empty function (``None`` if empty)."""
+    masks = supercube_masks_of(function, n_vars)
+    if masks is None:
+        return None
+    return Cube(n_vars, *masks)
 
 
 def initial_cover(isf: ISF) -> Cover:
@@ -41,30 +61,116 @@ def initial_cover(isf: ISF) -> Cover:
     return Cover.from_isop(mgr.n_vars, cubes, mgr.var_names)
 
 
-def _cover_cost(cover: Cover) -> tuple[int, int]:
+def _initial_algebra(isf: ISF) -> CoverAlgebra:
+    """Seed masks from the ISOP, with no intermediate ``Cube`` objects."""
+    cubes, _realized = isop(isf.on, isf.upper)
+    mgr = isf.mgr
+    return CoverAlgebra.from_isop(mgr.n_vars, cubes, mgr.var_names)
+
+
+def _cover_cost(cover: CoverAlgebra | Cover) -> tuple[int, int]:
     return cover.cube_count(), cover.literal_count()
 
 
-def _expand(cover: Cover, off: Function, mgr: BDD) -> Cover:
+# ---------------------------------------------------------------------------
+# Mask-native passes (primary path)
+# ---------------------------------------------------------------------------
+
+
+def _expand(cover: CoverAlgebra, off: Function, mgr: BDD) -> CoverAlgebra:
     """Expand each cube against the off-set, then drop contained cubes.
 
-    Literal-removal order: variables whose removal frees the most minterms
-    are tried first (higher chance of enabling later removals to still be
-    valid is symmetrical, so a simple fixed order with retry is used).
+    Most-specific cubes first (they gain the most from expansion);
+    within a cube, literals are retried in ascending variable order
+    until a full pass removes nothing.  Candidates are tested straight
+    from their masks — nothing is allocated on rejection.
     """
+    counts = cover.literal_counts()
+    order = sorted(range(len(cover)), key=lambda i: -counts[i])
+    expanded = CoverAlgebra(cover.n_vars)
+    for index in order:
+        pos, neg = cover.pos[index], cover.neg[index]
+        changed = True
+        while changed:
+            changed = False
+            free = pos | neg
+            while free:
+                bit = free & -free
+                free ^= bit
+                candidate_pos, candidate_neg = pos & ~bit, neg & ~bit
+                if mgr.product(candidate_pos, candidate_neg).disjoint(off):
+                    pos, neg = candidate_pos, candidate_neg
+                    changed = True
+        expanded.append(pos, neg)
+    return expanded.single_cube_containment()
+
+
+def _irredundant(
+    cover: CoverAlgebra,
+    dc: Function,
+    mgr: BDD,
+    memo: ChainMemo | None = None,
+) -> CoverAlgebra:
+    """Greedy irredundant pass (single sweep with prefix/suffix unions).
+
+    ``memo`` carries the interned OR chains across the restart rounds of
+    :func:`espresso_minimize` (see :mod:`repro.twolevel.chains`): a cube
+    whose prefix/suffix context is unchanged since the previous round is
+    re-judged by dictionary lookup instead of a rebuilt union.  Items
+    are plain ``(pos, neg)`` tuples — hashable without a ``Cube``.
+    A plain ``Cover`` argument routes to the cube-object reference pass.
+    """
+    if isinstance(cover, Cover):
+        return _irredundant_cubes(cover, dc, mgr, memo)
+    if not len(cover):
+        return cover
+    kept = irredundant_sweep(
+        list(cover.masks()),
+        lambda masks: mgr.product(masks[0], masks[1]),
+        dc,
+        memo,
+    )
+    return CoverAlgebra.from_masks(cover.n_vars, kept)
+
+
+def _reduce(
+    cover: CoverAlgebra, on: Function, dc: Function, mgr: BDD
+) -> CoverAlgebra:
+    """Shrink each cube onto the on-set part only it covers."""
+    if not len(cover):
+        return cover
+    functions = [mgr.product(pos, neg) for pos, neg in cover.masks()]
+    suffix: list[Function] = [mgr.false] * (len(functions) + 1)
+    for index in range(len(functions) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] | functions[index]
+    reduced = CoverAlgebra(cover.n_vars)
+    prefix = mgr.false
+    for index, function in enumerate(functions):
+        others = prefix | suffix[index + 1]
+        required = (function & on) - others
+        smaller = supercube_masks_of(required, cover.n_vars)
+        if smaller is not None:
+            reduced.append(*smaller)
+            prefix = prefix | mgr.product(*smaller)
+        # A cube with no private on-set minterms is dropped outright.
+    return reduced
+
+
+# ---------------------------------------------------------------------------
+# Cube-object passes (reference implementation; ablation baseline)
+# ---------------------------------------------------------------------------
+
+
+def _expand_cubes(cover: Cover, off: Function, mgr: BDD) -> Cover:
+    """Reference EXPAND building a ``Cube`` per accepted candidate."""
     expanded: list[Cube] = []
     n_vars = cover.n_vars
-    # Most-specific cubes first: they gain the most from expansion.
     order = sorted(cover.cubes, key=lambda c: -c.literal_count)
     for cube in order:
         current = cube
         changed = True
         while changed:
             changed = False
-            # Literal order: ascending variable index (a variable holds
-            # at most one literal, so this equals the sorted pair walk).
-            # Candidates are tested straight from their literal masks;
-            # a Cube object is only built on acceptance.
             for var in bit_indices(current.pos | current.neg):
                 bit = 1 << var
                 pos, neg = current.pos & ~bit, current.neg & ~bit
@@ -75,16 +181,10 @@ def _expand(cover: Cover, off: Function, mgr: BDD) -> Cover:
     return Cover(cover.n_vars, expanded).single_cube_containment()
 
 
-def _irredundant(
+def _irredundant_cubes(
     cover: Cover, dc: Function, mgr: BDD, memo: ChainMemo | None = None
 ) -> Cover:
-    """Greedy irredundant pass (single sweep with prefix/suffix unions).
-
-    ``memo`` carries the interned OR chains across the restart rounds of
-    :func:`espresso_minimize` (see :mod:`repro.twolevel.chains`): a cube
-    whose prefix/suffix context is unchanged since the previous round is
-    re-judged by dictionary lookup instead of a rebuilt union.
-    """
+    """Reference IRREDUNDANT sweeping ``Cube`` items."""
     if not cover.cubes:
         return cover
     kept = irredundant_sweep(
@@ -93,8 +193,8 @@ def _irredundant(
     return Cover(cover.n_vars, kept)
 
 
-def _reduce(cover: Cover, on: Function, dc: Function, mgr: BDD) -> Cover:
-    """Shrink each cube onto the on-set part only it covers."""
+def _reduce_cubes(cover: Cover, on: Function, dc: Function, mgr: BDD) -> Cover:
+    """Reference REDUCE materializing a ``Cube`` per shrunk product."""
     cubes = cover.cubes
     if not cubes:
         return cover
@@ -104,14 +204,13 @@ def _reduce(cover: Cover, on: Function, dc: Function, mgr: BDD) -> Cover:
         suffix[index] = suffix[index + 1] | functions[index]
     reduced: list[Cube] = []
     prefix = mgr.false
-    for index, (cube, function) in enumerate(zip(cubes, functions)):
+    for index, function in enumerate(functions):
         others = prefix | suffix[index + 1]
         required = (function & on) - others
         smaller = supercube_of(required, cover.n_vars)
         if smaller is not None:
             reduced.append(smaller)
             prefix = prefix | smaller.to_function(mgr)
-        # A cube with no private on-set minterms is dropped outright.
     return Cover(cover.n_vars, reduced)
 
 
@@ -119,12 +218,15 @@ def espresso_minimize(
     isf: ISF,
     initial: Cover | None = None,
     max_iterations: int = 8,
+    algebra: bool = True,
 ) -> Cover:
     """Heuristically minimize an ISF into an SOP cover.
 
     The result always satisfies ``on <= cover <= on ∪ dc`` (asserted
     before returning).  ``initial`` may seed the loop with an existing
-    cover of the same interval.
+    cover of the same interval.  ``algebra=False`` routes through the
+    cube-object reference passes — same oracle calls, same cover — and
+    exists for the differential tests and the ablation benchmark.
     """
     mgr = isf.mgr
     on, dc, off = isf.on, isf.dc, isf.off
@@ -133,7 +235,13 @@ def espresso_minimize(
     if off.is_false:
         return Cover(mgr.n_vars, [Cube.tautology(mgr.n_vars)])
 
-    cover = initial if initial is not None else initial_cover(isf)
+    if not algebra:
+        return _espresso_minimize_cubes(isf, initial, max_iterations)
+
+    if initial is not None:
+        cover = CoverAlgebra.from_cover(initial)
+    else:
+        cover = _initial_algebra(isf)
     # One chain memo for the whole minimization: the irredundant sweeps
     # of successive rounds mostly re-judge unchanged cubes.
     chains = ChainMemo()
@@ -146,6 +254,36 @@ def espresso_minimize(
         cover = _reduce(cover, on, dc, mgr)
         cover = _expand(cover, off, mgr)
         cover = _irredundant(cover, dc, mgr, chains)
+        cost = _cover_cost(cover)
+        if cost < best_cost:
+            best, best_cost = cover, cost
+        else:
+            break
+
+    result = best.to_cover()
+    realized = result.to_function(mgr)
+    if not (on <= realized and realized <= isf.upper):
+        raise AssertionError("espresso produced an invalid cover")
+    return result
+
+
+def _espresso_minimize_cubes(
+    isf: ISF, initial: Cover | None, max_iterations: int
+) -> Cover:
+    """The pre-algebra loop, cube objects throughout (reference path)."""
+    mgr = isf.mgr
+    on, dc, off = isf.on, isf.dc, isf.off
+    cover = initial if initial is not None else initial_cover(isf)
+    chains = ChainMemo()
+    cover = _expand_cubes(cover, off, mgr)
+    cover = _irredundant_cubes(cover, dc, mgr, chains)
+    best = cover
+    best_cost = _cover_cost(cover)
+
+    for _iteration in range(max_iterations):
+        cover = _reduce_cubes(cover, on, dc, mgr)
+        cover = _expand_cubes(cover, off, mgr)
+        cover = _irredundant_cubes(cover, dc, mgr, chains)
         cost = _cover_cost(cover)
         if cost < best_cost:
             best, best_cost = cover, cost

@@ -6,8 +6,11 @@ found by the branch-and-bound solver in :mod:`repro.twolevel.covering`.
 
 Implicants are ``(value, mask)`` pairs in *minterm bit order* (variable 0
 is the most significant bit): ``mask`` has 1-bits on don't-care positions
-and ``value`` carries the fixed bits.  The conversion to
-:class:`~repro.cover.cube.Cube` flips to variable-index order.
+and ``value`` carries the fixed bits.  The whole pipeline — prime
+generation, covering-column construction (``prime ⊇ minterm`` iff
+``(minterm & ~mask) == value``), and the solver rows — runs on plain
+integers; :class:`~repro.cover.cube.Cube` objects materialize only for
+the chosen primes at the API boundary.
 """
 
 from __future__ import annotations
@@ -32,16 +35,15 @@ def _implicant_to_cube(n_vars: int, value: int, mask: int) -> Cube:
     return Cube(n_vars, pos, neg)
 
 
-def generate_primes(
-    n_vars: int, on_minterms: Iterable[int], dc_minterms: Iterable[int] = ()
-) -> list[Cube]:
-    """All prime implicants of the interval [on, on ∪ dc]."""
-    minterms = set(on_minterms) | set(dc_minterms)
-    if not minterms:
-        return []
-    if len(minterms) == 1 << n_vars:
-        return [Cube.tautology(n_vars)]
+def _prime_implicants(
+    n_vars: int, minterms: set[int]
+) -> list[tuple[int, int]]:
+    """All prime ``(value, mask)`` implicants covering ``minterms``.
 
+    Merged values always clear their mask bits (``value & mask == 0``),
+    so containment of a minterm ``m`` is the single integer test
+    ``(m & ~mask) == value``.
+    """
     current: set[tuple[int, int]] = {(m, 0) for m in minterms}
     primes: list[tuple[int, int]] = []
     while current:
@@ -56,7 +58,6 @@ def generate_primes(
                 by_count.setdefault(value.bit_count(), []).append(value)
             for count, values in by_count.items():
                 partners = by_count.get(count + 1, [])
-                value_set = set(values)
                 for value in values:
                     for partner in partners:
                         diff = value ^ partner
@@ -64,11 +65,24 @@ def generate_primes(
                             next_level.add((value & partner, mask | diff))
                             merged_away.add((value, mask))
                             merged_away.add((partner, mask))
-                del value_set
         primes.extend(imp for imp in current if imp not in merged_away)
         current = next_level
+    return primes
 
-    return [_implicant_to_cube(n_vars, value, mask) for value, mask in primes]
+
+def generate_primes(
+    n_vars: int, on_minterms: Iterable[int], dc_minterms: Iterable[int] = ()
+) -> list[Cube]:
+    """All prime implicants of the interval [on, on ∪ dc]."""
+    minterms = set(on_minterms) | set(dc_minterms)
+    if not minterms:
+        return []
+    if len(minterms) == 1 << n_vars:
+        return [Cube.tautology(n_vars)]
+    return [
+        _implicant_to_cube(n_vars, value, mask)
+        for value, mask in _prime_implicants(n_vars, minterms)
+    ]
 
 
 def minimize_exact(
@@ -78,30 +92,57 @@ def minimize_exact(
     literal_weight: int = 1,
     product_weight: int = 1000,
     max_nodes: int = 200_000,
+    algebra: bool = True,
 ) -> Cover:
     """Minimum SOP cover of the on-set, using the dc-set freely.
 
     The default cost orders solutions primarily by product count and
     secondarily by literal count, matching classic two-level practice.
+    ``algebra=False`` builds the covering columns through per-minterm
+    ``Cube`` evaluations instead of the integer containment test —
+    identical columns, identical cover; kept for the on/off ablation
+    benchmark and the differential tests.
     """
     on_list = sorted(set(on_minterms))
     dc_set = set(dc_minterms)
     if not on_list:
         return Cover(n_vars, [])
-    primes = generate_primes(n_vars, on_list, dc_set)
-    row_index = {minterm: row for row, minterm in enumerate(on_list)}
+    minterms = set(on_list) | dc_set
+    if len(minterms) == 1 << n_vars:
+        return Cover(n_vars, [Cube.tautology(n_vars)])
+    primes = _prime_implicants(n_vars, minterms)
 
-    columns = []
-    costs = []
-    for prime in primes:
-        covered = frozenset(
-            row_index[m] for m in on_list if prime.contains_minterm(m)
-        )
-        if covered:
-            columns.append(covered)
-            costs.append(product_weight + literal_weight * prime.literal_count)
-    usable = [prime for prime in primes if any(prime.contains_minterm(m) for m in on_list)]
+    columns: list[int] = []
+    costs: list[float] = []
+    usable: list[tuple[int, int]] = []
+    if algebra:
+        for value, mask in primes:
+            unfixed = ~mask
+            covered = 0
+            for row, minterm in enumerate(on_list):
+                if (minterm & unfixed) == value:
+                    covered |= 1 << row
+            if covered:
+                columns.append(covered)
+                costs.append(
+                    product_weight
+                    + literal_weight * (n_vars - mask.bit_count())
+                )
+                usable.append((value, mask))
+    else:
+        for value, mask in primes:
+            cube = _implicant_to_cube(n_vars, value, mask)
+            covered = 0
+            for row, minterm in enumerate(on_list):
+                if cube.contains_minterm(minterm):
+                    covered |= 1 << row
+            if covered:
+                columns.append(covered)
+                costs.append(product_weight + literal_weight * cube.literal_count)
+                usable.append((value, mask))
 
-    problem = CoveringProblem(len(on_list), columns, costs)
+    problem = CoveringProblem.from_masks(len(on_list), columns, costs)
     chosen = solve_covering(problem, max_nodes=max_nodes)
-    return Cover(n_vars, [usable[j] for j in chosen])
+    return Cover(
+        n_vars, [_implicant_to_cube(n_vars, *usable[j]) for j in chosen]
+    )

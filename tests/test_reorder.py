@@ -1,0 +1,291 @@
+"""Dynamic variable reordering: semantics, invisibility, and the win.
+
+``BDD.reorder()`` (Rudell sifting over in-place adjacent-level swaps)
+must satisfy two contracts at once:
+
+* **semantic identity** — every live handle still denotes the same
+  Boolean function: evaluation, satcount, minterm enumeration, support,
+  and follow-on operations are unchanged;
+* **observational invisibility** — everything serialized or hashed is
+  declaration-order-normalized, so dumps, fingerprints, covers, and
+  decomposition results are *byte-identical* before and after any
+  number of reorders.
+
+Plus the point of the exercise: on order-sensitive functions the node
+count actually drops (exponential to linear on the blocked
+interconnect function).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.bitset import BitsetBDD
+from repro.bdd.manager import BDD
+from repro.bdd.ops import isop, transfer
+from repro.bdd.serialize import (
+    dump,
+    dump_many,
+    function_fingerprint,
+    load,
+    load_many,
+)
+from repro.boolfunc.isf import ISF
+from repro.engine.decomposer import Decomposer
+from repro.utils.rng import make_rng
+
+
+def _blocked_interconnect(k: int) -> tuple[BDD, object]:
+    """``OR(x_i AND y_i)`` declared blocked — exponential in that order."""
+    mgr = BDD([f"x{i}" for i in range(k)] + [f"y{i}" for i in range(k)])
+    f = mgr.false
+    for i in range(k):
+        f = f | (mgr.var(f"x{i}") & mgr.var(f"y{i}"))
+    return mgr, f
+
+
+def _random_function(mgr: BDD, rng, terms: int = 6):
+    f = mgr.false
+    n = mgr.n_vars
+    for _ in range(terms):
+        cube = mgr.true
+        for var in rng.sample(range(n), min(3, n)):
+            literal = mgr.var_at(var)
+            cube = cube & (literal if rng.random() < 0.5 else ~literal)
+        f = f | cube
+    return f
+
+
+# ---------------------------------------------------------------------------
+# Semantic identity under reorder
+# ---------------------------------------------------------------------------
+
+
+def test_reorder_preserves_semantics_randomized():
+    rng = make_rng("reorder-semantics")
+    for trial in range(25):
+        n = rng.randrange(2, 8)
+        mgr = BDD([f"v{i}" for i in range(n)])
+        f = _random_function(mgr, rng)
+        g = _random_function(mgr, rng)
+        evals = [f(m) for m in range(1 << n)]
+        count = f.satcount()
+        minterms = list(f.minterms())
+        support = f.support()
+        mgr.reorder()
+        assert [f(m) for m in range(1 << n)] == evals
+        assert f.satcount() == count
+        assert list(f.minterms()) == minterms
+        assert f.support() == support
+        # Follow-on operations still work against the permuted order.
+        assert (f & g) | (f - g) == f
+        assert ~(~f) == f
+
+
+def test_reorder_is_stable_when_repeated():
+    mgr, f = _blocked_interconnect(6)
+    mgr.reorder()
+    after_first = mgr.node_count()
+    stats = mgr.reorder()
+    assert mgr.node_count() == after_first
+    assert stats["after"] == after_first
+
+
+def test_reorder_reduces_blocked_interconnect():
+    k = 8
+    mgr, f = _blocked_interconnect(k)
+    before = mgr.node_count()
+    assert before >= (1 << (k + 1)) - 1  # exponential in the blocked order
+    stats = mgr.reorder()
+    assert mgr.node_count() <= 3 * k + 2  # linear in the interleaved order
+    assert stats["after"] < stats["before"]
+    assert f.satcount() == sum(
+        1
+        for m in range(1 << (2 * k))
+        if any(
+            (m >> (2 * k - 1 - i)) & 1 and (m >> (k - 1 - i)) & 1
+            for i in range(k)
+        )
+    )
+
+
+def test_minterm_and_cube_respect_declaration_weights():
+    mgr, f = _blocked_interconnect(4)
+    mgr.reorder()
+    # Variable v (declaration index) keeps weight 2^(n-1-v) regardless
+    # of its current level.
+    n = mgr.n_vars
+    for var in range(n):
+        g = mgr.var_at(var)
+        weight = 1 << (n - 1 - var)
+        assert g(weight)
+        assert not g(0)
+    cube = mgr.cube({"x0": True, "y3": False})
+    assert cube(1 << (n - 1))
+    assert not cube((1 << (n - 1)) | 1)
+
+
+def test_var_order_reports_current_permutation():
+    mgr, _ = _blocked_interconnect(4)
+    assert mgr.var_order() == tuple(mgr.var_names)
+    mgr.reorder()
+    assert sorted(mgr.var_order()) == sorted(mgr.var_names)
+    assert tuple(mgr.var_names) == tuple(
+        [f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)]
+    )  # declaration order never changes
+
+
+# ---------------------------------------------------------------------------
+# Observational invisibility: dumps, hashes, covers, decompositions
+# ---------------------------------------------------------------------------
+
+
+def test_dump_and_fingerprint_byte_identical_across_reorder():
+    rng = make_rng("reorder-dump")
+    mgr = BDD([f"v{i}" for i in range(7)])
+    functions = [(f"f{i}", _random_function(mgr, rng)) for i in range(4)]
+    payload_before = dump_many(functions)
+    prints_before = [function_fingerprint(f) for _, f in functions]
+    stats = mgr.reorder()
+    assert dump_many(functions) == payload_before
+    assert [function_fingerprint(f) for _, f in functions] == prints_before
+    mgr.reorder(max_growth=2.0)
+    assert dump_many(functions) == payload_before
+
+
+def test_isop_cubes_identical_across_reorder():
+    mgr, f = _blocked_interconnect(5)
+    cubes_before, realized_before = isop(f, f)
+    mgr.reorder()
+    cubes_after, realized_after = isop(f, f)
+    assert cubes_after == cubes_before
+    assert realized_after == realized_before == f
+
+
+def test_decomposition_results_identical_across_reorder():
+    from repro.engine import wire
+
+    rng = make_rng("reorder-decompose")
+    mgr = BDD([f"v{i}" for i in range(6)])
+    isfs = [
+        (f"f{i}", ISF.completely_specified(_random_function(mgr, rng)))
+        for i in range(3)
+    ]
+
+    def payloads(results):
+        return [
+            {
+                k: v
+                for k, v in wire.result_to_payload(r).items()
+                if k not in ("timings", "bdd_stats")
+            }
+            for r in results
+        ]
+
+    baseline = payloads(Decomposer().decompose_many(list(isfs), "OR"))
+    mgr.reorder()
+    after_manual = payloads(Decomposer().decompose_many(list(isfs), "OR"))
+    assert after_manual == baseline
+    # Auto-triggered reorders mid-batch change nothing either.
+    triggered = payloads(
+        Decomposer(reorder_threshold=1).decompose_many(
+            list(isfs), "OR", gc_threshold=1
+        )
+    )
+    assert triggered == baseline
+
+
+# ---------------------------------------------------------------------------
+# Cross-manager traffic with permuted orders
+# ---------------------------------------------------------------------------
+
+
+def test_transfer_both_directions_across_orders():
+    rng = make_rng("reorder-transfer")
+    source = BDD([f"v{i}" for i in range(6)])
+    f = _random_function(source, rng)
+    source.reorder()
+
+    target = BDD([f"v{i}" for i in range(6)])
+    moved = transfer(f, target)  # reordered -> identity
+    assert [moved(m) for m in range(64)] == [f(m) for m in range(64)]
+
+    target.reorder()
+    back = transfer(moved, source)  # reordered -> reordered
+    assert back == f
+
+
+def test_load_into_reordered_manager():
+    rng = make_rng("reorder-load")
+    source = BDD([f"v{i}" for i in range(6)])
+    f = _random_function(source, rng)
+    payload = dump(f)
+
+    target = BDD([f"v{i}" for i in range(6)])
+    target_f = _random_function(target, rng)  # populate, then permute
+    target.reorder()
+    rebuilt = load(payload, target)
+    assert [rebuilt(m) for m in range(64)] == [f(m) for m in range(64)]
+    # Round-trip out of the reordered manager stays canonical.
+    assert dump(rebuilt) == payload
+
+
+def test_load_many_roundtrip_across_reorder():
+    rng = make_rng("reorder-load-many")
+    mgr = BDD([f"v{i}" for i in range(6)])
+    functions = {f"f{i}": _random_function(mgr, rng) for i in range(3)}
+    payload = dump_many(list(functions.items()))
+    mgr.reorder()
+    rebuilt = load_many(payload)  # fresh manager, declaration order
+    for label, original in functions.items():
+        assert [rebuilt[label](m) for m in range(64)] == [
+            original(m) for m in range(64)
+        ]
+
+
+def test_bitset_reorder_is_a_noop():
+    mgr = BitsetBDD(["a", "b", "c"])
+    f = mgr.var("a") & mgr.var("b")
+    stats = mgr.reorder()
+    assert stats["swaps"] == 0
+    assert stats["order"] == ["a", "b", "c"]
+    assert f.satcount() == 2
+
+
+# ---------------------------------------------------------------------------
+# Handles, hashing, and memory management under reorder
+# ---------------------------------------------------------------------------
+
+
+def test_function_hash_stable_across_reorder():
+    rng = make_rng("reorder-hash")
+    mgr = BDD([f"v{i}" for i in range(6)])
+    f = _random_function(mgr, rng)
+    g = _random_function(mgr, rng)
+    table = {f: "f", g: "g"}
+    before = hash(f)
+    mgr.reorder()
+    assert hash(f) == before
+    assert table[f] == "f" and table[g] == "g"
+
+
+def test_gc_after_reorder_reclaims_dead_nodes():
+    rng = make_rng("reorder-gc")
+    mgr = BDD([f"v{i}" for i in range(6)])
+    keep = _random_function(mgr, rng)
+    for _ in range(10):
+        _random_function(mgr, rng)  # dropped immediately
+    mgr.reorder()  # reorder itself starts with a gc
+    count = mgr.node_count()
+    evals = [keep(m) for m in range(64)]
+    stats = mgr.gc()
+    assert mgr.node_count() <= count
+    assert [keep(m) for m in range(64)] == evals
+
+
+def test_reorder_reports_shape():
+    mgr, _ = _blocked_interconnect(4)
+    stats = mgr.reorder()
+    assert set(stats) >= {"before", "after", "swaps", "order", "gc"}
+    assert sorted(stats["order"]) == sorted(mgr.var_names)
+    assert stats["after"] == mgr.node_count()
