@@ -35,6 +35,18 @@ Six phases per run:
   ``overloaded`` errors, in-budget ones must complete, and every
   rejected request must succeed when retried sequentially.
 
+Two more phases under ``--chaos`` (the CI chaos smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --chaos --quick
+
+* **chaos** — two seeded :class:`FaultPlan` schedules are each replayed
+  twice against a fresh service; every request must succeed
+  byte-identically or fail typed, and both replays must produce the
+  same per-request outcomes and the same delivered-fault log.
+* **resize** — a live server is grown 2→4 and drained 4→2 while four
+  client threads stream requests at it; zero requests may be dropped
+  and every payload must stay byte-identical across the resizes.
+
 Every service result is compared against an in-process run with the
 informational channels stripped (``timings``/``bdd_stats`` on decompose
 payloads; ``pool_stats``/``engine_stats``/``time_s`` on netsyn) —
@@ -471,7 +483,210 @@ def phase_admission(base_item: dict) -> dict:
     return record
 
 
-def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
+#: Seeded fault schedules replayed by the ``--chaos`` phase.
+CHAOS_SEEDS = (11, 47)
+
+#: Requests driven through each chaos replay.
+CHAOS_REQUESTS = 6
+
+
+def _chaos_replay(seed: int, items: list[dict]) -> tuple[tuple, tuple]:
+    """One chaos run: seeded plan, fresh service, sequential requests.
+
+    Returns the per-request outcome summary — ``("ok", payload_json)``
+    or ``("error", type)`` — plus the plan's delivered-fault log; both
+    must be identical across replays of the same seed.
+    """
+    import asyncio
+
+    from repro.service import DecompositionService
+    from repro.service import faults
+    from repro.service.faults import FaultPlan
+
+    plan = FaultPlan.generate(seed, n_events=3, max_hit=5)
+    with faults.installed(plan):
+        # The plan must be live before the fleet forks so workers
+        # inherit it; that is how worker-side faults get delivered.
+        service = DecompositionService(jobs=1, timeout_s=30.0)
+        try:
+
+            async def drive() -> list[dict]:
+                replies = []
+                for index in range(CHAOS_REQUESTS):
+                    item = items[index % len(items)]
+                    message = wire.svc_request("decompose", item, f"c{index}")
+                    replies.append(await service.handle(message))
+                return replies
+
+            replies = asyncio.run(drive())
+        finally:
+            service.close()
+
+    summary = []
+    for reply in replies:
+        if reply["ok"]:
+            summary.append(
+                (
+                    "ok",
+                    json.dumps(
+                        _stripped(reply["result"], INFORMATIONAL_RESULT_KEYS),
+                        sort_keys=True,
+                    ),
+                )
+            )
+        else:
+            error_type = reply["error"].get("type")
+            summary.append(
+                ("error", error_type if isinstance(error_type, str) else "")
+            )
+    return tuple(summary), tuple(plan.log)
+
+
+def phase_chaos(items: list[dict], expected: list[dict]) -> dict:
+    """Replay each seeded plan twice: typed-or-identical, deterministic."""
+    expected_json = [
+        json.dumps(
+            _stripped(payload, INFORMATIONAL_RESULT_KEYS), sort_keys=True
+        )
+        for payload in expected
+    ]
+    rows: dict[str, dict] = {}
+    for seed in CHAOS_SEEDS:
+        wall, (first, first_log) = _timed(lambda: _chaos_replay(seed, items))
+        second, second_log = _chaos_replay(seed, items)
+        deterministic = first == second and first_log == second_log
+        typed_or_identical = all(
+            (kind == "ok" and value == expected_json[index % len(items)])
+            or (kind == "error" and value)
+            for index, (kind, value) in enumerate(first)
+        )
+        rows[f"svc:chaos:seed{seed}"] = {
+            "wall_s": wall,
+            "requests": len(first),
+            "ok": sum(1 for kind, _ in first if kind == "ok"),
+            "typed_errors": sum(1 for kind, _ in first if kind == "error"),
+            "faults_delivered": len(first_log),
+            "deterministic": deterministic,
+            "typed_or_identical": typed_or_identical,
+        }
+        print(
+            f"svc:chaos:seed{seed:<6d} {rows[f'svc:chaos:seed{seed}']['ok']} ok,"
+            f" {rows[f'svc:chaos:seed{seed}']['typed_errors']} typed,"
+            f" {len(first_log)} faults"
+            f"  {'deterministic' if deterministic else 'NONDETERMINISTIC'}",
+            file=sys.stderr,
+        )
+    return rows
+
+
+#: Streaming client threads pounding the server during the resize probe.
+RESIZE_CLIENTS = 4
+
+
+def phase_resize(items: list[dict]) -> dict:
+    """Grow 2→4 and drain 4→2 under streaming load: zero drops allowed."""
+    errors: list[str] = []
+    mismatches = [0]
+    served = [0] * RESIZE_CLIENTS
+    stop = threading.Event()
+
+    with ServerThread(jobs=2) as server:
+        with ServiceClient(server.host, server.port) as warm:
+            healthy = [
+                json.dumps(
+                    _stripped(
+                        warm.decompose(item)[0], INFORMATIONAL_RESULT_KEYS
+                    ),
+                    sort_keys=True,
+                )
+                for item in items
+            ]
+
+        def pound(slot: int) -> None:
+            try:
+                with ServiceClient(server.host, server.port) as client:
+                    round_index = 0
+                    while not stop.is_set():
+                        index = (slot + round_index) % len(items)
+                        payload, _stats = client.decompose(items[index])
+                        if (
+                            json.dumps(
+                                _stripped(
+                                    payload, INFORMATIONAL_RESULT_KEYS
+                                ),
+                                sort_keys=True,
+                            )
+                            != healthy[index]
+                        ):
+                            mismatches[0] += 1
+                        served[slot] += 1
+                        round_index += 1
+            except BaseException as exc:  # noqa: BLE001 — gated below
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=pound, args=(slot,))
+            for slot in range(RESIZE_CLIENTS)
+        ]
+
+        def probe() -> tuple[dict, dict, dict]:
+            for thread in threads:
+                thread.start()
+            with ServiceClient(server.host, server.port) as control:
+                time.sleep(0.3)  # let the load reach steady state
+                grow = control.resize(4)
+                time.sleep(0.5)  # serve a while at the grown size
+                shrink = control.resize(2)
+                deadline = time.time() + 30.0
+                while time.time() < deadline:
+                    fleet = control.status()["fleet"]
+                    if fleet["slots_live"] == 2 and fleet["draining"] == 0:
+                        break
+                    time.sleep(0.1)
+                stop.set()
+                for thread in threads:
+                    thread.join()
+                return grow, shrink, control.status()["fleet"]
+
+        wall, (grow, shrink, fleet) = _timed(probe)
+
+    record = {
+        "wall_s": wall,
+        "clients": RESIZE_CLIENTS,
+        "served": sum(served),
+        "errors": len(errors),
+        "mismatches": mismatches[0],
+        "grown": grow["grown"],
+        "shrunk_requested": shrink["shrunk"],
+        "slots_live_final": fleet["slots_live"],
+        "resizes": fleet["resizes"],
+        "ok": (
+            not errors
+            and mismatches[0] == 0
+            and sum(served) > 0
+            and grow["size"] == 4
+            and grow["grown"] == 2
+            and shrink["size"] == 2
+            and fleet["slots_live"] == 2
+            and fleet["draining"] == 0
+            and fleet["resizes"] >= 2
+        ),
+    }
+    print(
+        f"svc:resize             {sum(served)} served, {len(errors)} dropped,"
+        f" {mismatches[0]} mismatches, 2->4->2"
+        f" {'clean' if record['ok'] else 'FAILED'}",
+        file=sys.stderr,
+    )
+    if errors:
+        for error in errors[:3]:
+            print(f"  resize client error: {error}", file=sys.stderr)
+    return record
+
+
+def run(
+    quick: bool, label: str, jobs: int, cache_dir: Path, chaos: bool = False
+) -> dict:
     suite = SUITE_QUICK if quick else SUITE_FULL
     calibration_s = calibration()
     print(f"{'calibration':24s} {calibration_s:.4f}", file=sys.stderr)
@@ -493,12 +708,22 @@ def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
     fault_rows = phase_faults(suite_items[suite[0]][0])
     admission_record = phase_admission(suite_items[largest][0])
 
+    chaos_rows: dict[str, dict] = {}
+    resize_record = None
+    if chaos:
+        _oneshot_wall, chaos_expected = _in_process_batch(suite[0], jobs)
+        chaos_rows = phase_chaos(suite_items[suite[0]], chaos_expected)
+        resize_record = phase_resize(suite_items[suite[0]])
+
     workloads = dict(latency_workloads)
     workloads.update(netsyn_workloads)
     workloads["svc:coalesce"] = coalesce_record
     workloads["svc:cache_warm"] = cache_record
     workloads.update(fault_rows)
     workloads["svc:admission"] = admission_record
+    workloads.update(chaos_rows)
+    if resize_record is not None:
+        workloads["svc:resize"] = resize_record
     print(
         f"coalesce rate {coalesce_record['coalesce_rate']:.2f}"
         f"  cache hit rate {cache_record['hit_rate']:.2f}",
@@ -539,6 +764,17 @@ def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
             "admission_overloaded": admission_record["overloaded"],
             "admission_errors": admission_record["errors"],
             "admission_ok": admission_record["ok"],
+            "chaos_ok": (
+                all(
+                    row["deterministic"] and row["typed_or_identical"]
+                    for row in chaos_rows.values()
+                )
+                if chaos
+                else None
+            ),
+            "resize_ok": (
+                resize_record["ok"] if resize_record is not None else None
+            ),
             "all_identical": (
                 latency_summary["all_identical"]
                 and netsyn_identical
@@ -552,6 +788,11 @@ def run(quick: bool, label: str, jobs: int, cache_dir: Path) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI subset")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="add the seeded fault-plan replay and resize-under-load phases",
+    )
     parser.add_argument("--label", default="dev", help="report label")
     parser.add_argument(
         "--jobs", type=int, default=2, help="fleet size / one-shot jobs"
@@ -574,9 +815,13 @@ def main(argv: list[str] | None = None) -> int:
         import tempfile
 
         with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
-            report = run(args.quick, args.label, args.jobs, Path(tmp))
+            report = run(
+                args.quick, args.label, args.jobs, Path(tmp), args.chaos
+            )
     else:
-        report = run(args.quick, args.label, args.jobs, args.cache_dir)
+        report = run(
+            args.quick, args.label, args.jobs, args.cache_dir, args.chaos
+        )
 
     output = args.output
     if output is None:
@@ -604,6 +849,15 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             "admission burst did not produce typed overloaded rejections"
             " alongside completed in-budget requests"
+        )
+    if summary["chaos_ok"] is False:
+        failures.append(
+            "a seeded fault plan replayed nondeterministically or produced"
+            " an untyped/diverged outcome"
+        )
+    if summary["resize_ok"] is False:
+        failures.append(
+            "resize under load dropped requests or failed to converge"
         )
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -137,8 +137,10 @@ def service_invariants(report: dict) -> list[str]:
     the fault-injection and admission phases must additionally show a
     hung worker timing out and recovering, a SIGKILLed fleet serving a
     byte-identical payload, and an over-budget burst drawing typed
-    ``overloaded`` rejections (the ``is False`` guards keep older
-    reports without those phases passing).
+    ``overloaded`` rejections; ``--chaos`` reports must additionally
+    show every seeded fault plan replaying deterministically and the
+    resize-under-load probe dropping zero requests (the ``is False``
+    guards keep older reports without those phases passing).
     """
     summary = report.get("summary", {})
     failures: list[str] = []
@@ -166,6 +168,15 @@ def service_invariants(report: dict) -> list[str]:
         failures.append(
             "admission burst did not reject over-budget load with typed"
             " overloaded errors"
+        )
+    if summary.get("chaos_ok") is False:
+        failures.append(
+            "a seeded fault plan replayed nondeterministically or produced"
+            " an untyped/diverged outcome"
+        )
+    if summary.get("resize_ok") is False:
+        failures.append(
+            "resize under load dropped requests or failed to converge"
         )
     return failures
 

@@ -21,10 +21,12 @@ Usage::
                               [--cache-max-mb MB] [--no-prewarm]
                               [--timeout S] [--max-inflight N]
                               [--max-line-kb KB] [--max-pending N]
+                              [--rate R] [--burst B]
+                              [--min-slots N] [--max-slots N]
     python -m repro.cli serve --status --port P
-    python -m repro.cli client <status|metrics|shutdown|netsyn|decompose>
+    python -m repro.cli client <status|metrics|resize|shutdown|netsyn|decompose>
                                [names...] [--host H] --port P [--op auto]
-                               [--timeout S]
+                               [--timeout S] [--size N]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -211,6 +213,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending_per_conn=(
             args.max_pending if args.max_pending > 0 else None
         ),
+        rate=args.rate if args.rate > 0 else None,
+        burst=args.burst if args.burst > 0 else None,
+        min_slots=args.min_slots if args.min_slots > 0 else None,
+        max_slots=args.max_slots if args.max_slots > 0 else None,
     )
 
     async def _run() -> None:
@@ -245,6 +251,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
             return 0
         if args.action == "metrics":
             print(client.metrics(), end="")
+            return 0
+        if args.action == "resize":
+            if args.size < 1:
+                print("client resize needs --size N (>= 1)", file=sys.stderr)
+                return 2
+            print(json.dumps(client.resize(args.size), sort_keys=True))
             return 0
         if args.action == "shutdown":
             print(json.dumps(client.shutdown()))
@@ -520,6 +532,31 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     serve.add_argument(
+        "--rate", type=float, default=0.0, metavar="R",
+        help=(
+            "per-client compute-request rate limit in requests/second;"
+            " beyond it requests get a typed 'rate-limited' error carrying"
+            " retry_after_s (default: unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--burst", type=float, default=0.0, metavar="B",
+        help=(
+            "token-bucket burst capacity per client (default: max(rate, 1))"
+        ),
+    )
+    serve.add_argument(
+        "--min-slots", type=int, default=0, metavar="N",
+        help=(
+            "autoscale floor: shrink the fleet no further than N slots"
+            " (set with --max-slots to enable queue-depth autoscaling)"
+        ),
+    )
+    serve.add_argument(
+        "--max-slots", type=int, default=0, metavar="N",
+        help="autoscale ceiling: grow the fleet no further than N slots",
+    )
+    serve.add_argument(
         "--status", action="store_true",
         help="probe a running server (--port) and print its counters",
     )
@@ -531,11 +568,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     client.add_argument(
         "action",
-        choices=("status", "metrics", "shutdown", "netsyn", "decompose"),
+        choices=(
+            "status", "metrics", "resize", "shutdown", "netsyn", "decompose"
+        ),
     )
     client.add_argument("names", nargs="*", help="benchmark names")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=0, required=False)
+    client.add_argument(
+        "--size", type=int, default=0, metavar="N",
+        help="target fleet size for the resize action",
+    )
     client.add_argument(
         "--op", default="auto", help="operator for decompose (default: auto)"
     )

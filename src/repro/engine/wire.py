@@ -43,6 +43,7 @@ SVC_KINDS = (
     "netsyn",
     "status",
     "metrics",
+    "resize",
     "shutdown",
 )
 
@@ -295,19 +296,26 @@ def svc_response(request_id: str | None, result, stats: dict | None = None) -> d
     }
 
 
-def svc_error(request_id: str | None, error_type: str, message: str) -> dict:
+def svc_error(
+    request_id: str | None, error_type: str, message: str, **extra
+) -> dict:
     """Build an error response envelope.
 
     ``error_type`` is the server-side exception class name (or a
     protocol-level tag like ``"bad-request"``) so clients can
     distinguish e.g. a :class:`~repro.engine.decomposer.VerificationError`
-    from a malformed request without parsing messages.
+    from a malformed request without parsing messages.  ``extra`` keys
+    ride inside the error dict — e.g. ``retry_after_s`` on a
+    ``rate-limited`` envelope tells the client exactly how long to back
+    off before its bucket has a token again.
     """
+    error = {"type": error_type, "message": message}
+    error.update(extra)
     return {
         "format": SVC_FORMAT,
         "id": request_id,
         "ok": False,
-        "error": {"type": error_type, "message": message},
+        "error": error,
     }
 
 

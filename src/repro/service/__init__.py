@@ -8,14 +8,21 @@ pre-warmed multiprocessing fleet whose workers keep managers, engines,
 and synthesizers warm across requests.  Results are byte-identical to
 in-process runs (informational counters aside) — the service changes
 *where and how often* work runs, never what it computes.
+
+The chaos layer (:mod:`repro.service.faults`) makes the stack's failure
+handling testable by schedule: a seeded :class:`FaultPlan` installed
+process-wide delivers worker kills, pipe drops, slow responses, and
+cache-write crashes at named sites, deterministically.
 """
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.coalesce import Coalescer
+from repro.service.faults import FaultEvent, FaultPlan, InjectedFault
 from repro.service.fleet import FleetTimeout, WorkerCrashed, WorkerFleet
 from repro.service.metrics import render_prometheus
 from repro.service.server import (
     DecompositionService,
+    RateLimiter,
     ServerThread,
     ServiceServer,
     WorkerError,
@@ -25,7 +32,11 @@ from repro.service.shards import ShardedResultCache
 __all__ = [
     "Coalescer",
     "DecompositionService",
+    "FaultEvent",
+    "FaultPlan",
     "FleetTimeout",
+    "InjectedFault",
+    "RateLimiter",
     "ServerThread",
     "ServiceClient",
     "ServiceError",

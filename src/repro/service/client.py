@@ -12,8 +12,24 @@ timeout poisons the connection: the late reply is still in flight, and
 the next request would pair with the *previous* response.  The client
 therefore marks itself broken on any socket-level failure — the caller
 gets a typed ``ServiceError("timeout", ...)`` (or
-``"connection-closed"``), every later request fails fast with
-``"connection-closed"``, and recovery is a new client.
+``"connection-closed"``) and compute requests fail fast afterwards.
+Two bounded escapes from "broken forever":
+
+* **Idempotent kinds** (:data:`IDEMPOTENT_KINDS` — ``status`` and
+  ``metrics``, pure reads with no server-side effect worth double
+  counting) transparently reconnect and retry up to ``retries`` times,
+  so a monitoring probe survives a server restart without special
+  casing.  Compute kinds never auto-retry: a ``decompose`` that timed
+  out may still be running server-side, and re-sending it is a policy
+  decision the caller must make.
+* :meth:`reconnect` is the explicit escape hatch: drop the old socket,
+  dial a fresh one, clear the broken flag.
+
+A typed ``rate-limited`` error is retried for *any* kind (the request
+was never admitted, so retrying is always safe): the client sleeps the
+server-provided ``retry_after_s`` — floored by jittered exponential
+backoff so a thundering herd spreads out — and re-sends with a fresh
+request id, up to ``retries`` times before the error escapes.
 
 The client is deliberately single-flight per instance: benchmarks and
 tests that want concurrency open one client per thread, which also
@@ -24,42 +40,111 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
+import time
 
 from repro.engine import wire
 
+#: Kinds safe to replay blindly after a connection failure: pure reads.
+IDEMPOTENT_KINDS = frozenset(("status", "metrics"))
+
 
 class ServiceError(RuntimeError):
-    """A ``repro-svc/1`` error response (or a broken connection)."""
+    """A ``repro-svc/1`` error response (or a broken connection).
 
-    def __init__(self, error_type: str, message: str) -> None:
+    ``retry_after_s`` is populated from a ``rate-limited`` envelope —
+    the server's exact estimate of when the peer's bucket refills.
+    """
+
+    def __init__(
+        self,
+        error_type: str,
+        message: str,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.type = error_type
+        self.retry_after_s = retry_after_s
 
 
 class ServiceClient:
     """Blocking line-oriented client over one TCP connection."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 600.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 600.0,
+        retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
+        jitter_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        # Seeded jitter: retry timing is reproducible per client, while
+        # distinct seeds (e.g. one per worker thread) still spread herds.
+        self._rng = random.Random(f"repro-client:{jitter_seed}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
         self._broken = False
+        self.stats = {"reconnects": 0, "rate_limited_retries": 0}
 
     # -- core -------------------------------------------------------------
 
     def request(self, kind: str, params: dict | None = None):
-        """Send one request; returns ``(result, stats)`` or raises."""
+        """Send one request; returns ``(result, stats)`` or raises.
+
+        Bounded retries happen here: ``rate-limited`` errors back off
+        and re-send (any kind; the request was never admitted), and
+        ``connection-closed`` reconnects and re-sends for idempotent
+        kinds only.  Each retry uses a fresh request id.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(kind, params)
+            except ServiceError as exc:
+                if exc.type == "rate-limited" and attempt < self.retries:
+                    self.stats["rate_limited_retries"] += 1
+                    time.sleep(self._backoff(attempt, exc.retry_after_s))
+                    attempt += 1
+                    continue
+                if (
+                    exc.type == "connection-closed"
+                    and kind in IDEMPOTENT_KINDS
+                    and attempt < self.retries
+                ):
+                    try:
+                        self.reconnect()
+                    except OSError as dial_exc:
+                        raise ServiceError(
+                            "connection-closed",
+                            f"reconnect failed: {dial_exc}",
+                        ) from None
+                    attempt += 1
+                    continue
+                raise
+
+    def _backoff(self, attempt: int, retry_after_s: float | None) -> float:
+        """Jittered exponential backoff, floored by the server's hint."""
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        if retry_after_s is not None:
+            delay = max(delay, float(retry_after_s))
+        return delay + self._rng.uniform(0.0, self.backoff_base_s)
+
+    def _request_once(self, kind: str, params: dict | None):
         if self._broken:
             raise ServiceError(
                 "connection-closed",
                 "connection was closed after an earlier timeout or socket"
-                " failure; open a new client",
+                " failure; reconnect() or open a new client",
             )
         request_id = f"c{next(self._ids)}"
         envelope = wire.svc_request(kind, params, request_id)
@@ -78,7 +163,8 @@ class ServiceClient:
             raise ServiceError(
                 "timeout",
                 f"no reply within {self.timeout}s; connection closed"
-                f" (late replies cannot be re-paired) — open a new client",
+                f" (late replies cannot be re-paired) — reconnect() or"
+                f" open a new client",
             ) from None
         except (ConnectionError, OSError) as exc:
             self._break()
@@ -100,12 +186,31 @@ class ServiceClient:
             )
         if not response["ok"]:
             error = response["error"]
-            raise ServiceError(str(error["type"]), str(error["message"]))
+            raise ServiceError(
+                str(error["type"]),
+                str(error["message"]),
+                retry_after_s=error.get("retry_after_s"),
+            )
         return response["result"], response.get("stats", {})
 
     def _break(self) -> None:
         self._broken = True
         self.close()
+
+    def reconnect(self) -> "ServiceClient":
+        """Drop the socket (broken or not) and dial a fresh one.
+
+        The explicit escape hatch from a poisoned connection; raises
+        ``OSError`` if the server cannot be reached.
+        """
+        self.close()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+        self._broken = False
+        self.stats["reconnects"] += 1
+        return self
 
     # -- request kinds ----------------------------------------------------
 
@@ -152,6 +257,11 @@ class ServiceClient:
         result, _stats = self.request("metrics")
         return result["text"]
 
+    def resize(self, size: int) -> dict:
+        """Retarget the fleet to ``size`` slots; returns the summary."""
+        result, _stats = self.request("resize", {"size": size})
+        return result
+
     def shutdown(self) -> dict:
         """Ask the server to stop accepting and exit its serve loop."""
         result, _stats = self.request("shutdown")
@@ -180,4 +290,4 @@ class ServiceClient:
         return f"ServiceClient({self.host}:{self.port})"
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["IDEMPOTENT_KINDS", "ServiceClient", "ServiceError"]

@@ -24,6 +24,8 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable
 
+from repro.service import faults
+
 
 class Coalescer:
     """Single-flight gate over an async computation, keyed by string."""
@@ -49,6 +51,10 @@ class Coalescer:
             self.stats["followers"] += 1
             return await asyncio.shield(flight), True
 
+        # Chaos window: failing the leader *here* — after the key was
+        # checked but before the flight exists — must not poison the key
+        # for later arrivals (nothing was registered yet).
+        faults.fire("coalesce.flight", key=key)
         flight = asyncio.get_running_loop().create_task(compute())
         self._inflight[key] = flight
         self.stats["leaders"] += 1

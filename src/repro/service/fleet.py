@@ -54,6 +54,7 @@ error response, not a reason to lose the worker.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import os
 import threading
 import time
@@ -66,6 +67,7 @@ from repro.engine.parallel import (
     engine_spec_key,
     pool_context,
 )
+from repro.service import faults
 
 #: Combined live-node budget across one worker's warm managers; crossing
 #: it drops all warm state (managers, engines, synthesizers, instances).
@@ -212,6 +214,7 @@ def service_decompose(item: dict) -> dict:
     or an ``ok: False`` envelope carrying the exception type/message.
     """
     try:
+        faults.fire("worker.compute", entry="decompose")
         _maybe_refresh()
         mgr = _warm_manager(tuple(item["f"]["vars"]))
         engine = _warm_engine(item)
@@ -299,6 +302,7 @@ def service_netsyn(task: dict) -> dict:
     from repro.engine import wire
 
     try:
+        faults.fire("worker.compute", entry="netsyn")
         _maybe_refresh()
         config = _netsyn_config(task.get("config") or {})
         synthesizer = _WARM["synths"].get(config)
@@ -406,6 +410,9 @@ class _Slot:
             self.conn.send((func, arg))
         except (BrokenPipeError, OSError):
             return ("dead", f"slot {self.index}: send failed, worker is gone")
+        # Chaos window: the request is written, the reply is not read —
+        # the installed plan may kill this worker or drop this pipe here.
+        faults.fire("fleet.call.sent", slot=self)
         try:
             if not self.conn.poll(timeout_s):
                 return ("timeout", None)
@@ -448,7 +455,7 @@ class _Slot:
 
 
 class WorkerFleet:
-    """A fixed-size fleet of pre-warmed decomposition slot processes.
+    """A resizable fleet of pre-warmed decomposition slot processes.
 
     ``prewarm=True`` (the default) identifies every slot's worker over
     its own pipe at construction, so the first real request never pays
@@ -461,6 +468,16 @@ class WorkerFleet:
     it — kill + respawn on timeout, respawn + one retry on a dead
     worker.  ``stats`` surfaces every event: ``timeouts``, ``kills``,
     ``restarts``, ``retries`` on top of the dispatch counters.
+
+    :meth:`resize` changes capacity **without dropping a single
+    in-flight request**: growth spawns and identifies new slots before
+    they are admitted to the free pool (a request never lands on a
+    worker that is still importing), and shrinkage *drains* — a victim
+    slot takes no new work, finishes what it is running, and only then
+    retires.  ``size`` is the target; :attr:`slots_live` trails it
+    while drains complete.  ``stats`` gains ``resizes`` / ``grown`` /
+    ``shrunk``, and :attr:`queue_depth` (dispatches waiting for a free
+    slot) is the signal the server's autoscaler steers by.
     """
 
     def __init__(
@@ -472,11 +489,18 @@ class WorkerFleet:
             raise ValueError(f"fleet size must be >= 1, got {size}")
         self.size = size
         self._ctx = pool_context()
-        self._slots = [_Slot(index, self._ctx) for index in range(size)]
+        self._slot_seq = itertools.count()
+        self._slots = [
+            _Slot(next(self._slot_seq), self._ctx) for _ in range(size)
+        ]
         self._free: deque[_Slot] = deque(self._slots)
+        self._retiring: set[_Slot] = set()
         self._slot_ready = threading.Condition()
+        self._resize_lock = threading.Lock()
+        #: Dispatches currently blocked waiting for a free slot.
+        self.waiting = 0
         self._threads = ThreadPoolExecutor(
-            max_workers=size, thread_name_prefix="repro-fleet-io"
+            max_workers=max(size, 4), thread_name_prefix="repro-fleet-io"
         )
         self._closed = False
         self.stats = {
@@ -487,6 +511,9 @@ class WorkerFleet:
             "kills": 0,
             "restarts": 0,
             "retries": 0,
+            "resizes": 0,
+            "grown": 0,
+            "shrunk": 0,
         }
         if prewarm:
             self.prewarm()
@@ -522,6 +549,7 @@ class WorkerFleet:
         """Checkout → call → heal → release, on the calling thread."""
         slot = self._checkout()
         try:
+            faults.fire("fleet.checkout", slot=slot)
             outcome, detail = slot.call(func, arg, timeout_s)
             if outcome == "dead":
                 # The worker died under this request (or an earlier kill
@@ -550,17 +578,145 @@ class WorkerFleet:
     def _checkout(self) -> _Slot:
         with self._slot_ready:
             while not self._free:
-                self._slot_ready.wait()
+                self.waiting += 1
+                try:
+                    self._slot_ready.wait()
+                finally:
+                    self.waiting -= 1
             return self._free.popleft()
 
     def _release(self, slot: _Slot) -> None:
+        """Return a slot to the pool — or retire it if it is draining.
+
+        Retirement is why shrink never drops a request: a draining slot
+        reaches here only after its in-flight call fully resolved (the
+        reply is already on its way back to the caller), so stopping the
+        worker now loses nothing.  The process join runs on a detached
+        thread so the caller's response is not delayed by it.
+        """
         with self._slot_ready:
-            self._free.append(slot)
-            self._slot_ready.notify()
+            if slot in self._retiring:
+                self._retiring.discard(slot)
+                if slot in self._slots:
+                    self._slots.remove(slot)
+                self.stats["shrunk"] += 1
+            else:
+                self._free.append(slot)
+                self._slot_ready.notify()
+                return
+        threading.Thread(
+            target=slot.stop, name="repro-fleet-retire", daemon=True
+        ).start()
 
     def _respawn(self, slot: _Slot) -> None:
         slot.spawn()
         self.stats["restarts"] += 1
+
+    # -- resize ------------------------------------------------------------
+
+    @property
+    def slots_live(self) -> int:
+        """Slots that currently own a worker (draining ones included)."""
+        return len(self._slots)
+
+    @property
+    def draining(self) -> int:
+        """Busy slots marked no-new-work, finishing their last request."""
+        return len(self._retiring)
+
+    def queue_depth(self) -> int:
+        """Dispatches blocked waiting for a free slot (autoscale signal)."""
+        return self.waiting
+
+    def resize(self, n: int) -> dict:
+        """Change fleet capacity to ``n`` without dropping a request.
+
+        Growing admits a slot to the free pool only after its worker is
+        spawned *and* identified over its own pipe (prewarm-before-
+        admit); draining slots are reclaimed first — they are already
+        warm, so cancelling their retirement is the cheapest grow there
+        is.  Shrinking retires idle slots immediately and marks busy
+        ones as draining: no new work, finish the in-flight call, then
+        retire (see :meth:`_release`).  Returns a summary dict; the
+        target takes effect immediately in :attr:`size` while
+        :attr:`slots_live` converges as drains complete.
+        """
+        if n < 1:
+            raise ValueError(f"fleet size must be >= 1, got {n}")
+        with self._resize_lock:
+            if self._closed:
+                raise RuntimeError("fleet is shut down")
+            grown = 0
+            shrunk_now = 0
+            idle_victims: list[_Slot] = []
+            with self._slot_ready:
+                previous = self.size
+                # Grow, phase 1: cancel retirements — a draining slot is
+                # warm and busy; un-marking it returns it to the pool as
+                # soon as its current call releases.
+                while self.size < n and self._retiring:
+                    self._retiring.pop()
+                    self.size += 1
+                    grown += 1
+                need = n - self.size
+                if need < 0:
+                    # Shrink: retire idle slots now, mark busy ones.
+                    excess = -need
+                    while excess and self._free:
+                        victim = self._free.pop()
+                        self._slots.remove(victim)
+                        idle_victims.append(victim)
+                        excess -= 1
+                        shrunk_now += 1
+                    if excess:
+                        busy = [
+                            slot
+                            for slot in reversed(self._slots)
+                            if slot not in self._retiring
+                            and slot not in self._free
+                        ]
+                        for victim in busy[:excess]:
+                            self._retiring.add(victim)
+                    self.size = n
+            if need > 0:
+                # Grow, phase 2: spawn + identify outside the lock, so
+                # in-flight dispatch never waits on a fork, then admit.
+                fresh = [
+                    _Slot(next(self._slot_seq), self._ctx)
+                    for _ in range(need)
+                ]
+                warmed = 0
+                for slot in fresh:
+                    outcome, reply = slot.call(_worker_ident, {}, None)
+                    if outcome == "ok" and reply.get("ok"):
+                        warmed += 1
+                self._threads._max_workers = max(
+                    self._threads._max_workers, n
+                )
+                with self._slot_ready:
+                    self._slots.extend(fresh)
+                    self._free.extend(fresh)
+                    self.size += need
+                    grown += need
+                    self._slot_ready.notify_all()
+                self.stats["prewarmed"] += warmed
+            if n != previous:
+                self.stats["resizes"] += 1
+            self.stats["grown"] += grown
+            self.stats["shrunk"] += shrunk_now
+            summary = {
+                "size": self.size,
+                "previous": previous,
+                "grown": grown,
+                "shrunk": shrunk_now,
+                "draining": len(self._retiring),
+                "slots_live": len(self._slots),
+            }
+        for victim in idle_victims:
+            threading.Thread(
+                target=victim.stop, name="repro-fleet-retire", daemon=True
+            ).start()
+        return summary
 
     # -- lifecycle / introspection ----------------------------------------
 

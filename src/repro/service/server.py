@@ -42,9 +42,27 @@ Hardening (the traffic layer):
   request line (``too-large``), ``max_pending_per_conn`` bounds
   unanswered pipelined requests per connection (``overloaded``); every
   rejection is typed and counted instead of queueing unboundedly.
+* **rate limiting** — an optional token bucket per peer host
+  (``rate``/``burst``): a client that exceeds its refill rate gets a
+  typed ``rate-limited`` envelope carrying ``retry_after_s`` — the exact
+  wait until its bucket holds a token again — instead of queueing work.
+  Probe kinds (``status``/``metrics``) are never throttled, so
+  monitoring keeps working while a greedy client backs off.
+* **resize / autoscale** — the ``resize`` request kind changes fleet
+  capacity live (grow prewarms before admitting, shrink drains; zero
+  in-flight requests dropped), and an optional queue-depth-driven
+  autoscaler (``min_slots``/``max_slots``) does the same automatically:
+  waiters in the checkout queue grow the fleet, sustained idleness
+  shrinks it one slot at a time.
 * **metrics** — the ``metrics`` request kind renders the ``status``
   counters in Prometheus text exposition format
   (:mod:`repro.service.metrics`).
+
+Chaos sites: ``server.compute.start`` fires as a flight body enters
+(before the cache lookup) and ``server.compute.computed`` after the
+fleet replied ok but before the cache write — the two yield points where
+killing a coalesced flight's leader must fail every follower with a
+typed error *without* poisoning the key (see :mod:`repro.service.faults`).
 """
 
 from __future__ import annotations
@@ -52,7 +70,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from time import perf_counter
+from time import monotonic, perf_counter
 
 from repro.bdd.serialize import SerializationError, canonical_hash
 from repro.core.operators import EXPERIMENT_OPERATORS
@@ -60,6 +78,7 @@ from repro.engine import wire
 from repro.engine.cache import ResultCache
 from repro.engine.parallel import make_work_item
 from repro.netsyn.pool import DivisorPool
+from repro.service import faults
 from repro.service.coalesce import Coalescer
 from repro.service.fleet import (
     FleetTimeout,
@@ -88,6 +107,44 @@ class WorkerError(Exception):
         self.error_type = error_type
 
 
+class RateLimiter:
+    """Per-peer token buckets: ``rate`` tokens/s refill, ``burst`` cap.
+
+    Buckets are lazy (created on a peer's first request, pre-filled to
+    the burst) and touched only from the event loop, so no lock is
+    needed.  :meth:`admit` returns ``0.0`` when a token was taken and
+    otherwise the exact seconds until the peer's bucket refills to one
+    token — the ``retry_after_s`` the error envelope carries.  The
+    ``clock`` is injectable so tests can step time deterministically.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=monotonic) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError(
+                f"need rate > 0 and burst >= 1, got rate={rate} burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._buckets: dict[str, list[float]] = {}
+
+    def admit(self, peer: str) -> float:
+        now = self.clock()
+        bucket = self._buckets.get(peer)
+        if bucket is None:
+            bucket = [self.burst, now]
+            self._buckets[peer] = bucket
+        tokens, last = bucket
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+            return 0.0
+        bucket[0] = tokens
+        bucket[1] = now
+        return (1.0 - tokens) / self.rate
+
+
 class DecompositionService:
     """Transport-free request handler: admission + coalescer + cache + fleet."""
 
@@ -104,6 +161,11 @@ class DecompositionService:
         max_inflight: int | None = None,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
         max_pending_per_conn: int | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+        min_slots: int | None = None,
+        max_slots: int | None = None,
+        autoscale_interval_s: float = 0.25,
     ) -> None:
         self.fleet = fleet if fleet is not None else WorkerFleet(jobs, prewarm=prewarm)
         self._owns_fleet = fleet is None
@@ -125,6 +187,17 @@ class DecompositionService:
         self.max_inflight = max_inflight
         self.max_line_bytes = max_line_bytes
         self.max_pending_per_conn = max_pending_per_conn
+        #: Per-peer token buckets (None = no throttling).
+        self.limiter = (
+            RateLimiter(rate, burst if burst is not None else max(rate, 1.0))
+            if rate is not None
+            else None
+        )
+        self.min_slots = min_slots
+        self.max_slots = max_slots
+        self.autoscale_interval_s = autoscale_interval_s
+        self._idle_ticks = 0
+        self.started = monotonic()
         self.stats = {
             "requests": 0,
             "errors": 0,
@@ -133,15 +206,20 @@ class DecompositionService:
             "timeouts": 0,
         }
         #: Typed-rejection counters (admission control).
-        self.admission = {"overloaded": 0, "too_large": 0}
+        self.admission = {"overloaded": 0, "too_large": 0, "rate_limited": 0}
         #: Compute envelopes currently admitted (gauge, not a counter).
         self.inflight = 0
         self.shutdown_event = asyncio.Event()
 
     # -- request handling -------------------------------------------------
 
-    async def handle(self, message) -> dict:
-        """Serve one ``repro-svc/1`` request; always returns an envelope."""
+    async def handle(self, message, peer: str = "local") -> dict:
+        """Serve one ``repro-svc/1`` request; always returns an envelope.
+
+        ``peer`` identifies the client for rate limiting (the socket
+        server passes the connection's host; direct callers share one
+        ``"local"`` bucket).
+        """
         # Malformed traffic is traffic: count it before rejecting, so
         # admission monitoring sees bad requests in requests/errors.
         self.stats["requests"] += 1
@@ -152,6 +230,19 @@ class DecompositionService:
             raw_id = message.get("id") if isinstance(message, dict) else None
             return wire.svc_error(raw_id, "bad-request", str(exc))
         admitted = kind in COMPUTE_KINDS
+        if admitted and self.limiter is not None:
+            retry_after_s = self.limiter.admit(peer)
+            if retry_after_s > 0.0:
+                self.admission["rate_limited"] += 1
+                self.stats["errors"] += 1
+                return wire.svc_error(
+                    request_id,
+                    "rate-limited",
+                    f"peer {peer} exceeded {self.limiter.rate} req/s"
+                    f" (burst {self.limiter.burst});"
+                    f" retry after {retry_after_s:.3f}s",
+                    retry_after_s=round(retry_after_s, 6),
+                )
         if (
             admitted
             and self.max_inflight is not None
@@ -183,6 +274,8 @@ class DecompositionService:
                     "text": render_prometheus(self.status()),
                 }
                 stats = {}
+            elif kind == "resize":
+                result, stats = await self._resize(params), {}
             else:  # "shutdown" — parse_svc_request rejects anything else
                 self.shutdown_event.set()
                 result, stats = {"stopping": True}, {}
@@ -223,6 +316,10 @@ class DecompositionService:
         """
 
         async def compute() -> dict:
+            # Chaos window: the flight exists, nothing has run yet — a
+            # leader failing here must fail every follower with a typed
+            # error and retire the key cleanly.
+            faults.fire("server.compute.start", key=key)
             if self.cache is not None:
                 hit = self.cache.get(key)
                 if hit is not None:
@@ -239,6 +336,9 @@ class DecompositionService:
                 error = reply["error"]
                 raise WorkerError(error["type"], error["message"])
             self.stats["computed"] += 1
+            # Chaos window: the fleet replied ok but nothing reached the
+            # cache — a failure here must not leave a partial entry.
+            faults.fire("server.compute.computed", key=key)
             if worker_func is service_netsyn:
                 self.pool.merge(reply.get("pool"))
             if self.cache is not None:
@@ -328,6 +428,54 @@ class DecompositionService:
         task["pool_seed"] = self.pool.snapshot()
         return await self._serve_keyed(key, service_netsyn, task, timeout_s)
 
+    async def _resize(self, params: dict) -> dict:
+        """Serve a ``resize`` request: retarget the fleet off-loop.
+
+        Growth forks and identifies workers (blocking), so the actual
+        resize runs in an executor thread — the event loop keeps serving
+        while new slots warm up.
+        """
+        raw = params.get("size")
+        if not isinstance(raw, int) or isinstance(raw, bool) or raw < 1:
+            raise SerializationError(
+                f"resize params need 'size', a positive integer; got {raw!r}"
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.fleet.resize, raw)
+
+    def autoscale_decision(self) -> int | None:
+        """The size the autoscaler wants next, or ``None`` to hold.
+
+        Pure policy, queue-depth driven: dispatches waiting for a slot
+        grow the fleet toward ``max_slots`` (one slot per waiter, at
+        least one); a fleet that has been idle — empty queue, fewer
+        admitted requests than slots — for three consecutive ticks
+        shrinks one slot toward ``min_slots``.  Out-of-bounds sizes
+        (e.g. after a manual ``resize``) are pulled back into range.
+        The caller executes the returned resize off-loop.
+        """
+        if self.min_slots is None and self.max_slots is None:
+            return None
+        size = self.fleet.size
+        lo = self.min_slots if self.min_slots is not None else 1
+        hi = self.max_slots if self.max_slots is not None else max(lo, size)
+        if size < lo:
+            return lo
+        if size > hi:
+            return hi
+        depth = self.fleet.queue_depth()
+        if depth > 0 and size < hi:
+            self._idle_ticks = 0
+            return min(hi, size + max(1, depth))
+        if depth == 0 and self.inflight < size and size > lo:
+            self._idle_ticks += 1
+            if self._idle_ticks >= 3:
+                self._idle_ticks = 0
+                return size - 1
+            return None
+        self._idle_ticks = 0
+        return None
+
     def _work_item(self, params: dict) -> dict:
         if not isinstance(params.get("f"), dict):
             raise SerializationError(
@@ -352,17 +500,26 @@ class DecompositionService:
     # -- introspection / lifecycle ----------------------------------------
 
     def status(self) -> dict:
-        """Service counters: requests, fleet, coalescer, cache, pool,
-        admission."""
+        """Service counters: server, requests, fleet, coalescer, cache,
+        pool, admission."""
         cache_stats = None
         if self.cache is not None:
             cache_stats = dict(self.cache.stats)
             cache_stats["entries"] = len(self.cache)
             cache_stats["shards"] = self.cache.n_shards
         return {
+            "server": {
+                "uptime_s": round(monotonic() - self.started, 3),
+                "min_slots": self.min_slots,
+                "max_slots": self.max_slots,
+            },
             "requests": dict(self.stats),
             "fleet": {
                 "size": self.fleet.size,
+                "slots_target": self.fleet.size,
+                "slots_live": self.fleet.slots_live,
+                "draining": self.fleet.draining,
+                "queue_depth": self.fleet.queue_depth(),
                 **self.fleet.stats,
                 "pids": self.fleet.pids(),
             },
@@ -384,6 +541,8 @@ class DecompositionService:
                 "max_line_bytes": self.max_line_bytes,
                 "max_pending_per_conn": self.max_pending_per_conn,
                 "default_timeout_s": self.timeout_s,
+                "rate": self.limiter.rate if self.limiter else None,
+                "burst": self.limiter.burst if self.limiter else None,
                 **self.admission,
             },
         }
@@ -410,6 +569,7 @@ class ServiceServer:
         #: Live per-connection handler tasks; awaited (after cancel) in
         #: :meth:`stop` so no coroutine is destroyed while suspended.
         self._connections: set[asyncio.Task] = set()
+        self._autoscale_task: asyncio.Task | None = None
 
     async def start(self) -> None:
         """Bind and start accepting; resolves ``port=0`` to the real one."""
@@ -420,6 +580,27 @@ class ServiceServer:
             limit=self.service.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if (
+            self.service.min_slots is not None
+            or self.service.max_slots is not None
+        ):
+            self._autoscale_task = asyncio.create_task(self._autoscale())
+
+    async def _autoscale(self) -> None:
+        """Background policy loop: tick, decide, resize off-loop.
+
+        The decision is pure (:meth:`DecompositionService.autoscale_decision`);
+        the resize itself forks workers, so it runs in an executor thread
+        and the loop keeps serving while the fleet warms.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.service.autoscale_interval_s)
+            target = self.service.autoscale_decision()
+            if target is not None and target != self.service.fleet.size:
+                await loop.run_in_executor(
+                    None, self.service.fleet.resize, target
+                )
 
     async def _serve_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -428,6 +609,12 @@ class ServiceServer:
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
+        peername = writer.get_extra_info("peername")
+        peer = (
+            str(peername[0])
+            if isinstance(peername, tuple) and peername
+            else "unknown"
+        )
         # One writer lock per connection: responses are whole lines, and
         # pipelined requests may finish out of order (ids match them up).
         lock = asyncio.Lock()
@@ -474,7 +661,9 @@ class ServiceServer:
                         ),
                     )
                     continue
-                task = asyncio.create_task(self._answer(line, writer, lock))
+                task = asyncio.create_task(
+                    self._answer(line, writer, lock, peer)
+                )
                 pending.add(task)
                 task.add_done_callback(pending.discard)
         except (
@@ -498,7 +687,11 @@ class ServiceServer:
                 pass
 
     async def _answer(
-        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        peer: str = "local",
     ) -> None:
         try:
             message = json.loads(line)
@@ -509,7 +702,7 @@ class ServiceServer:
             self.service.stats["errors"] += 1
             response = wire.svc_error(None, "bad-json", str(exc))
         else:
-            response = await self.service.handle(message)
+            response = await self.service.handle(message, peer=peer)
         await self._send(writer, lock, response)
 
     async def _send(
@@ -526,6 +719,13 @@ class ServiceServer:
             pass  # client went away mid-reply; nothing to salvage
 
     async def stop(self) -> None:
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            try:
+                await self._autoscale_task
+            except asyncio.CancelledError:
+                pass
+            self._autoscale_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -646,6 +846,7 @@ __all__ = [
     "COMPUTE_KINDS",
     "DEFAULT_MAX_LINE_BYTES",
     "DecompositionService",
+    "RateLimiter",
     "ServerThread",
     "ServiceServer",
     "WorkerError",

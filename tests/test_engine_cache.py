@@ -108,20 +108,37 @@ def test_two_instances_same_pid_use_distinct_temp_names(tmp_path):
 # ---------------------------------------------------------------------------
 
 
+def _stats(**overrides) -> dict:
+    base = {
+        "hits": 0,
+        "misses": 0,
+        "stores": 0,
+        "corrupt": 0,
+        "evictions": 0,
+        "quarantined": 0,
+        "replayed": 0,
+    }
+    base.update(overrides)
+    return base
+
+
 def test_corrupt_entry_counts_exactly_one_miss_and_one_corrupt(tmp_path):
     cache = ResultCache(tmp_path)
     key = "ef" + "0" * 62
 
     assert cache.get(key) is None  # cold
-    assert cache.stats == {"hits": 0, "misses": 1, "stores": 0, "corrupt": 0, "evictions": 0}
+    assert cache.stats == _stats(misses=1)
 
     cache.put(key, {"v": 1})
     assert cache.get(key) == {"v": 1}  # warm
-    assert cache.stats == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0, "evictions": 0}
+    assert cache.stats == _stats(hits=1, misses=1, stores=1)
 
     cache.path_for(key).write_text("{not json", encoding="utf-8")
-    assert cache.get(key) is None  # corrupt
-    assert cache.stats == {"hits": 1, "misses": 2, "stores": 1, "corrupt": 1, "evictions": 0}
+    assert cache.get(key) is None  # corrupt: counted AND quarantined
+    assert cache.stats == _stats(
+        hits=1, misses=2, stores=1, corrupt=1, quarantined=1
+    )
+    assert not cache.path_for(key).exists()
 
     # Repeat the whole sequence: counters advance linearly, no drift.
     cache.put(key, {"v": 2})
@@ -130,7 +147,9 @@ def test_corrupt_entry_counts_exactly_one_miss_and_one_corrupt(tmp_path):
         json.dumps({"format": "alien/1", "payload": {}}), encoding="utf-8"
     )
     assert cache.get(key) is None
-    assert cache.stats == {"hits": 2, "misses": 3, "stores": 2, "corrupt": 2, "evictions": 0}
+    assert cache.stats == _stats(
+        hits=2, misses=3, stores=2, corrupt=2, quarantined=2
+    )
     assert cache.hit_rate() == 2 / 5
 
 

@@ -410,6 +410,7 @@ def test_status_probe_reports_all_sections(server):
     with ServiceClient(server.host, server.port) as client:
         status = client.status()
     assert set(status) == {
+        "server",
         "requests",
         "fleet",
         "coalesce",
@@ -417,16 +418,26 @@ def test_status_probe_reports_all_sections(server):
         "pool",
         "admission",
     }
+    assert status["server"]["uptime_s"] >= 0
     assert status["fleet"]["size"] == 2
+    assert status["fleet"]["slots_target"] == 2
+    assert status["fleet"]["slots_live"] == 2
+    assert status["fleet"]["draining"] == 0
     assert status["fleet"]["prewarmed"] == 2
     assert len(status["fleet"]["pids"]) == 2
-    for counter in ("timeouts", "kills", "restarts", "retries"):
+    for counter in (
+        "timeouts", "kills", "restarts", "retries",
+        "resizes", "grown", "shrunk",
+    ):
         assert status["fleet"][counter] >= 0
     assert status["cache"]["shards"] == 4
     assert status["cache"]["entries"] >= 1
+    assert status["cache"]["quarantined"] == 0
+    assert status["cache"]["replayed"] == 0
     assert status["pool"]["warm_covers"] >= 1
     assert status["admission"]["overloaded"] == 0
     assert status["admission"]["too_large"] == 0
+    assert status["admission"]["rate_limited"] == 0
     assert status["admission"]["inflight"] == 0
 
 
@@ -749,13 +760,46 @@ def test_client_timeout_marks_connection_broken():
             client.request("status")
         assert excinfo.value.type == "timeout"
         # The late reply must never pair with a later request: the
-        # connection is poisoned and every further call fails fast.
+        # connection is poisoned.  A *compute* kind never auto-retries —
+        # it fails fast on the broken connection.
         with pytest.raises(ServiceError) as excinfo:
-            client.request("status")
+            client.request("decompose", {"f": {}})
         assert excinfo.value.type == "connection-closed"
+        assert client.stats["reconnects"] == 0
     finally:
         thread.join(timeout=30)
         listener.close()
+
+
+def test_client_idempotent_kinds_reconnect_transparently(server):
+    client = ServiceClient(server.host, server.port)
+    try:
+        assert client.status()["fleet"]["size"] >= 1
+        # Poison the connection the way a timeout would.
+        client._break()
+        with pytest.raises(ServiceError):
+            client.request("decompose", {"f": {}})  # compute: fails fast
+        # status is idempotent: the client reconnects and retries on its
+        # own instead of failing fast forever.
+        assert client.status()["fleet"]["size"] >= 1
+        assert client.stats["reconnects"] == 1
+        assert not client._broken
+    finally:
+        client.close()
+
+
+def test_client_reconnect_escape_hatch(server):
+    client = ServiceClient(server.host, server.port)
+    try:
+        client._break()
+        client.reconnect()
+        assert not client._broken
+        # A compute kind works again after the explicit reconnect.
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("decompose", {"name": "missing-f"})
+        assert excinfo.value.type == "bad-request"
+    finally:
+        client.close()
 
 
 def test_metrics_request_renders_prometheus_exposition(server):
@@ -780,8 +824,18 @@ def test_metrics_request_renders_prometheus_exposition(server):
         "repro_fleet_timeouts",
         "repro_admission_overloaded",
         "repro_admission_too_large",
+        "repro_admission_rate_limited",
         "repro_requests_requests",
         "repro_coalesce_rate",
+        "repro_server_uptime_s",
+        "repro_fleet_slots_target",
+        "repro_fleet_slots_live",
+        "repro_fleet_draining",
+        "repro_fleet_resizes",
+        "repro_fleet_grown",
+        "repro_fleet_shrunk",
+        "repro_cache_quarantined",
+        "repro_cache_replayed",
     ):
         assert expected in names
     # TYPE comments precede their samples.
@@ -798,3 +852,276 @@ def test_shutdown_request_stops_the_server():
         assert not thread._thread.is_alive()
     finally:
         thread.stop()
+
+
+# ---------------------------------------------------------------------------
+# Graceful resize + autoscale
+# ---------------------------------------------------------------------------
+
+
+def test_fleet_resize_grow_then_shrink_idle():
+    with WorkerFleet(2, prewarm=False) as fleet:
+        summary = fleet.resize(4)
+        assert summary["size"] == 4
+        assert summary["grown"] == 2
+        assert fleet.slots_live == 4
+        assert len(set(fleet.pids())) == 4
+        assert fleet.run_sync(_worker_ident, {})["ok"]
+        # Shrink with every slot idle: victims retire immediately (the
+        # process joins run detached; the bookkeeping is synchronous).
+        summary = fleet.resize(2)
+        assert summary["size"] == 2
+        assert summary["shrunk"] == 2
+        assert fleet.slots_live == 2
+        assert fleet.draining == 0
+        assert fleet.stats["resizes"] == 2
+        assert fleet.stats["grown"] == 2
+        assert fleet.stats["shrunk"] == 2
+        assert fleet.run_sync(_worker_ident, {})["ok"]
+
+
+def test_fleet_shrink_drains_busy_slots_without_dropping():
+    import threading
+    import time
+
+    with WorkerFleet(2) as fleet:
+        results = []
+
+        def sleeper():
+            results.append(fleet.run_sync(service_sleep, {"seconds": 0.6}))
+
+        threads = [threading.Thread(target=sleeper) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        # Wait until both slots are checked out.
+        deadline = time.time() + 5
+        while fleet._free and time.time() < deadline:
+            time.sleep(0.01)
+        assert not fleet._free, "slots never became busy"
+
+        summary = fleet.resize(1)
+        # No idle slot to retire: one busy slot is draining instead.
+        assert summary["size"] == 1
+        assert summary["draining"] == 1
+        assert fleet.slots_live == 2  # still finishing its request
+
+        for thread in threads:
+            thread.join(timeout=30)
+        # Zero dropped: both in-flight sleeps resolved normally.
+        assert [reply["ok"] for reply in results] == [True, True]
+        assert {reply["payload"]["slept"] for reply in results} == {0.6}
+        # The draining slot retired once its request released it.
+        deadline = time.time() + 5
+        while (fleet.draining or fleet.slots_live != 1) and time.time() < deadline:
+            time.sleep(0.01)
+        assert fleet.draining == 0
+        assert fleet.slots_live == 1
+        assert fleet.stats["shrunk"] == 1
+        # Growing reclaims nothing (no drains left) and spawns fresh.
+        assert fleet.resize(2)["size"] == 2
+        assert fleet.run_sync(_worker_ident, {})["ok"]
+
+
+def test_resize_grow_cancels_drains_first():
+    import threading
+    import time
+
+    with WorkerFleet(2) as fleet:
+        results = []
+
+        def sleeper():
+            results.append(fleet.run_sync(service_sleep, {"seconds": 0.8}))
+
+        threads = [threading.Thread(target=sleeper) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        deadline = time.time() + 5
+        while fleet._free and time.time() < deadline:
+            time.sleep(0.01)
+        fleet.resize(1)
+        assert fleet.draining == 1
+        # Growing back before the drain completes just un-marks the
+        # victim: the slot is warm and returns to the pool on release.
+        summary = fleet.resize(2)
+        assert summary["grown"] == 1
+        assert fleet.draining == 0
+        for thread in threads:
+            thread.join(timeout=30)
+        assert [reply["ok"] for reply in results] == [True, True]
+        assert fleet.slots_live == 2
+        assert fleet.stats["shrunk"] == 0  # nothing actually retired
+
+
+def test_resize_service_kind_and_validation():
+    service = DecompositionService(jobs=1, prewarm=False)
+    try:
+        bad, good = drive(
+            service,
+            [
+                wire.svc_request("resize", {}, "x1"),
+                wire.svc_request("resize", {"size": 2}, "x2"),
+            ],
+        )
+        assert bad["ok"] is False
+        assert bad["error"]["type"] == "bad-request"
+        assert good["ok"] is True
+        assert good["result"]["size"] == 2
+        assert service.fleet.size == 2
+    finally:
+        service.close()
+
+
+def test_autoscale_decision_is_queue_depth_driven():
+    service = DecompositionService(
+        jobs=1, prewarm=False, min_slots=1, max_slots=3
+    )
+    try:
+        fleet = service.fleet
+        assert service.autoscale_decision() is None  # at the floor, idle
+        fleet.waiting = 2  # simulate dispatches queued for a slot
+        assert service.autoscale_decision() == 3  # grow by depth, capped
+        fleet.waiting = 0
+        fleet.resize(3)
+        # Sustained idleness shrinks one slot after three ticks.
+        assert service.autoscale_decision() is None
+        assert service.autoscale_decision() is None
+        assert service.autoscale_decision() == 2
+        # A manual resize outside the bounds is pulled back into range.
+        fleet.resize(5)
+        assert service.autoscale_decision() == 3
+    finally:
+        service.close()
+
+
+def test_resize_under_load_drops_zero_requests(z4):
+    import threading
+    import time
+
+    service = DecompositionService(jobs=2)
+    expected = [
+        in_process_payload(isf, name=f"o{index}")
+        for index, isf in enumerate(z4.outputs)
+    ]
+    with ServerThread(service=service) as thread:
+        errors: list = []
+        payloads: list = []
+        stop = threading.Event()
+
+        def pound(worker: int) -> None:
+            with ServiceClient(thread.host, thread.port) as client:
+                index = worker
+                while not stop.is_set():
+                    isf_index = index % len(z4.outputs)
+                    item = work_item(
+                        z4.outputs[isf_index], name=f"o{isf_index}"
+                    )
+                    try:
+                        payload, _stats = client.request("decompose", item)
+                        payloads.append((isf_index, payload))
+                    except ServiceError as exc:  # pragma: no cover
+                        errors.append(exc)
+                    index += 1
+
+        workers = [
+            threading.Thread(target=pound, args=(n,)) for n in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            with ServiceClient(thread.host, thread.port) as control:
+                grow = control.resize(4)
+                assert grow["size"] == 4
+                time.sleep(0.4)
+                shrink = control.resize(2)
+                assert shrink["size"] == 2
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=60)
+        assert errors == []
+        assert payloads, "no requests completed under load"
+        # Every response is byte-identical to the in-process result.
+        for isf_index, payload in payloads:
+            assert stripped(payload, INFORMATIONAL_RESULT_KEYS) == stripped(
+                expected[isf_index], INFORMATIONAL_RESULT_KEYS
+            )
+        # The fleet converges back to the shrink target.
+        deadline = time.time() + 10
+        while (
+            service.fleet.draining or service.fleet.slots_live != 2
+        ) and time.time() < deadline:
+            time.sleep(0.05)
+        assert service.fleet.size == 2
+        assert service.fleet.slots_live == 2
+        assert service.fleet.stats["resizes"] == 2
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# Per-client rate limiting
+# ---------------------------------------------------------------------------
+
+
+def test_rate_limiter_token_bucket_with_fake_clock():
+    from repro.service import RateLimiter
+
+    clock = {"t": 0.0}
+    limiter = RateLimiter(rate=2.0, burst=2.0, clock=lambda: clock["t"])
+    assert limiter.admit("a") == 0.0  # burst token 1
+    assert limiter.admit("a") == 0.0  # burst token 2
+    wait = limiter.admit("a")
+    assert wait == pytest.approx(0.5)  # empty: one token is 1/rate away
+    clock["t"] = 0.25
+    assert limiter.admit("a") == pytest.approx(0.25)  # halfway refilled
+    clock["t"] = 0.75
+    assert limiter.admit("a") == 0.0  # refilled past one token
+    assert limiter.admit("b") == 0.0  # buckets are per peer
+
+
+def test_rate_limited_envelope_carries_retry_after(z4):
+    service = DecompositionService(jobs=1, rate=0.001, burst=1)
+    try:
+        item = work_item(z4.outputs[0], name="o0")
+        replies = drive(
+            service,
+            [
+                wire.svc_request("decompose", item, "r1"),
+                wire.svc_request("decompose", item, "r2"),
+            ],
+        )
+        ok = [reply for reply in replies if reply["ok"]]
+        limited = [reply for reply in replies if not reply["ok"]]
+        assert len(ok) == 1 and len(limited) == 1
+        error = limited[0]["error"]
+        assert error["type"] == "rate-limited"
+        assert error["retry_after_s"] > 0
+        # Probe kinds are never throttled — monitoring keeps working.
+        probe = drive(service, [wire.svc_request("status", {}, "s1")])[0]
+        assert probe["ok"] is True
+        assert service.admission["rate_limited"] == 1
+    finally:
+        service.close()
+
+
+def test_rate_limited_client_recovers_with_backoff(z4):
+    service = DecompositionService(jobs=1, rate=5.0, burst=1)
+    expected = in_process_payload(z4.outputs[0], name="o0")
+    with ServerThread(service=service) as thread:
+        with ServiceClient(thread.host, thread.port) as client:
+            payloads = [
+                client.request(
+                    "decompose", work_item(z4.outputs[0], name="o0")
+                )[0]
+                for _ in range(3)
+            ]
+            retries = client.stats["rate_limited_retries"]
+    # Back-to-back requests overran 5 req/s: at least one was limited,
+    # backed off per the server's retry_after_s hint, and recovered.
+    assert retries >= 1
+    assert service.admission["rate_limited"] >= 1
+    for payload in payloads:
+        assert stripped(payload, INFORMATIONAL_RESULT_KEYS) == stripped(
+            expected, INFORMATIONAL_RESULT_KEYS
+        )
+    service.close()
