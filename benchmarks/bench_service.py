@@ -7,7 +7,7 @@ what serving buys over one-shot execution::
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_service.py --quick
 
-Six phases per run:
+Seven phases per run:
 
 * **latency** — every output of every suite benchmark is decomposed as
   its own request against a warm, cache-less server; p50/p99 request
@@ -34,6 +34,12 @@ Six phases per run:
   ``max_inflight=1`` server: over-budget arrivals must get typed
   ``overloaded`` errors, in-budget ones must complete, and every
   rejected request must succeed when retried sequentially.
+* **trace overhead** — the same warm workload against a tracing-off
+  and a tracing-on server (tracer installed before the fleet forks):
+  payloads must stay byte-identical, every traced request must land in
+  the trace ring, the trace page must export to schema-valid Chrome
+  JSON, and the traced p50 must stay inside a generous envelope of the
+  untraced one.
 
 Two more phases under ``--chaos`` (the CI chaos smoke)::
 
@@ -422,6 +428,95 @@ def phase_faults(item: dict) -> dict:
     return rows
 
 
+#: Requests per side of the tracing on/off latency comparison.
+TRACE_REQUESTS = 8
+
+
+def phase_trace_overhead(item: dict) -> dict:
+    """Tracing on vs off: p50 comparison, identity, wire trace, export.
+
+    A baseline server runs the item ``TRACE_REQUESTS`` times with no
+    tracer installed; a second server — whose fleet forked *after*
+    :func:`repro.obs.install`, so workers carry the tracer — repeats the
+    run.  The row gates four things: the traced payloads are
+    byte-identical to the baseline's, every traced request produced a
+    trace record, the ``trace`` page exports to schema-valid Chrome
+    JSON, and the traced p50 stays within a generous envelope of the
+    baseline (ratio 1.5 plus a 5ms absolute floor so micro-walls don't
+    flap the gate).
+    """
+    from repro import obs
+    from repro.obs import chrome_trace, validate_chrome_trace
+    from repro.service import DecompositionService
+
+    def measure(server) -> tuple[list[float], list[str]]:
+        walls: list[float] = []
+        payloads: list[str] = []
+        with ServiceClient(server.host, server.port) as client:
+            client.decompose(item)  # warmup: worker managers, engines
+            for _ in range(TRACE_REQUESTS):
+                wall, (payload, _stats) = _timed(
+                    lambda: client.decompose(item)
+                )
+                walls.append(wall)
+                payloads.append(
+                    json.dumps(
+                        _stripped(payload, INFORMATIONAL_RESULT_KEYS),
+                        sort_keys=True,
+                    )
+                )
+        return walls, payloads
+
+    with ServerThread(jobs=1) as baseline_server:
+        baseline_walls, baseline_payloads = measure(baseline_server)
+
+    obs.install()
+    try:
+        service = DecompositionService(jobs=1)
+        with ServerThread(service=service) as traced_server:
+            traced_walls, traced_payloads = measure(traced_server)
+            with ServiceClient(traced_server.host, traced_server.port) as probe:
+                page = probe.trace(n=TRACE_REQUESTS, order="slowest")
+        service.close()
+    finally:
+        obs.uninstall()
+
+    baseline_p50 = statistics.median(baseline_walls)
+    traced_p50 = statistics.median(traced_walls)
+    identical = (
+        set(traced_payloads) == set(baseline_payloads)
+        and len(set(traced_payloads)) == 1
+    )
+    recorded = page["recorded"] >= TRACE_REQUESTS
+    document = chrome_trace(page["traces"])
+    chrome_valid = validate_chrome_trace(document) == [] and any(
+        event.get("name") == "worker.compute"
+        for event in document["traceEvents"]
+    )
+    overhead_ok = traced_p50 <= baseline_p50 * 1.5 + 0.005
+    record = {
+        "wall_s": sum(traced_walls),
+        "requests": TRACE_REQUESTS,
+        "baseline_p50_s": baseline_p50,
+        "traced_p50_s": traced_p50,
+        "overhead_ratio": traced_p50 / baseline_p50 if baseline_p50 else 0.0,
+        "identical": identical,
+        "trace_recorded": page["recorded"],
+        "chrome_valid": chrome_valid,
+        "overhead_ok": overhead_ok,
+        "ok": identical and recorded and chrome_valid and overhead_ok,
+    }
+    print(
+        f"svc:trace:overhead     p50 off {1e3 * baseline_p50:7.2f}ms"
+        f"  on {1e3 * traced_p50:7.2f}ms"
+        f"  x{record['overhead_ratio']:.2f}"
+        f"  {'identical' if identical else 'MISMATCH'}"
+        f"  {'chrome-valid' if chrome_valid else 'BAD EXPORT'}",
+        file=sys.stderr,
+    )
+    return record
+
+
 #: Distinct operators -> distinct request keys for the admission burst.
 ADMISSION_OPS = ("auto", "AND", "OR", "XOR", "NAND", "NOR")
 
@@ -707,6 +802,7 @@ def run(
     cache_record = phase_cache(suite_items, jobs, cache_dir)
     fault_rows = phase_faults(suite_items[suite[0]][0])
     admission_record = phase_admission(suite_items[largest][0])
+    trace_record = phase_trace_overhead(suite_items[suite[0]][0])
 
     chaos_rows: dict[str, dict] = {}
     resize_record = None
@@ -721,6 +817,7 @@ def run(
     workloads["svc:cache_warm"] = cache_record
     workloads.update(fault_rows)
     workloads["svc:admission"] = admission_record
+    workloads["svc:trace:overhead"] = trace_record
     workloads.update(chaos_rows)
     if resize_record is not None:
         workloads["svc:resize"] = resize_record
@@ -764,6 +861,11 @@ def run(
             "admission_overloaded": admission_record["overloaded"],
             "admission_errors": admission_record["errors"],
             "admission_ok": admission_record["ok"],
+            "trace_overhead_ratio": round(
+                trace_record["overhead_ratio"], 4
+            ),
+            "trace_identical": trace_record["identical"],
+            "trace_overhead_ok": trace_record["ok"],
             "chaos_ok": (
                 all(
                     row["deterministic"] and row["typed_or_identical"]
@@ -849,6 +951,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             "admission burst did not produce typed overloaded rejections"
             " alongside completed in-budget requests"
+        )
+    if not summary["trace_overhead_ok"]:
+        failures.append(
+            "tracing changed a payload, lost traces, exported invalid"
+            " Chrome JSON, or slowed the warm p50 past the envelope"
         )
     if summary["chaos_ok"] is False:
         failures.append(

@@ -137,7 +137,9 @@ def service_invariants(report: dict) -> list[str]:
     the fault-injection and admission phases must additionally show a
     hung worker timing out and recovering, a SIGKILLed fleet serving a
     byte-identical payload, and an over-budget burst drawing typed
-    ``overloaded`` rejections; ``--chaos`` reports must additionally
+    ``overloaded`` rejections; reports with the trace-overhead probe
+    must show tracing leaving payloads byte-identical and the traced
+    p50 inside its envelope; ``--chaos`` reports must additionally
     show every seeded fault plan replaying deterministically and the
     resize-under-load probe dropping zero requests (the ``is False``
     guards keep older reports without those phases passing).
@@ -168,6 +170,13 @@ def service_invariants(report: dict) -> list[str]:
         failures.append(
             "admission burst did not reject over-budget load with typed"
             " overloaded errors"
+        )
+    if summary.get("trace_identical") is False:
+        failures.append("tracing changed a decomposition payload")
+    if summary.get("trace_overhead_ok") is False:
+        failures.append(
+            "trace overhead probe failed: lost traces, invalid Chrome"
+            " export, or traced p50 outside the envelope"
         )
     if summary.get("chaos_ok") is False:
         failures.append(

@@ -57,6 +57,8 @@ from collections.abc import Iterable, Iterator
 from itertools import islice
 from weakref import ref as _weakref
 
+from repro.obs.trace import span as _obs_span
+
 #: Level assigned to the terminal node; larger than any variable level.
 TERMINAL_LEVEL = 1 << 30
 
@@ -875,6 +877,14 @@ class BDD:
         reachability and are dropped wholesale), and like ``gc`` it is
         only legal between operations, never inside one.
         """
+        with _obs_span("bdd.reorder") as sp:
+            stats = self._reorder_sift(max_growth)
+            sp.annotate(
+                before=stats["before"], after=stats["after"], swaps=stats["swaps"]
+            )
+        return stats
+
+    def _reorder_sift(self, max_growth: float) -> dict:
         n = self.n_vars
         if n < 2:
             return {

@@ -23,10 +23,14 @@ Usage::
                               [--max-line-kb KB] [--max-pending N]
                               [--rate R] [--burst B]
                               [--min-slots N] [--max-slots N]
+                              [--trace] [--trace-capacity N]
+                              [--slow-request S]
     python -m repro.cli serve --status --port P
-    python -m repro.cli client <status|metrics|resize|shutdown|netsyn|decompose>
+    python -m repro.cli client <status|metrics|trace|resize|shutdown|netsyn|decompose>
                                [names...] [--host H] --port P [--op auto]
                                [--timeout S] [--size N]
+                               [--n N] [--slowest] [--min-duration S]
+                               [--chrome out.json]
 
 Installed as the ``repro-bidec`` console script.
 """
@@ -199,6 +203,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(json.dumps(client.status(), indent=2, sort_keys=True))
         return 0
 
+    if args.trace:
+        from repro import obs
+
+        # Install before the service constructs its fleet: workers fork
+        # with the tracer already in place, so their spans join every
+        # request's trace (exactly like an inherited fault plan).
+        obs.install()
     service = DecompositionService(
         jobs=args.jobs if args.jobs > 0 else None,
         cache_dir=args.cache_dir,
@@ -217,6 +228,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         burst=args.burst if args.burst > 0 else None,
         min_slots=args.min_slots if args.min_slots > 0 else None,
         max_slots=args.max_slots if args.max_slots > 0 else None,
+        trace_capacity=args.trace_capacity,
+        slow_request_s=args.slow_request if args.slow_request > 0 else None,
     )
 
     async def _run() -> None:
@@ -251,6 +264,29 @@ def _cmd_client(args: argparse.Namespace) -> int:
             return 0
         if args.action == "metrics":
             print(client.metrics(), end="")
+            return 0
+        if args.action == "trace":
+            result = client.trace(
+                n=args.n,
+                order="slowest" if args.slowest else "recent",
+                min_duration_s=(
+                    args.min_duration if args.min_duration > 0 else None
+                ),
+            )
+            if args.chrome:
+                from pathlib import Path
+
+                from repro.obs import chrome_trace
+
+                document = chrome_trace(result.get("traces", []))
+                Path(args.chrome).write_text(json.dumps(document))
+                print(
+                    f"wrote {len(result.get('traces', []))} traces"
+                    f" ({len(document['traceEvents'])} events) to"
+                    f" {args.chrome}"
+                )
+                return 0
+            print(json.dumps(result, indent=2, sort_keys=True))
             return 0
         if args.action == "resize":
             if args.size < 1:
@@ -560,6 +596,25 @@ def main(argv: list[str] | None = None) -> int:
         "--status", action="store_true",
         help="probe a running server (--port) and print its counters",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "install the span tracer before the fleet forks: every request"
+            " records a full span tree (server/coalescer/fleet/worker/"
+            "engine/cache), queryable via 'client trace'"
+        ),
+    )
+    serve.add_argument(
+        "--trace-capacity", type=int, default=256, metavar="N",
+        help="trace ring-buffer capacity (default: 256 requests)",
+    )
+    serve.add_argument(
+        "--slow-request", type=float, default=0.0, metavar="S",
+        help=(
+            "log requests slower than S seconds with a per-site latency"
+            " breakdown (requires --trace; default: off)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     client = subparsers.add_parser(
@@ -569,7 +624,8 @@ def main(argv: list[str] | None = None) -> int:
     client.add_argument(
         "action",
         choices=(
-            "status", "metrics", "resize", "shutdown", "netsyn", "decompose"
+            "status", "metrics", "trace", "resize", "shutdown", "netsyn",
+            "decompose",
         ),
     )
     client.add_argument("names", nargs="*", help="benchmark names")
@@ -578,6 +634,25 @@ def main(argv: list[str] | None = None) -> int:
     client.add_argument(
         "--size", type=int, default=0, metavar="N",
         help="target fleet size for the resize action",
+    )
+    client.add_argument(
+        "--n", type=int, default=20, metavar="N",
+        help="trace action: fetch up to N traces (default: 20)",
+    )
+    client.add_argument(
+        "--slowest", action="store_true",
+        help="trace action: slowest-first instead of most recent",
+    )
+    client.add_argument(
+        "--min-duration", type=float, default=0.0, metavar="S",
+        help="trace action: only traces at least S seconds long",
+    )
+    client.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help=(
+            "trace action: write the fetched traces as Chrome trace-event"
+            " JSON (load PATH in https://ui.perfetto.dev)"
+        ),
     )
     client.add_argument(
         "--op", default="auto", help="operator for decompose (default: auto)"

@@ -49,6 +49,7 @@ import zlib
 from pathlib import Path
 
 from repro.bdd.serialize import canonical_hash
+from repro.obs.trace import span as _obs_span
 
 #: On-disk entry wrapper identifier; bump on any incompatible change.
 #: (Also folded into every cache *key*, so bumping it invalidates the
@@ -456,9 +457,10 @@ class ResultCache:
             sort_keys=True,
             separators=(",", ":"),
         )
-        journal_tmp = self._tmp_name(journal)
-        _write_durable(journal_tmp, record)
-        os.replace(journal_tmp, journal)
+        with _obs_span("cache.journal", key=key[:16]):
+            journal_tmp = self._tmp_name(journal)
+            _write_durable(journal_tmp, record)
+            os.replace(journal_tmp, journal)
         _fire("cache.put.journaled", key=key)
         tmp = self._tmp_name(path)
         _write_durable(tmp, text)

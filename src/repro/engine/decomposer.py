@@ -48,6 +48,7 @@ from repro.core.operators import TABLE_I_ORDER, BinaryOperator, operator_by_name
 from repro.core.quotient import InvalidDivisorError, full_quotient
 from repro.engine.cache import ResultCache, as_result_cache
 from repro.engine.registry import APPROXIMATORS, MINIMIZERS, ResolvedStrategy
+from repro.obs.trace import span as _obs_span
 from repro.engine.request import (
     CandidateOutcome,
     DecomposeRequest,
@@ -185,7 +186,9 @@ class Decomposer:
         original manager.  Results are therefore identical whichever
         backend computes them.
         """
-        target = self._backend_for(request)
+        with _obs_span("engine.dispatch") as sp:
+            target = self._backend_for(request)
+            sp.annotate(backend=target, native=backend_of(request.f.mgr))
         self.stats[f"backend_{target}"] += 1
         if target != backend_of(request.f.mgr):
             return self._run_converted(request, target)
@@ -761,16 +764,18 @@ class Decomposer:
         approx_name, divisor = self._divisor(f, op, approx_spec, timings)
 
         t0 = perf_counter()
-        h = full_quotient(f, divisor.g, op)
+        with _obs_span("engine.quotient", op=op.name):
+            h = full_quotient(f, divisor.g, op)
         timings["quotient"] += perf_counter() - t0
 
         t0 = perf_counter()
-        g_cover = divisor.g_cover
-        if g_cover is None:
-            g_cover = self._minimize(
-                ISF.completely_specified(divisor.g), minimizer
-            )
-        h_cover = self._minimize(h, minimizer)
+        with _obs_span("engine.minimize", op=op.name, minimizer=minimizer.name):
+            g_cover = divisor.g_cover
+            if g_cover is None:
+                g_cover = self._minimize(
+                    ISF.completely_specified(divisor.g), minimizer
+                )
+            h_cover = self._minimize(h, minimizer)
         timings["minimize"] += perf_counter() - t0
 
         decomposition = BiDecomposition(
@@ -813,7 +818,8 @@ class Decomposer:
             return resolved.name, cached
         self.stats["divisor_misses"] += 1
         t0 = perf_counter()
-        divisor = _as_divisor(resolved.func(f, op))
+        with _obs_span("engine.approximate", op=op.name, approximator=resolved.name):
+            divisor = _as_divisor(resolved.func(f, op))
         timings["approximate"] += perf_counter() - t0
         self._divisor_cache[key] = divisor
         return resolved.name, divisor
@@ -831,6 +837,7 @@ class Decomposer:
     @staticmethod
     def _verify(decomposition: BiDecomposition, timings: dict[str, float]) -> bool:
         t0 = perf_counter()
-        verified = decomposition.verify()
+        with _obs_span("engine.verify", op=decomposition.op.name):
+            verified = decomposition.verify()
         timings["verify"] += perf_counter() - t0
         return verified

@@ -43,6 +43,7 @@ SVC_KINDS = (
     "netsyn",
     "status",
     "metrics",
+    "trace",
     "resize",
     "shutdown",
 )

@@ -43,6 +43,7 @@ from repro.engine.decomposer import (
 )
 from repro.engine.registry import MINIMIZERS
 from repro.netsyn.pool import DivisorPool
+from repro.obs.trace import span as _obs_span
 from repro.netsyn.scheduler import schedule_by_overlap
 from repro.techmap.area import map_network
 from repro.techmap.genlib import GateLibrary
@@ -198,6 +199,22 @@ class NetworkSynthesizer:
         instantiates exactly the cover a cold run would compute and the
         synthesized network is identical either way.
         """
+        with _obs_span("netsyn.synthesize", name=getattr(instance, "name", "")) as sp:
+            result = self._synthesize(instance, jobs, cache, pool_seed, collect_covers)
+            sp.annotate(
+                cached=bool(getattr(result, "cached", False)),
+                outputs=len(result.output_names),
+            )
+        return result
+
+    def _synthesize(
+        self,
+        instance,
+        jobs: int,
+        cache: "ResultCache | str | None",
+        pool_seed: dict | None,
+        collect_covers: bool,
+    ) -> NetworkSynthesisResult:
         from repro.bdd.serialize import SerializationError
         from repro.engine import wire
 
@@ -306,19 +323,22 @@ class NetworkSynthesizer:
         cover = self._cover_memo.get(isf)
         if cover is not None:
             return cover
-        warm_key = None
-        if pool is not None and pool.collect_covers:
-            from repro.engine import wire
+        with _obs_span("netsyn.cover", minimizer=self.config.minimizer) as sp:
+            warm_key = None
+            if pool is not None and pool.collect_covers:
+                from repro.engine import wire
 
-            # The minimizer is part of the key: warm covers replay a
-            # *specific* deterministic minimization, not just the block.
-            warm_key = f"{self.config.minimizer}|{wire.isf_fingerprint(isf)}"
-            payload = pool.warm_cover(warm_key)
-            if payload is not None:
-                cover = wire.cover_from_payload(payload)
-                self._cover_memo[isf] = cover
-                return cover
-        cover = self._minimize(isf)
+                # The minimizer is part of the key: warm covers replay a
+                # *specific* deterministic minimization, not just the block.
+                warm_key = f"{self.config.minimizer}|{wire.isf_fingerprint(isf)}"
+                payload = pool.warm_cover(warm_key)
+                if payload is not None:
+                    cover = wire.cover_from_payload(payload)
+                    self._cover_memo[isf] = cover
+                    sp.annotate(source="warm")
+                    return cover
+            cover = self._minimize(isf)
+            sp.annotate(source="minimized")
         if cover is None:
             raise ValueError(
                 f"minimizer {self.config.minimizer!r} produced no cover"

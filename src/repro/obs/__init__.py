@@ -1,0 +1,57 @@
+"""Span-based observability for the decomposition stack.
+
+``repro.obs`` is deliberately standalone — it imports nothing from the
+rest of :mod:`repro` — so every layer (engine, BDD manager, netsyn,
+service) can instrument itself by importing :func:`span` directly
+without creating dependency cycles or dragging the service stack into
+engine-only processes.
+
+The subsystem mirrors the :mod:`repro.service.faults` hook pattern:
+
+* :func:`install` / :func:`uninstall` / :func:`active` manage one
+  process-wide :class:`Tracer`; forked workers inherit it, so worker
+  spans join the server's traces.
+* :func:`span` is the single instrumentation primitive.  When no
+  tracer is installed it returns a shared no-op singleton — the cost
+  of an uninstrumented site is one module-global read.
+
+Higher layers add :class:`~repro.obs.store.TraceStore` (bounded ring
+buffer of reassembled traces), :class:`~repro.obs.hist.LatencyHistograms`
+(fixed-bucket per-site latency with exemplar trace ids), and
+:func:`~repro.obs.export.chrome_trace` (Perfetto-loadable Chrome
+trace-event JSON).
+"""
+
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.hist import DEFAULT_BUCKETS, LatencyHistograms
+from repro.obs.store import TraceStore
+from repro.obs.trace import (
+    CLOCK,
+    Tracer,
+    absorb,
+    active,
+    current_context,
+    current_trace_id,
+    install,
+    installed,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "CLOCK",
+    "DEFAULT_BUCKETS",
+    "LatencyHistograms",
+    "TraceStore",
+    "Tracer",
+    "absorb",
+    "active",
+    "chrome_trace",
+    "current_context",
+    "current_trace_id",
+    "install",
+    "installed",
+    "span",
+    "uninstall",
+    "validate_chrome_trace",
+]

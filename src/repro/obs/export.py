@@ -1,0 +1,107 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+Each trace record becomes one "process" row (pid = ordinal, named after
+the request kind and trace id) whose threads are the real OS pids the
+spans ran in — so the server/worker split is visible at a glance.
+Spans are emitted as ``ph: "X"`` complete events with microsecond
+timestamps rebased to the earliest span in the export.
+
+The output of :func:`chrome_trace` is a plain dict; dump it with
+``json.dumps`` and load the file in https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def chrome_trace(records: Iterable[dict]) -> dict:
+    """Convert :class:`~repro.obs.store.TraceStore` records to Chrome JSON."""
+    records = list(records)
+    starts = [
+        span["t0"]
+        for record in records
+        for span in record.get("spans", ())
+        if isinstance(span.get("t0"), (int, float))
+    ]
+    origin = min(starts) if starts else 0.0
+    events: list[dict] = []
+    for ordinal, record in enumerate(records, start=1):
+        label = (
+            f"{record.get('kind', '?')} {str(record.get('trace_id', ''))[:12]}"
+            f" [{record.get('status', '?')}]"
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": ordinal,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        seen_tids: set[int] = set()
+        for span in record.get("spans", ()):
+            t0, t1 = span.get("t0"), span.get("t1")
+            if not isinstance(t0, (int, float)) or not isinstance(t1, (int, float)):
+                continue
+            tid = int(span.get("pid", 0))
+            if tid not in seen_tids:
+                seen_tids.add(tid)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": ordinal,
+                        "tid": tid,
+                        "args": {"name": f"pid {tid}"},
+                    }
+                )
+            args = {
+                "span_id": span.get("span_id"),
+                "parent_id": span.get("parent_id"),
+                "status": span.get("status"),
+            }
+            attrs = span.get("attrs")
+            if isinstance(attrs, dict):
+                args.update(attrs)
+            events.append(
+                {
+                    "name": str(span.get("site", "?")),
+                    "cat": str(record.get("kind", "request")),
+                    "ph": "X",
+                    "pid": ordinal,
+                    "tid": tid,
+                    "ts": (t0 - origin) * 1e6,
+                    "dur": max(0.0, t1 - t0) * 1e6,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Schema-check a Chrome trace document; return a list of problems.
+
+    Used by tests and the CI wire smoke — an empty list means the file
+    is loadable by Perfetto's trace-event importer.
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                problems.append(f"event {i}: missing {field!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(event.get(field), (int, float)):
+                    problems.append(f"event {i}: non-numeric {field!r}")
+    return problems

@@ -1,0 +1,99 @@
+"""Fixed-bucket per-site latency histograms with trace-id exemplars.
+
+Prometheus-shaped: cumulative ``le`` buckets plus ``_sum``/``_count``,
+one histogram per span site.  Each bucket remembers the most recent
+observation that landed in it together with its trace id, so the
+rendered page can attach OpenMetrics-style exemplars — a scrape reader
+can jump from "p99 is 80ms" straight to a concrete slow trace.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Upper bounds (seconds) for the fixed latency buckets.  Spans in this
+#: stack range from ~50µs cache probes to multi-second netsyn runs.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistograms:
+    """Thread-safe map of span site -> fixed-bucket latency histogram."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        # site -> [per-bucket counts..., +Inf count]
+        self._counts: dict[str, list[int]] = {}
+        self._sums: dict[str, float] = {}
+        # site -> bucket index -> (value, trace_id)
+        self._exemplars: dict[str, dict[int, tuple[float, str]]] = {}
+
+    def _bucket_index(self, seconds: float) -> int:
+        for i, le in enumerate(self.buckets):
+            if seconds <= le:
+                return i
+        return len(self.buckets)
+
+    def observe(self, site: str, seconds: float, trace_id: str | None = None) -> None:
+        index = self._bucket_index(seconds)
+        with self._lock:
+            counts = self._counts.get(site)
+            if counts is None:
+                counts = self._counts[site] = [0] * (len(self.buckets) + 1)
+                self._sums[site] = 0.0
+                self._exemplars[site] = {}
+            counts[index] += 1
+            self._sums[site] += seconds
+            if trace_id is not None:
+                self._exemplars[site][index] = (seconds, trace_id)
+
+    def observe_trace(self, record: dict) -> None:
+        """Fold every span of a finished trace record into the histograms."""
+        trace_id = record.get("trace_id")
+        for span in record.get("spans", ()):
+            t0, t1 = span.get("t0"), span.get("t1")
+            if isinstance(t0, (int, float)) and isinstance(t1, (int, float)):
+                self.observe(str(span.get("site", "?")), max(0.0, t1 - t0), trace_id)
+
+    def snapshot(self) -> dict:
+        """Sites -> {"buckets": [(le, cumulative)...], "sum", "count", "exemplars"}.
+
+        ``buckets`` are cumulative (Prometheus ``le`` semantics) and end
+        with the ``+Inf`` bucket.  ``exemplars`` maps bucket index ->
+        ``(value, trace_id)`` for the non-cumulative bucket the
+        observation landed in.
+        """
+        with self._lock:
+            out = {}
+            for site, counts in self._counts.items():
+                cumulative = []
+                running = 0
+                for i, le in enumerate(self.buckets):
+                    running += counts[i]
+                    cumulative.append((le, running))
+                running += counts[-1]
+                cumulative.append((float("inf"), running))
+                out[site] = {
+                    "buckets": cumulative,
+                    "sum": self._sums[site],
+                    "count": running,
+                    "exemplars": dict(self._exemplars[site]),
+                }
+            return out

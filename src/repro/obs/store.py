@@ -1,0 +1,70 @@
+"""Bounded ring buffer of reassembled request traces.
+
+The service records one entry per completed request: the root span plus
+every descendant (including worker-side spans absorbed across the fleet
+pipe), flattened to JSON-safe dicts.  The buffer is a fixed-capacity
+ring — oldest traces fall off — queried by recency or duration for the
+``trace`` wire kind and the Chrome exporter.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable
+
+#: Query orders accepted by :meth:`TraceStore.query`.
+ORDERS = ("recent", "slowest")
+
+
+class TraceStore:
+    """Thread-safe bounded store of finished trace records.
+
+    A *record* is a dict::
+
+        {"trace_id", "kind", "status", "t0", "duration_s", "spans": [...]}
+
+    where ``spans`` is the flattened span tree (each span carries its
+    own ``span_id``/``parent_id``).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = max(1, int(capacity))
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def add(self, record: dict) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.recorded += 1
+
+    def query(
+        self,
+        n: int = 20,
+        order: str = "recent",
+        min_duration_s: float = 0.0,
+    ) -> list[dict]:
+        """Return up to ``n`` records, newest-first or slowest-first."""
+        if order not in ORDERS:
+            raise ValueError(f"order must be one of {ORDERS}, got {order!r}")
+        with self._lock:
+            records: Iterable[dict] = list(self._ring)
+        if min_duration_s > 0.0:
+            records = [r for r in records if r.get("duration_s", 0.0) >= min_duration_s]
+        else:
+            records = list(records)
+        if order == "slowest":
+            records.sort(key=lambda r: r.get("duration_s", 0.0), reverse=True)
+        else:
+            records.reverse()
+        return records[: max(0, int(n))]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "buffered": len(self._ring),
+                "capacity": self.capacity,
+                "dropped": self.recorded - len(self._ring),
+            }

@@ -15,9 +15,10 @@ gets a typed ``ServiceError("timeout", ...)`` (or
 ``"connection-closed"``) and compute requests fail fast afterwards.
 Two bounded escapes from "broken forever":
 
-* **Idempotent kinds** (:data:`IDEMPOTENT_KINDS` — ``status`` and
-  ``metrics``, pure reads with no server-side effect worth double
-  counting) transparently reconnect and retry up to ``retries`` times,
+* **Idempotent kinds** (:data:`IDEMPOTENT_KINDS` — ``status``,
+  ``metrics``, and ``trace``: pure reads with no server-side effect
+  worth double counting) transparently reconnect and retry up to
+  ``retries`` times,
   so a monitoring probe survives a server restart without special
   casing.  Compute kinds never auto-retry: a ``decompose`` that timed
   out may still be running server-side, and re-sending it is a policy
@@ -47,7 +48,7 @@ import time
 from repro.engine import wire
 
 #: Kinds safe to replay blindly after a connection failure: pure reads.
-IDEMPOTENT_KINDS = frozenset(("status", "metrics"))
+IDEMPOTENT_KINDS = frozenset(("status", "metrics", "trace"))
 
 
 class ServiceError(RuntimeError):
@@ -256,6 +257,26 @@ class ServiceClient:
         """The server's counters as a Prometheus text-exposition page."""
         result, _stats = self.request("metrics")
         return result["text"]
+
+    def trace(
+        self,
+        n: int = 20,
+        order: str = "recent",
+        min_duration_s: float | None = None,
+    ) -> dict:
+        """Recent (or slowest) reassembled request traces.
+
+        Returns the server's trace-store view: ``enabled``, ring
+        counters, and ``traces`` — one record per request, each holding
+        the full span tree (server, coalescer, fleet, worker, engine,
+        cache sites).  ``order`` is ``"recent"`` or ``"slowest"``;
+        ``min_duration_s`` filters out faster requests.
+        """
+        params: dict = {"n": n, "order": order}
+        if min_duration_s is not None:
+            params["min_duration_s"] = min_duration_s
+        result, _stats = self.request("trace", params)
+        return result
 
     def resize(self, size: int) -> dict:
         """Retarget the fleet to ``size`` slots; returns the summary."""

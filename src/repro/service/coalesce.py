@@ -24,6 +24,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable
 
+from repro.obs import trace as _obs
 from repro.service import faults
 
 
@@ -49,13 +50,32 @@ class Coalescer:
         flight = self._inflight.get(key)
         if flight is not None and not flight.done():
             self.stats["followers"] += 1
-            return await asyncio.shield(flight), True
+            # The follower's trace records only the wait; the span links
+            # to the leader's trace id so a reader can jump to the trace
+            # that actually holds the compute spans.
+            with _obs.span("coalesce.follower", key=key[:16]) as sp:
+                sp.annotate(leader_trace=getattr(flight, "_obs_trace_id", None))
+                return await asyncio.shield(flight), True
 
         # Chaos window: failing the leader *here* — after the key was
         # checked but before the flight exists — must not poison the key
         # for later arrivals (nothing was registered yet).
         faults.fire("coalesce.flight", key=key)
-        flight = asyncio.get_running_loop().create_task(compute())
+        loop = asyncio.get_running_loop()
+        if _obs.active() is not None:
+
+            async def traced_compute():
+                # create_task copied the leader's context, so this span —
+                # and every compute span beneath it — nests under the
+                # leader's request trace even though the flight task is
+                # detached from (and outlives) its waiters.
+                with _obs.span("coalesce.leader", key=key[:16]):
+                    return await compute()
+
+            flight = loop.create_task(traced_compute())
+            flight._obs_trace_id = _obs.current_trace_id()
+        else:
+            flight = loop.create_task(compute())
         self._inflight[key] = flight
         self.stats["leaders"] += 1
 

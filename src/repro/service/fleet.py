@@ -54,6 +54,7 @@ error response, not a reason to lose the worker.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import itertools
 import os
 import threading
@@ -67,6 +68,7 @@ from repro.engine.parallel import (
     engine_spec_key,
     pool_context,
 )
+from repro.obs import trace as _obs
 from repro.service import faults
 
 #: Combined live-node budget across one worker's warm managers; crossing
@@ -215,10 +217,11 @@ def service_decompose(item: dict) -> dict:
     """
     try:
         faults.fire("worker.compute", entry="decompose")
-        _maybe_refresh()
-        mgr = _warm_manager(tuple(item["f"]["vars"]))
-        engine = _warm_engine(item)
-        payload = decompose_item(item, mgr=mgr, engine=engine)
+        with _obs.span("worker.compute", entry="decompose"):
+            _maybe_refresh()
+            mgr = _warm_manager(tuple(item["f"]["vars"]))
+            engine = _warm_engine(item)
+            payload = decompose_item(item, mgr=mgr, engine=engine)
     except Exception as exc:  # noqa: BLE001 — every failure is a reply
         return _error_envelope(exc)
     _WARM["computed"] += 1
@@ -303,22 +306,23 @@ def service_netsyn(task: dict) -> dict:
 
     try:
         faults.fire("worker.compute", entry="netsyn")
-        _maybe_refresh()
-        config = _netsyn_config(task.get("config") or {})
-        synthesizer = _WARM["synths"].get(config)
-        if synthesizer is None:
-            from repro.netsyn.synthesis import NetworkSynthesizer
+        with _obs.span("worker.compute", entry="netsyn"):
+            _maybe_refresh()
+            config = _netsyn_config(task.get("config") or {})
+            synthesizer = _WARM["synths"].get(config)
+            if synthesizer is None:
+                from repro.netsyn.synthesis import NetworkSynthesizer
 
-            synthesizer = NetworkSynthesizer(config)
-            _WARM["synths"][config] = synthesizer
-        instance = _task_instance(task)
-        result = synthesizer.synthesize(
-            instance,
-            pool_seed=task.get("pool_seed"),
-            collect_covers=True,
-        )
-        payload = wire.netsyn_result_to_payload(result)
-        pool = synthesizer.last_pool
+                synthesizer = NetworkSynthesizer(config)
+                _WARM["synths"][config] = synthesizer
+            instance = _task_instance(task)
+            result = synthesizer.synthesize(
+                instance,
+                pool_seed=task.get("pool_seed"),
+                collect_covers=True,
+            )
+            payload = wire.netsyn_result_to_payload(result)
+            pool = synthesizer.last_pool
     except Exception as exc:  # noqa: BLE001 — every failure is a reply
         return _error_envelope(exc)
     _WARM["computed"] += 1
@@ -331,12 +335,19 @@ def service_netsyn(task: dict) -> dict:
 
 
 def _slot_main(conn) -> None:
-    """Worker process body: serve ``(func, arg)`` calls over one pipe.
+    """Worker process body: serve ``(func, arg, trace_ctx)`` calls over one pipe.
 
     Entry points never raise (they return envelopes); anything that
     still escapes — a pickling failure, a corrupted message — becomes an
     ``ok: False`` envelope so the slot survives.  EOF (parent gone) or a
     ``None`` sentinel ends the loop.
+
+    ``trace_ctx`` is the parent's span context (or ``None``): when a
+    tracer is installed (inherited across the fork, exactly like a
+    fault plan), the compute runs grafted under the parent's
+    ``fleet.roundtrip`` span and the finished worker-side spans ride
+    back on the reply envelope's ``trace`` key — never inside
+    ``payload``, so decomposition payloads stay byte-identical.
     """
     _fleet_init()
     while True:
@@ -346,9 +357,16 @@ def _slot_main(conn) -> None:
             break
         if message is None:
             break
-        func, arg = message
+        func, arg, trace_ctx = message
+        tracer = _obs.active()
         try:
-            reply = func(arg)
+            if tracer is not None and trace_ctx is not None:
+                with tracer.remote(trace_ctx):
+                    reply = func(arg)
+                if isinstance(reply, dict):
+                    reply["trace"] = tracer.pop_trace(trace_ctx["trace_id"])
+            else:
+                reply = func(arg)
         except BaseException as exc:  # noqa: BLE001 — slot must survive
             reply = {
                 "ok": False,
@@ -407,7 +425,7 @@ class _Slot:
         worker process is gone (EOF / broken pipe).
         """
         try:
-            self.conn.send((func, arg))
+            self.conn.send((func, arg, _obs.current_context()))
         except (BrokenPipeError, OSError):
             return ("dead", f"slot {self.index}: send failed, worker is gone")
         # Chaos window: the request is written, the reply is not read —
@@ -530,9 +548,19 @@ class WorkerFleet:
         """
         loop = asyncio.get_running_loop()
         self.stats["dispatched"] += 1
-        reply = await loop.run_in_executor(
-            self._threads, self._dispatch, func, arg, timeout_s
-        )
+        if _obs.active() is not None:
+            # run_in_executor does not propagate contextvars (unlike
+            # asyncio.to_thread), so the caller's span context must ride
+            # to the dispatch thread explicitly for worker spans to nest
+            # under the request's trace.
+            ctx = contextvars.copy_context()
+            reply = await loop.run_in_executor(
+                self._threads, ctx.run, self._dispatch, func, arg, timeout_s
+            )
+        else:
+            reply = await loop.run_in_executor(
+                self._threads, self._dispatch, func, arg, timeout_s
+            )
         if not reply.get("ok", False):
             self.stats["failures"] += 1
         return reply
@@ -547,31 +575,41 @@ class WorkerFleet:
 
     def _dispatch(self, func, arg: dict, timeout_s: float | None) -> dict:
         """Checkout → call → heal → release, on the calling thread."""
-        slot = self._checkout()
+        with _obs.span("fleet.checkout") as sp:
+            slot = self._checkout()
+            sp.annotate(slot=slot.index)
         try:
             faults.fire("fleet.checkout", slot=slot)
-            outcome, detail = slot.call(func, arg, timeout_s)
-            if outcome == "dead":
-                # The worker died under this request (or an earlier kill
-                # raced shutdown): respawn and retry once on the fresh
-                # worker — warm state is gone but results are identical
-                # by the cold-equals-warm guarantee.
-                self._respawn(slot)
-                self.stats["retries"] += 1
+            with _obs.span("fleet.roundtrip", slot=slot.index) as sp:
+                sp.annotate(pid=slot.pid)
                 outcome, detail = slot.call(func, arg, timeout_s)
-            if outcome == "timeout":
-                slot.kill()
-                self.stats["kills"] += 1
-                self.stats["timeouts"] += 1
-                self._respawn(slot)
-                raise FleetTimeout(
-                    f"no reply within {timeout_s}s; worker killed and"
-                    f" slot {slot.index} respawned"
-                )
-            if outcome == "dead":
-                self._respawn(slot)
-                raise WorkerCrashed(str(detail))
-            return detail
+                if outcome == "dead":
+                    # The worker died under this request (or an earlier kill
+                    # raced shutdown): respawn and retry once on the fresh
+                    # worker — warm state is gone but results are identical
+                    # by the cold-equals-warm guarantee.
+                    self._respawn(slot)
+                    self.stats["retries"] += 1
+                    sp.annotate(retried=True, pid=slot.pid)
+                    outcome, detail = slot.call(func, arg, timeout_s)
+                if outcome == "timeout":
+                    sp.set_status("timeout")
+                    slot.kill()
+                    self.stats["kills"] += 1
+                    self.stats["timeouts"] += 1
+                    self._respawn(slot)
+                    raise FleetTimeout(
+                        f"no reply within {timeout_s}s; worker killed and"
+                        f" slot {slot.index} respawned"
+                    )
+                if outcome == "dead":
+                    self._respawn(slot)
+                    raise WorkerCrashed(str(detail))
+                if isinstance(detail, dict):
+                    # Worker-side spans ride the reply envelope; merge
+                    # them into the live trace before the caller sees it.
+                    _obs.absorb(detail.pop("trace", None))
+                return detail
         finally:
             self._release(slot)
 

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 from time import monotonic, perf_counter
 
@@ -78,6 +79,9 @@ from repro.engine import wire
 from repro.engine.cache import ResultCache
 from repro.engine.parallel import make_work_item
 from repro.netsyn.pool import DivisorPool
+from repro.obs import trace as _obs
+from repro.obs.hist import LatencyHistograms
+from repro.obs.store import ORDERS, TraceStore
 from repro.service import faults
 from repro.service.coalesce import Coalescer
 from repro.service.fleet import (
@@ -97,6 +101,22 @@ COMPUTE_KINDS = frozenset(("decompose", "decompose_many", "netsyn"))
 #: Default per-line budget: generous for wire ISF payloads, small
 #: enough that one abusive client cannot balloon the server's buffers.
 DEFAULT_MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Per-kind parameter whitelists for the probe request kinds.  Compute
+#: kinds validate their params structurally (work-item / config
+#: builders); probes used to accept arbitrary junk silently — now an
+#: unknown key is a typed ``bad-request``.
+PROBE_PARAMS: dict[str, frozenset] = {
+    "status": frozenset(),
+    "metrics": frozenset(),
+    "shutdown": frozenset(),
+    "resize": frozenset({"size"}),
+    "trace": frozenset({"n", "order", "min_duration_s"}),
+}
+
+#: Threshold-gated slow-request log (the trace layer's third output
+#: next to the ``trace`` kind and the Prometheus histograms).
+_SLOW_LOG = logging.getLogger("repro.obs.slow")
 
 
 class WorkerError(Exception):
@@ -166,6 +186,8 @@ class DecompositionService:
         min_slots: int | None = None,
         max_slots: int | None = None,
         autoscale_interval_s: float = 0.25,
+        trace_capacity: int = 256,
+        slow_request_s: float | None = None,
     ) -> None:
         self.fleet = fleet if fleet is not None else WorkerFleet(jobs, prewarm=prewarm)
         self._owns_fleet = fleet is None
@@ -209,6 +231,14 @@ class DecompositionService:
         self.admission = {"overloaded": 0, "too_large": 0, "rate_limited": 0}
         #: Compute envelopes currently admitted (gauge, not a counter).
         self.inflight = 0
+        #: Reassembled span trees, one per traced request (bounded ring).
+        self.traces = TraceStore(capacity=trace_capacity)
+        #: Fixed-bucket per-site latency histograms with trace exemplars.
+        self.latency = LatencyHistograms()
+        #: Requests slower than this (seconds) go to the slow-request
+        #: log with a per-site breakdown; ``None`` disables the log.
+        self.slow_request_s = slow_request_s
+        self.slow_logged = 0
         self.shutdown_event = asyncio.Event()
 
     # -- request handling -------------------------------------------------
@@ -219,7 +249,29 @@ class DecompositionService:
         ``peer`` identifies the client for rate limiting (the socket
         server passes the connection's host; direct callers share one
         ``"local"`` bucket).
+
+        When a tracer is installed (:func:`repro.obs.install`), every
+        request runs under a ``server.request`` root span; on return the
+        finished span tree — including worker-side spans absorbed across
+        the fleet pipe — is reassembled into :attr:`traces`, folded into
+        the latency histograms, and slow requests are logged.  Without a
+        tracer this wrapper is a single module-global read.
         """
+        if _obs.active() is None:
+            return await self._handle(message, peer)
+        kind = message.get("kind") if isinstance(message, dict) else None
+        request_id = message.get("id") if isinstance(message, dict) else None
+        with _obs.span("server.request", kind=str(kind), peer=peer) as root:
+            response = await self._handle(message, peer)
+            if isinstance(response, dict) and not response.get("ok", False):
+                error = response.get("error") or {}
+                error_type = error.get("type")
+                root.annotate(error=error_type)
+                root.set_status("timeout" if error_type == "timeout" else "error")
+        self._finish_trace(root, str(kind), request_id)
+        return response
+
+    async def _handle(self, message, peer: str) -> dict:
         # Malformed traffic is traffic: count it before rejecting, so
         # admission monitoring sees bad requests in requests/errors.
         self.stats["requests"] += 1
@@ -230,36 +282,42 @@ class DecompositionService:
             raw_id = message.get("id") if isinstance(message, dict) else None
             return wire.svc_error(raw_id, "bad-request", str(exc))
         admitted = kind in COMPUTE_KINDS
-        if admitted and self.limiter is not None:
-            retry_after_s = self.limiter.admit(peer)
-            if retry_after_s > 0.0:
-                self.admission["rate_limited"] += 1
+        with _obs.span("server.admission", kind=kind) as admission_span:
+            if admitted and self.limiter is not None:
+                retry_after_s = self.limiter.admit(peer)
+                if retry_after_s > 0.0:
+                    admission_span.annotate(outcome="rate-limited")
+                    self.admission["rate_limited"] += 1
+                    self.stats["errors"] += 1
+                    return wire.svc_error(
+                        request_id,
+                        "rate-limited",
+                        f"peer {peer} exceeded {self.limiter.rate} req/s"
+                        f" (burst {self.limiter.burst});"
+                        f" retry after {retry_after_s:.3f}s",
+                        retry_after_s=round(retry_after_s, 6),
+                    )
+            if (
+                admitted
+                and self.max_inflight is not None
+                and self.inflight >= self.max_inflight
+            ):
+                admission_span.annotate(outcome="overloaded")
+                self.admission["overloaded"] += 1
                 self.stats["errors"] += 1
                 return wire.svc_error(
                     request_id,
-                    "rate-limited",
-                    f"peer {peer} exceeded {self.limiter.rate} req/s"
-                    f" (burst {self.limiter.burst});"
-                    f" retry after {retry_after_s:.3f}s",
-                    retry_after_s=round(retry_after_s, 6),
+                    "overloaded",
+                    f"{self.inflight} requests in flight (limit"
+                    f" {self.max_inflight}); retry later",
                 )
-        if (
-            admitted
-            and self.max_inflight is not None
-            and self.inflight >= self.max_inflight
-        ):
-            self.admission["overloaded"] += 1
-            self.stats["errors"] += 1
-            return wire.svc_error(
-                request_id,
-                "overloaded",
-                f"{self.inflight} requests in flight (limit"
-                f" {self.max_inflight}); retry later",
-            )
+            admission_span.annotate(outcome="admitted" if admitted else "probe")
         if admitted:
             self.inflight += 1
         t0 = perf_counter()
         try:
+            if kind in PROBE_PARAMS:
+                self._check_probe_params(kind, params)
             if kind == "decompose":
                 result, stats = await self._decompose(params)
             elif kind == "decompose_many":
@@ -271,9 +329,13 @@ class DecompositionService:
             elif kind == "metrics":
                 result = {
                     "content_type": CONTENT_TYPE,
-                    "text": render_prometheus(self.status()),
+                    "text": render_prometheus(
+                        self.status(), histograms=self.latency.snapshot()
+                    ),
                 }
                 stats = {}
+            elif kind == "trace":
+                result, stats = self._trace(params), {}
             elif kind == "resize":
                 result, stats = await self._resize(params), {}
             else:  # "shutdown" — parse_svc_request rejects anything else
@@ -304,6 +366,107 @@ class DecompositionService:
                 f"timeout_s must be a positive number, got {raw!r}"
             )
         return float(raw)
+
+    @staticmethod
+    def _check_probe_params(kind: str, params: dict) -> None:
+        """Reject unknown params on probe kinds with a typed bad-request."""
+        allowed = PROBE_PARAMS[kind]
+        unknown = set(params) - set(allowed)
+        if unknown:
+            raise SerializationError(
+                f"unknown {kind} params {sorted(unknown)};"
+                f" allowed: {sorted(allowed) or 'none'}"
+            )
+
+    # -- tracing ----------------------------------------------------------
+
+    def _trace(self, params: dict) -> dict:
+        """Serve the ``trace`` kind: query the reassembled span trees."""
+        n = params.get("n", 20)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise SerializationError(
+                f"trace param 'n' must be a positive integer, got {n!r}"
+            )
+        order = params.get("order", "recent")
+        if order not in ORDERS:
+            raise SerializationError(
+                f"trace param 'order' must be one of {list(ORDERS)}, got {order!r}"
+            )
+        min_duration = params.get("min_duration_s", 0)
+        if (
+            not isinstance(min_duration, (int, float))
+            or isinstance(min_duration, bool)
+            or min_duration < 0
+        ):
+            raise SerializationError(
+                f"trace param 'min_duration_s' must be a non-negative number,"
+                f" got {min_duration!r}"
+            )
+        return {
+            "enabled": _obs.active() is not None,
+            "slow_logged": self.slow_logged,
+            **self.traces.stats(),
+            "traces": self.traces.query(
+                n=n, order=order, min_duration_s=float(min_duration)
+            ),
+        }
+
+    def _finish_trace(self, root, kind: str, request_id) -> None:
+        """Reassemble one request's span tree and record it.
+
+        ``root`` is the just-closed ``server.request`` span; every span
+        of its trace — the server-side ones plus any worker-side spans
+        :meth:`WorkerFleet._dispatch` absorbed from reply envelopes — is
+        popped from the tracer, stored as one record, folded into the
+        latency histograms, and (past the threshold) slow-logged with a
+        per-site breakdown.
+        """
+        tracer = _obs.active()
+        if tracer is None:
+            return
+        spans = tracer.pop_trace(root.trace_id)
+        if not spans:
+            return
+        root_span = next(
+            (s for s in spans if s["span_id"] == root.span_id), None
+        )
+        t0 = root_span["t0"] if root_span else min(s["t0"] for s in spans)
+        t1 = root_span["t1"] if root_span else max(s["t1"] for s in spans)
+        record = {
+            "trace_id": root.trace_id,
+            "kind": kind,
+            "id": request_id,
+            "status": root_span["status"] if root_span else "ok",
+            "t0": t0,
+            "duration_s": max(0.0, t1 - t0),
+            "spans": spans,
+        }
+        self.traces.add(record)
+        self.latency.observe_trace(record)
+        if (
+            self.slow_request_s is not None
+            and record["duration_s"] >= self.slow_request_s
+        ):
+            self.slow_logged += 1
+            per_site: dict[str, float] = {}
+            for span in spans:
+                per_site[span["site"]] = per_site.get(span["site"], 0.0) + max(
+                    0.0, span["t1"] - span["t0"]
+                )
+            breakdown = ", ".join(
+                f"{site}={duration * 1000:.1f}ms"
+                for site, duration in sorted(
+                    per_site.items(), key=lambda kv: -kv[1]
+                )[:6]
+            )
+            _SLOW_LOG.warning(
+                "slow request %s kind=%s status=%s wall=%.1fms (%s)",
+                record["trace_id"],
+                kind,
+                record["status"],
+                record["duration_s"] * 1000,
+                breakdown,
+            )
 
     async def _serve_keyed(
         self, key: str, worker_func, work: dict, timeout_s: float | None
@@ -501,7 +664,7 @@ class DecompositionService:
 
     def status(self) -> dict:
         """Service counters: server, requests, fleet, coalescer, cache,
-        pool, admission."""
+        pool, admission, trace."""
         cache_stats = None
         if self.cache is not None:
             cache_stats = dict(self.cache.stats)
@@ -544,6 +707,11 @@ class DecompositionService:
                 "rate": self.limiter.rate if self.limiter else None,
                 "burst": self.limiter.burst if self.limiter else None,
                 **self.admission,
+            },
+            "trace": {
+                "enabled": _obs.active() is not None,
+                "slow_logged": self.slow_logged,
+                **self.traces.stats(),
             },
         }
 

@@ -24,6 +24,7 @@ import os
 from pathlib import Path
 
 from repro.engine.cache import ResultCache
+from repro.obs.trace import span as _obs_span
 
 
 class ShardedResultCache:
@@ -64,19 +65,29 @@ class ShardedResultCache:
             for index in range(shards)
         ]
 
+    def shard_index(self, key: str) -> int:
+        """The shard ordinal for ``key`` (uniform over SHA-256 prefixes)."""
+        return int(key[:8], 16) % self.n_shards
+
     def shard_for(self, key: str) -> ResultCache:
-        """The shard governing ``key`` (uniform over SHA-256 prefixes)."""
-        return self.shards[int(key[:8], 16) % self.n_shards]
+        """The shard governing ``key``."""
+        return self.shards[self.shard_index(key)]
 
     # -- access -----------------------------------------------------------
 
     def get(self, key: str):
         """Return the stored payload, or ``None`` on miss/corruption."""
-        return self.shard_for(key).get(key)
+        index = self.shard_index(key)
+        with _obs_span("cache.get", shard=index, key=key[:16]) as sp:
+            payload = self.shards[index].get(key)
+            sp.annotate(hit=payload is not None)
+        return payload
 
     def put(self, key: str, payload) -> None:
         """Store a payload; may evict LRU entries of the same shard."""
-        self.shard_for(key).put(key, payload)
+        index = self.shard_index(key)
+        with _obs_span("cache.put", shard=index, key=key[:16]):
+            self.shards[index].put(key, payload)
 
     # -- introspection ----------------------------------------------------
 

@@ -1,8 +1,13 @@
-"""Tiny stopwatch used by the experiment harness for the Time column."""
+"""Tiny stopwatch used by the experiment harness for the Time column.
+
+Timing is based on :data:`repro.obs.trace.CLOCK` — the same monotonic
+clock the observability spans use — so harness ``Time`` columns and
+trace span durations agree to the tick.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.trace import CLOCK
 
 
 class Stopwatch:
@@ -14,6 +19,11 @@ class Stopwatch:
         with watch:
             expensive_call()
         print(watch.elapsed)
+
+    The context manager is exception-safe (a raising body still stops
+    the clock and accumulates the partial interval) and re-entrancy is
+    rejected with :class:`RuntimeError` — nesting the same instance
+    would silently double-count.
     """
 
     def __init__(self) -> None:
@@ -21,13 +31,18 @@ class Stopwatch:
         self._start: float | None = None
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        if self._start is not None:
+            raise RuntimeError(
+                "Stopwatch is already running; one instance cannot be nested"
+            )
+        self._start = CLOCK()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
+        start, self._start = self._start, None
+        if start is None:
+            raise RuntimeError("Stopwatch.__exit__ without a matching __enter__")
+        self.elapsed += CLOCK() - start
 
     def reset(self) -> None:
         """Zero the accumulated time."""

@@ -417,7 +417,10 @@ def test_status_probe_reports_all_sections(server):
         "cache",
         "pool",
         "admission",
+        "trace",
     }
+    assert status["trace"]["enabled"] is False
+    assert status["trace"]["recorded"] == 0
     assert status["server"]["uptime_s"] >= 0
     assert status["fleet"]["size"] == 2
     assert status["fleet"]["slots_target"] == 2

@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.utils.rng import DEFAULT_SEED, make_rng
 from repro.utils.timing import Stopwatch
 
@@ -109,3 +111,39 @@ def test_stopwatch_reset():
         pass
     watch.reset()
     assert watch.elapsed == 0.0
+
+
+def test_stopwatch_accumulates_when_the_body_raises():
+    watch = Stopwatch()
+    with pytest.raises(ValueError):
+        with watch:
+            time.sleep(0.01)
+            raise ValueError("boom")
+    assert watch.elapsed >= 0.005
+    # The clock stopped: the instance is reusable after the exception.
+    with watch:
+        pass
+
+
+def test_stopwatch_rejects_reentrant_use():
+    watch = Stopwatch()
+    with watch:
+        with pytest.raises(RuntimeError, match="already running"):
+            watch.__enter__()
+    # The rejected enter did not corrupt the running interval.
+    with watch:
+        pass
+
+
+def test_stopwatch_exit_without_enter_raises():
+    watch = Stopwatch()
+    with pytest.raises(RuntimeError, match="without a matching"):
+        watch.__exit__(None, None, None)
+    assert watch.elapsed == 0.0
+
+
+def test_stopwatch_uses_the_span_clock():
+    from repro.obs.trace import CLOCK
+    from repro.utils import timing
+
+    assert timing.CLOCK is CLOCK
